@@ -1,0 +1,41 @@
+# SenSocial reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples loc clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One testing.B bench per paper table/figure + micro-benchmarks + ablations.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Regenerate every table and figure with paper-vs-measured reports.
+experiments:
+	$(GO) run ./cmd/benchtables
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sensormap
+	$(GO) run ./examples/conweb
+	$(GO) run ./examples/geonotify
+	$(GO) run ./examples/emotionstudy
+
+# Count middleware source the way the paper's Table 1 does.
+loc:
+	$(GO) run ./cmd/cloc internal/core internal/sensing internal/classify internal/config
+
+clean:
+	$(GO) clean ./...

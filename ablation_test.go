@@ -1,0 +1,237 @@
+// Ablation benches for the design choices DESIGN.md calls out: each
+// compares the paper's chosen design against the alternative it argues
+// against, reporting the metric the choice trades on.
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/device"
+	"repro/internal/docstore"
+	"repro/internal/energy"
+	"repro/internal/geo"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+var benchEpoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+func ablationDevice(b *testing.B, act sensors.Activity) (*device.Device, *classify.Registry) {
+	b.Helper()
+	profile, err := sensors.NewProfile(geo.Stationary{At: geo.Point{Lat: 48.8566, Lon: 2.3522}},
+		sensors.WithPhases(false, sensors.Phase{
+			Activity: act, Audio: sensors.AudioNoisy, Duration: 1000 * time.Hour,
+		}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := device.New(device.Config{
+		ID: "abl", Clock: vclock.NewManual(benchEpoch), Profile: profile, Seed: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := classify.DefaultRegistry(geo.EuropeanCities())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dev, reg
+}
+
+// BenchmarkAblationPushVsPoll models the paper's MQTT-over-HTTP argument
+// ("MQTT is based on the push paradigm, thus ... does not require
+// continuous polling from the mobile side, resulting in a lower battery
+// consumption"): hourly device energy for push keepalives vs HTTP polling
+// at a period matching MQTT's trigger latency.
+func BenchmarkAblationPushVsPoll(b *testing.B) {
+	cm := energy.DefaultCostModel()
+	for i := 0; i < b.N; i++ {
+		// Push: idle keepalive cost only (the broker initiates traffic).
+		pushUAhPerHour := cm.IdleCost(60)
+		// Poll: one HTTP request each 10 s to match push latency; each
+		// request costs a transmission (request+response headers ~500 B).
+		polls := 360.0
+		pollUAhPerHour := cm.IdleCost(60) + polls*cm.TransmissionCost(500)
+		b.ReportMetric(pushUAhPerHour, "push-uAh/h")
+		b.ReportMetric(pollUAhPerHour, "poll-uAh/h")
+		if pollUAhPerHour <= pushUAhPerHour {
+			b.Fatal("polling should cost more than push")
+		}
+	}
+}
+
+// BenchmarkAblationFilterPlacement compares on-device filtering (no
+// transmission when the condition fails) with server-side filtering (raw
+// data always uploaded, dropped at the server): device energy per cycle
+// while the user is still and the filter requires walking.
+func BenchmarkAblationFilterPlacement(b *testing.B) {
+	const cycles = 50
+	run := func(onDevice bool) float64 {
+		dev, reg := ablationDevice(b, sensors.ActivityStill)
+		for c := 0; c < cycles; c++ {
+			accel, err := dev.Sample(sensors.ModalityAccelerometer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			label, err := dev.Classify(reg, accel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pass := label == "walking" // never true: the user is still
+			if onDevice && !pass {
+				continue // filtered before the radio
+			}
+			// Server-side filtering still uploads the GPS payload.
+			fix, err := dev.Sample(sensors.ModalityLocation)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload, err := fix.MarshalPayload()
+			if err != nil {
+				b.Fatal(err)
+			}
+			dev.ChargeTransmission(sensors.ModalityLocation, len(payload))
+		}
+		return dev.Meter().TotalMicroAh() / cycles
+	}
+	for i := 0; i < b.N; i++ {
+		onDev := run(true)
+		onSrv := run(false)
+		b.ReportMetric(onDev, "device-filter-uAh/cycle")
+		b.ReportMetric(onSrv, "server-filter-uAh/cycle")
+		if onSrv <= onDev {
+			b.Fatal("server-side filtering should cost the device more")
+		}
+	}
+}
+
+// BenchmarkAblationConditionalSampling quantifies the paper's "sampling
+// energy-costly sensors only on satisfaction of the conditions based on a
+// less energy consuming sensor" claim: GPS gated on accelerometer-inferred
+// walking vs unconditional GPS, for a user who is still.
+func BenchmarkAblationConditionalSampling(b *testing.B) {
+	const cycles = 50
+	run := func(gated bool) float64 {
+		dev, reg := ablationDevice(b, sensors.ActivityStill)
+		for c := 0; c < cycles; c++ {
+			sampleGPS := true
+			if gated {
+				accel, err := dev.Sample(sensors.ModalityAccelerometer)
+				if err != nil {
+					b.Fatal(err)
+				}
+				label, err := dev.Classify(reg, accel)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sampleGPS = label == "walking"
+			}
+			if sampleGPS {
+				if _, err := dev.Sample(sensors.ModalityLocation); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		return dev.Meter().TotalMicroAh() / cycles
+	}
+	for i := 0; i < b.N; i++ {
+		gated := run(true)
+		ungated := run(false)
+		b.ReportMetric(gated, "gated-uAh/cycle")
+		b.ReportMetric(ungated, "ungated-uAh/cycle")
+		if ungated <= gated {
+			b.Fatal("unconditional GPS should cost more for a still user")
+		}
+	}
+}
+
+// BenchmarkAblationGeoIndex measures the multicast membership query with
+// and without the grid geospatial index over a 10k-user registry.
+func BenchmarkAblationGeoIndex(b *testing.B) {
+	build := func(indexed bool) *docstore.Collection {
+		c := docstore.NewStore().Collection("users")
+		if indexed {
+			if err := c.CreateGeoIndex("loc"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(1))
+		paris := geo.Point{Lat: 48.8566, Lon: 2.3522}
+		for i := 0; i < 10000; i++ {
+			pt := paris.Offset(rng.Float64()*300000, rng.Float64()*360)
+			if _, err := c.Insert(docstore.Doc{
+				docstore.IDField: fmt.Sprintf("u%05d", i),
+				"loc":            docstore.Doc{"lat": pt.Lat, "lon": pt.Lon},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c
+	}
+	query := docstore.Doc{"loc": docstore.Doc{"$near": docstore.Doc{
+		"lat": 48.8566, "lon": 2.3522, "$maxDistance": 15000.0,
+	}}}
+	for _, indexed := range []bool{true, false} {
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := build(indexed)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Find(query, docstore.FindOpts{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRawVsClassifiedUpload is the Figure 4 headline as a
+// direct A/B: per-cycle device energy for raw accelerometer upload vs
+// on-device classification.
+func BenchmarkAblationRawVsClassifiedUpload(b *testing.B) {
+	const cycles = 30
+	run := func(classified bool) float64 {
+		dev, reg := ablationDevice(b, sensors.ActivityWalking)
+		for c := 0; c < cycles; c++ {
+			r, err := dev.Sample(sensors.ModalityAccelerometer)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var payload []byte
+			if classified {
+				label, err := dev.Classify(reg, r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload, err = json.Marshal(map[string]string{"classified": label})
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				payload, err = r.MarshalPayload()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			dev.ChargeTransmission(sensors.ModalityAccelerometer, len(payload))
+		}
+		return dev.Meter().TotalMicroAh() / cycles
+	}
+	for i := 0; i < b.N; i++ {
+		raw := run(false)
+		cls := run(true)
+		b.ReportMetric(raw, "raw-uAh/cycle")
+		b.ReportMetric(cls, "classified-uAh/cycle")
+		if cls >= raw {
+			b.Fatal("classification should halve the accel stream's energy")
+		}
+	}
+}

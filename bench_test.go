@@ -1,0 +1,286 @@
+// Root benchmark suite: one testing.B benchmark per table and figure of
+// the paper (delegating to internal/experiments and reporting headline
+// metrics), micro-benchmarks of the middleware hot paths, and ablation
+// benches for the design choices called out in DESIGN.md.
+//
+// Run: go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/mqtt"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// --- Table and figure reproductions -----------------------------------
+
+func BenchmarkTable1SourceCode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MobileLines), "mobile-loc")
+		b.ReportMetric(float64(res.ServerLines), "server-loc")
+	}
+}
+
+func BenchmarkTable2MemoryFootprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SenSocialHeapBytes), "sensocial-heap-B")
+		b.ReportMetric(float64(res.GARHeapBytes), "gar-heap-B")
+	}
+}
+
+func BenchmarkTable3TriggerDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ToServerMean.Seconds(), "osn-to-server-s")
+		b.ReportMetric(res.ToMobileMean.Seconds(), "osn-to-mobile-s")
+	}
+}
+
+func BenchmarkTable4OSNActionBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].MeasuredUAh, "1-action-uAh")
+		b.ReportMetric(res.Rows[6].MeasuredUAh, "7-action-uAh")
+	}
+}
+
+func BenchmarkTable5ProgrammingEffort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, app := range res.Apps {
+			b.ReportMetric(float64(app.WithoutLines)/float64(app.WithLines), "x-reduction")
+		}
+	}
+}
+
+func BenchmarkFigure4EnergyPerModality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Modality == "accelerometer" {
+				suffix := "acc-raw-uAh"
+				if row.Granularity == "classified" {
+					suffix = "acc-cls-uAh"
+				}
+				b.ReportMetric(row.TotalUAh, suffix)
+			}
+		}
+	}
+}
+
+func BenchmarkFigure5CPUvsStreams(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.LocalCPU*100, "local-cpu-pct")
+		b.ReportMetric(last.ServerCPU*100, "server-cpu-pct")
+	}
+}
+
+// --- Middleware hot-path micro-benchmarks ------------------------------
+
+func BenchmarkFilterEval(b *testing.B) {
+	filter, err := core.NewFilter(
+		core.Condition{Modality: core.CtxPhysicalActivity, Operator: core.OpEquals, Value: "walking"},
+		core.Condition{Modality: core.CtxPlace, Operator: core.OpEquals, Value: "Paris"},
+		core.Condition{Modality: core.CtxTimeOfDay, Operator: core.OpGTE, Value: "08:00"},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := core.Context{
+		core.CtxPhysicalActivity: "walking",
+		core.CtxPlace:            "Paris",
+		core.CtxTimeOfDay:        "09:30",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !filter.Eval(ctx) {
+			b.Fatal("filter must pass")
+		}
+	}
+}
+
+func BenchmarkItemEncodeDecode(b *testing.B) {
+	item := core.Item{
+		StreamID: "s", DeviceID: "d", UserID: "u",
+		Modality: "location", Granularity: core.GranularityClassified,
+		Time: time.Now(), Classified: "Paris",
+		Context: core.Context{core.CtxPlace: "Paris", core.CtxPhysicalActivity: "walking"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc, err := item.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.DecodeItem(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopicMatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if !mqtt.TopicMatches("sensocial/device/+/trigger", "sensocial/device/dev42/trigger") {
+			b.Fatal("must match")
+		}
+	}
+}
+
+func BenchmarkBrokerFanout(b *testing.B) {
+	// §5.5 scalability: broker-side fan-out cost per published message as
+	// subscriber count grows.
+	for _, subs := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("subs-%d", subs), func(b *testing.B) {
+			broker := mqtt.NewBroker(mqtt.BrokerOptions{})
+			defer broker.Close()
+			n := 0
+			for i := 0; i < subs; i++ {
+				if err := broker.SubscribeLocal("bcast", func(mqtt.Message) { n++ }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			msg := mqtt.Message{Topic: "bcast", Payload: []byte("x")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := broker.PublishLocal(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDocstoreIndexedQuery(b *testing.B) {
+	c := docstore.NewStore().Collection("users")
+	if err := c.CreateIndex("city"); err != nil {
+		b.Fatal(err)
+	}
+	cities := []string{"Paris", "Bordeaux", "Lyon", "Toulouse"}
+	for i := 0; i < 10000; i++ {
+		if _, err := c.Insert(docstore.Doc{"city": cities[i%4], "n": i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := docstore.Doc{"city": "Paris"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		docs, err := c.Find(q, docstore.FindOpts{Limit: 10})
+		if err != nil || len(docs) != 10 {
+			b.Fatalf("find: %v (%d docs)", err, len(docs))
+		}
+	}
+}
+
+func BenchmarkNetsimThroughput(b *testing.B) {
+	net := netsim.NewNetwork(vclock.NewReal(), 1)
+	defer net.Close()
+	l, err := net.Listen("sink:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64<<10)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	conn, err := net.Dial("src", "sink:1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	payload := make([]byte, 1024)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGeoDistance(b *testing.B) {
+	p := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	q := geo.Point{Lat: 44.8378, Lon: -0.5792}
+	for i := 0; i < b.N; i++ {
+		if p.DistanceMeters(q) < 1 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkFilterComplexity covers §5.5 "Impact of Filter Complexity":
+// evaluation cost as conditions are added to a stream's filter.
+func BenchmarkFilterComplexity(b *testing.B) {
+	ctx := core.Context{
+		core.CtxPhysicalActivity: "walking",
+		core.CtxAudioEnvironment: "not silent",
+		core.CtxPlace:            "Paris",
+		core.CtxWiFiPlace:        "home",
+		core.CtxBTSocial:         "small-group",
+		core.CtxTimeOfDay:        "09:30",
+	}
+	pool := []core.Condition{
+		{Modality: core.CtxPhysicalActivity, Operator: core.OpEquals, Value: "walking"},
+		{Modality: core.CtxAudioEnvironment, Operator: core.OpEquals, Value: "not silent"},
+		{Modality: core.CtxPlace, Operator: core.OpEquals, Value: "Paris"},
+		{Modality: core.CtxWiFiPlace, Operator: core.OpEquals, Value: "home"},
+		{Modality: core.CtxBTSocial, Operator: core.OpNotEquals, Value: "crowd"},
+		{Modality: core.CtxTimeOfDay, Operator: core.OpGTE, Value: "08:00"},
+		{Modality: core.CtxTimeOfDay, Operator: core.OpLT, Value: "22:00"},
+		{Modality: core.CtxPlace, Operator: core.OpContains, Value: "par"},
+	}
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("conditions-%d", n), func(b *testing.B) {
+			f, err := core.NewFilter(pool[:n]...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !f.Eval(ctx) {
+					b.Fatal("must pass")
+				}
+			}
+		})
+	}
+}

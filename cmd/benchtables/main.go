@@ -1,0 +1,66 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation and prints measured-vs-paper reports.
+//
+// Usage:
+//
+//	benchtables            # run everything
+//	benchtables -only table3,figure4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: table1,table2,table3,table4,table5,figure4,figure5")
+	flag.Parse()
+	if err := run(*only); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only string) error {
+	selected := map[string]bool{}
+	if only != "" {
+		for _, s := range strings.Split(only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	type experiment struct {
+		name string
+		run  func() (interface{ Report() string }, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (interface{ Report() string }, error) { return wrapT1() }},
+		{"table2", func() (interface{ Report() string }, error) { return wrapT2() }},
+		{"figure4", func() (interface{ Report() string }, error) { return wrapF4() }},
+		{"table3", func() (interface{ Report() string }, error) { return wrapT3() }},
+		{"table4", func() (interface{ Report() string }, error) { return wrapT4() }},
+		{"figure5", func() (interface{ Report() string }, error) { return wrapF5() }},
+		{"table5", func() (interface{ Report() string }, error) { return wrapT5() }},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !want(e.name) {
+			continue
+		}
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(strings.Repeat("=", 78))
+		fmt.Print(res.Report())
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches %q", only)
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package main
+
+import "repro/internal/experiments"
+
+// Thin adapters giving every experiment the same reportable shape.
+
+func wrapT1() (interface{ Report() string }, error) { return experiments.RunTable1() }
+func wrapT2() (interface{ Report() string }, error) { return experiments.RunTable2() }
+func wrapT3() (interface{ Report() string }, error) { return experiments.RunTable3() }
+func wrapT4() (interface{ Report() string }, error) { return experiments.RunTable4() }
+func wrapT5() (interface{ Report() string }, error) { return experiments.RunTable5() }
+func wrapF4() (interface{ Report() string }, error) { return experiments.RunFigure4() }
+func wrapF5() (interface{ Report() string }, error) { return experiments.RunFigure5() }

@@ -1,0 +1,169 @@
+// Command sensocial-mobile runs one simulated phone with the SenSocial
+// mobile middleware as a standalone process, connecting to a
+// sensocial-server instance over real TCP. Together they form the paper's
+// distributed deployment with two actual processes on a network.
+//
+// Usage (with sensocial-server running):
+//
+//	sensocial-mobile -user alice -server 127.0.0.1 \
+//	    -mqtt 127.0.0.1:1883 -http 127.0.0.1:8080 -city Paris
+//
+// The agent registers its device over HTTP, starts a classified activity
+// stream and a social event-based location stream, prints every locally
+// observed item, and serves remote stream management until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/core/mobile"
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+func main() {
+	user := flag.String("user", "alice", "user id")
+	mqttAddr := flag.String("mqtt", "127.0.0.1:1883", "server MQTT address")
+	httpAddr := flag.String("http", "127.0.0.1:8080", "server HTTP address")
+	city := flag.String("city", "Paris", "home city of the simulated user")
+	activity := flag.String("activity", "walking", "ground-truth activity: still|walking|running")
+	interval := flag.Duration("interval", 10*time.Second, "continuous sampling interval")
+	flag.Parse()
+	if err := run(*user, *mqttAddr, *httpAddr, *city, *activity, *interval); err != nil {
+		fmt.Fprintln(os.Stderr, "sensocial-mobile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(user, mqttAddr, httpAddr, city, activity string, interval time.Duration) error {
+	places := geo.EuropeanCities()
+	place, ok := places.Lookup(city)
+	if !ok {
+		return fmt.Errorf("unknown city %q (known: %s)", city, strings.Join(places.Names(), ", "))
+	}
+	var act sensors.Activity
+	switch activity {
+	case "still":
+		act = sensors.ActivityStill
+	case "walking":
+		act = sensors.ActivityWalking
+	case "running":
+		act = sensors.ActivityRunning
+	default:
+		return fmt.Errorf("unknown activity %q", activity)
+	}
+	profile, err := sensors.NewProfile(geo.Stationary{At: place.Region.Center},
+		sensors.WithPhases(false, sensors.Phase{
+			Activity: act, Audio: sensors.AudioNoisy, Duration: 10000 * time.Hour,
+		}))
+	if err != nil {
+		return err
+	}
+
+	deviceID := user + "-phone"
+	dev, err := device.New(device.Config{
+		ID:      deviceID,
+		UserID:  user,
+		Clock:   vclock.NewReal(),
+		Profile: profile,
+		Dialer: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+		Seed: int64(len(user)) * 7919,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Register the device with the server over HTTP (the PHP registration
+	// script's role).
+	resp, err := httpPost(httpAddr, "/register",
+		fmt.Sprintf(`{"user_id":%q,"device_id":%q}`, user, deviceID))
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	fmt.Printf("sensocial-mobile: registered %s (%s)\n", deviceID, resp)
+
+	classifiers, err := classify.DefaultRegistry(places)
+	if err != nil {
+		return err
+	}
+	mgr, err := mobile.New(mobile.Options{
+		Device:      dev,
+		Classifiers: classifiers,
+		BrokerAddr:  mqttAddr,
+		HTTPAddr:    httpAddr,
+		Reconnect:   true,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = mgr.Close() }()
+
+	// Two streams out of the box; the server can add more remotely.
+	if err := mgr.CreateStream(core.StreamConfig{
+		ID: "activity-" + deviceID, Modality: sensors.ModalityAccelerometer,
+		Granularity: core.GranularityClassified, Kind: core.KindContinuous,
+		SampleInterval: interval, Deliver: core.DeliverServer,
+	}); err != nil {
+		return err
+	}
+	if err := mgr.CreateStream(core.StreamConfig{
+		ID: "osn-loc-" + deviceID, Modality: sensors.ModalityLocation,
+		Granularity: core.GranularityClassified, Kind: core.KindSocialEvent,
+		Deliver: core.DeliverServer,
+	}); err != nil {
+		return err
+	}
+	if err := mgr.RegisterListener(core.Wildcard, core.ListenerFunc(func(i core.Item) {
+		fmt.Printf("  local item: %s -> %s\n", i.StreamID, i.Classified)
+	})); err != nil {
+		return err
+	}
+	mgr.OnNotify(func(msg string) {
+		fmt.Printf("  notification: %s\n", msg)
+	})
+
+	fmt.Printf("sensocial-mobile: %s streaming to %s (Ctrl-C to stop)\n", deviceID, mqttAddr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("sensocial-mobile: shutting down; battery used %.1f µAh\n",
+		dev.Meter().TotalMicroAh())
+	return nil
+}
+
+// httpPost is a minimal JSON POST helper over real TCP.
+func httpPost(host, path, body string) (string, error) {
+	conn, err := net.DialTimeout("tcp", host, 10*time.Second)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	req := fmt.Sprintf("POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s",
+		path, host, len(body), body)
+	if _, err := conn.Write([]byte(req)); err != nil {
+		return "", err
+	}
+	buf := make([]byte, 256)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return "", err
+	}
+	status := strings.SplitN(string(buf[:n]), "\r\n", 2)[0]
+	if !strings.Contains(status, "201") && !strings.Contains(status, "200") {
+		return "", fmt.Errorf("server said %q", status)
+	}
+	return status, nil
+}

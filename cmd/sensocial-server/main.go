@@ -1,0 +1,89 @@
+// Command sensocial-server runs the server side of SenSocial as a
+// standalone process on real TCP: the MQTT broker (Mosquitto's role), the
+// middleware server component, and the HTTP endpoints (the PHP scripts'
+// role). Mobile middleware instances — real or simulated — connect over the
+// network.
+//
+// Usage:
+//
+//	sensocial-server [-mqtt :1883] [-http :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core/server"
+	"repro/internal/geo"
+	"repro/internal/mqtt"
+	"repro/internal/vclock"
+)
+
+func main() {
+	mqttAddr := flag.String("mqtt", ":1883", "MQTT broker listen address")
+	httpAddr := flag.String("http", ":8080", "HTTP listen address")
+	verbose := flag.Bool("v", false, "verbose logging")
+	flag.Parse()
+	if err := run(*mqttAddr, *httpAddr, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "sensocial-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mqttAddr, httpAddr string, verbose bool) error {
+	var logger *slog.Logger
+	if verbose {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	}
+
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: vclock.NewReal(), Logger: logger})
+	mqttL, err := net.Listen("tcp", mqttAddr)
+	if err != nil {
+		return fmt.Errorf("mqtt listen: %w", err)
+	}
+	defer mqttL.Close()
+	go func() {
+		if err := broker.Serve(mqttL); err != nil {
+			fmt.Fprintln(os.Stderr, "sensocial-server: broker:", err)
+		}
+	}()
+
+	mgr, err := server.New(server.Options{
+		Clock:        vclock.NewReal(),
+		Broker:       broker,
+		Places:       geo.EuropeanCities(),
+		PersistItems: true,
+		Logger:       logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpL, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return fmt.Errorf("http listen: %w", err)
+	}
+	web := &http.Server{Handler: mgr.HTTPHandler()}
+	go func() {
+		if err := web.Serve(httpL); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "sensocial-server: http:", err)
+		}
+	}()
+
+	fmt.Printf("sensocial-server: MQTT on %s, HTTP on %s (Ctrl-C to stop)\n",
+		mqttL.Addr(), httpL.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sensocial-server: shutting down")
+	_ = web.Close()
+	_ = mgr.Close()
+	return broker.Close()
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRunCompletes executes the example end to end in-process; the example
+// exits with an error if any middleware path misbehaves or times out.
+func TestRunCompletes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example runs a compressed-clock scenario")
+	}
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

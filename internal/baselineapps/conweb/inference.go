@@ -1,0 +1,88 @@
+package conweb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sensors"
+)
+
+// ConWeb's own inference code — written independently of both the
+// middleware's classifiers and Sensor Map's: this duplication across
+// applications is precisely the effort Table 5 measures.
+
+// inferActivity classifies an accelerometer window by mean absolute
+// deviation of the magnitude around gravity.
+func inferActivity(r sensors.AccelReading) (string, error) {
+	if len(r.Samples) == 0 {
+		return "", fmt.Errorf("conweb: empty accelerometer window")
+	}
+	const gravity = 9.81
+	mad := 0.0
+	for _, s := range r.Samples {
+		mag := math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+		mad += math.Abs(mag - gravity)
+	}
+	mad /= float64(len(r.Samples))
+	// MAD of a sinusoid of amplitude A is 2A/π; walking (A≈2·1.37) lands
+	// near 1.7, running (A≈8·1.37) near 7.
+	switch {
+	case mad >= 3.5:
+		return "running", nil
+	case mad >= 0.7:
+		return "walking", nil
+	default:
+		return "still", nil
+	}
+}
+
+// inferAudio classifies a microphone window by the fraction of loud frames.
+func inferAudio(r sensors.MicReading) (string, error) {
+	if len(r.RMS) == 0 {
+		return "", fmt.Errorf("conweb: empty microphone window")
+	}
+	loud := 0
+	for _, v := range r.RMS {
+		if v >= 0.08 {
+			loud++
+		}
+	}
+	if float64(loud)/float64(len(r.RMS)) >= 0.3 {
+		return "not silent", nil
+	}
+	return "silent", nil
+}
+
+// cityAnchor is one row of ConWeb's own city table.
+type cityAnchor struct {
+	name     string
+	lat, lon float64
+	cutoffKM float64
+}
+
+// conwebCities is ConWeb's hand-maintained city list.
+var conwebCities = []cityAnchor{
+	{"Paris", 48.8566, 2.3522, 15},
+	{"Bordeaux", 44.8378, -0.5792, 10},
+	{"Lyon", 45.7640, 4.8357, 10},
+	{"Birmingham", 52.4862, -1.8904, 12},
+	{"London", 51.5074, -0.1278, 20},
+}
+
+// inferCity finds the nearest city within its cutoff using an
+// equirectangular approximation (good enough at city scale, and — unlike
+// the middleware's haversine — exactly the kind of shortcut application
+// code takes).
+func inferCity(fix sensors.LocationReading) string {
+	const kmPerDegLat = 111.32
+	best, bestKM := "", math.MaxFloat64
+	for _, c := range conwebCities {
+		dLat := (fix.Lat - c.lat) * kmPerDegLat
+		dLon := (fix.Lon - c.lon) * kmPerDegLat * math.Cos(c.lat*math.Pi/180)
+		km := math.Sqrt(dLat*dLat + dLon*dLon)
+		if km <= c.cutoffKM && km < bestKM {
+			best, bestKM = c.name, km
+		}
+	}
+	return best
+}

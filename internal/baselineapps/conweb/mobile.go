@@ -1,0 +1,226 @@
+package conweb
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mqtt"
+	"repro/internal/sensing"
+	"repro/internal/sensors"
+)
+
+// MobileApp is the phone side of ConWeb without SenSocial: it owns the
+// broker connection, runs its own periodic sampling loop with duty
+// cycling, performs inference, assembles context snapshots, uploads them,
+// and applies remote configuration pushed by the server.
+type MobileApp struct {
+	dev     *device.Device
+	sensing *sensing.Manager
+	client  *mqtt.Client
+
+	mu      sync.Mutex
+	cfg     wireConfig
+	subs    []*sensing.Subscription
+	latest  wireContext
+	uploads int
+	closed  bool
+}
+
+// MobileConfig assembles a MobileApp.
+type MobileConfig struct {
+	// Device is the phone hardware.
+	Device *device.Device
+	// BrokerAddr is the MQTT broker address on the device's fabric.
+	BrokerAddr string
+	// Initial is the starting sampling configuration; zero value samples
+	// all three context kinds every 60 s.
+	Initial *wireConfig
+}
+
+// NewMobileApp connects, applies the initial configuration and starts
+// sampling.
+func NewMobileApp(cfg MobileConfig) (*MobileApp, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("conweb: mobile app requires a device")
+	}
+	if cfg.BrokerAddr == "" {
+		return nil, fmt.Errorf("conweb: mobile app requires a broker address")
+	}
+	sm, err := sensing.NewManager(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("conweb: %w", err)
+	}
+	initial := wireConfig{Modalities: []string{"activity", "audio", "city"}, IntervalMS: 60000, DutyPercent: 100}
+	if cfg.Initial != nil {
+		initial = *cfg.Initial
+	}
+	if err := initial.validate(); err != nil {
+		return nil, err
+	}
+	app := &MobileApp{dev: cfg.Device, sensing: sm, cfg: initial}
+
+	conn, err := cfg.Device.Dial(cfg.BrokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("conweb: %w", err)
+	}
+	client, err := mqtt.Connect(conn, mqtt.ClientOptions{
+		ClientID:  "conweb-" + cfg.Device.ID(),
+		KeepAlive: time.Minute,
+		Clock:     cfg.Device.Clock(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("conweb: %w", err)
+	}
+	app.client = client
+	if err := client.Subscribe(configTopic(cfg.Device.ID()), 1, app.onConfig); err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("conweb: subscribe config: %w", err)
+	}
+	app.mu.Lock()
+	err = app.restartSamplingLocked()
+	app.mu.Unlock()
+	if err != nil {
+		_ = client.Close()
+		return nil, err
+	}
+	return app, nil
+}
+
+// onConfig applies a remotely pushed sampling configuration.
+func (a *MobileApp) onConfig(msg mqtt.Message) {
+	cfg, err := decodeConfig(msg.Payload)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.cfg = cfg
+	_ = a.restartSamplingLocked()
+}
+
+// restartSamplingLocked tears down and relaunches the sampling loops for
+// the current configuration.
+func (a *MobileApp) restartSamplingLocked() error {
+	for _, s := range a.subs {
+		s.Stop()
+	}
+	a.subs = nil
+	settings := sensing.Settings{
+		Interval:  a.cfg.interval(),
+		DutyCycle: float64(a.cfg.DutyPercent) / 100,
+	}
+	for _, m := range a.cfg.Modalities {
+		modality := m
+		var sensor string
+		switch modality {
+		case "activity":
+			sensor = sensors.ModalityAccelerometer
+		case "audio":
+			sensor = sensors.ModalityMicrophone
+		case "city":
+			sensor = sensors.ModalityLocation
+		}
+		sub, err := a.sensing.Subscribe(sensor, settings, func(r sensors.Reading) {
+			a.handleReading(modality, r)
+		})
+		if err != nil {
+			return fmt.Errorf("conweb: subscribe %s: %w", sensor, err)
+		}
+		a.subs = append(a.subs, sub)
+	}
+	return nil
+}
+
+// handleReading infers the configured context kind and uploads a snapshot.
+func (a *MobileApp) handleReading(modality string, r sensors.Reading) {
+	snapshot := wireContext{
+		UserID:    a.dev.UserID(),
+		DeviceID:  a.dev.ID(),
+		SampledAt: r.Time,
+	}
+	switch modality {
+	case "activity":
+		accel, ok := r.Payload.(sensors.AccelReading)
+		if !ok {
+			return
+		}
+		label, err := inferActivity(accel)
+		if err != nil {
+			return
+		}
+		_ = a.dev.ChargeClassification(r.Modality)
+		snapshot.Activity = label
+	case "audio":
+		mic, ok := r.Payload.(sensors.MicReading)
+		if !ok {
+			return
+		}
+		label, err := inferAudio(mic)
+		if err != nil {
+			return
+		}
+		_ = a.dev.ChargeClassification(r.Modality)
+		snapshot.Audio = label
+	case "city":
+		fix, ok := r.Payload.(sensors.LocationReading)
+		if !ok {
+			return
+		}
+		snapshot.City = inferCity(fix)
+		if snapshot.City == "" {
+			return // outside the city table: nothing useful to adapt to
+		}
+		_ = a.dev.ChargeClassification(r.Modality)
+	}
+	payload, err := encodeContext(snapshot)
+	if err != nil {
+		return
+	}
+	a.dev.ChargeTransmission(r.Modality, len(payload))
+	if err := a.client.Publish(contextTopic(a.dev.ID()), payload, 0, false); err != nil {
+		return
+	}
+	a.mu.Lock()
+	a.latest = snapshot
+	a.uploads++
+	a.mu.Unlock()
+}
+
+// Uploads reports how many context snapshots were sent.
+func (a *MobileApp) Uploads() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uploads
+}
+
+// Config returns the currently applied sampling configuration.
+func (a *MobileApp) Config() wireConfig {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cfg := a.cfg
+	cfg.Modalities = append([]string(nil), a.cfg.Modalities...)
+	return cfg
+}
+
+// Close stops sampling and disconnects.
+func (a *MobileApp) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	subs := a.subs
+	a.subs = nil
+	a.mu.Unlock()
+	for _, s := range subs {
+		s.Stop()
+	}
+	a.sensing.Close()
+	return a.client.Close()
+}

@@ -1,0 +1,144 @@
+// Package conweb is the ConWeb contextual Web browser implemented WITHOUT
+// the SenSocial middleware — the second arm of the paper's Table 5
+// comparison for the second prototype application.
+//
+// The application hand-rolls everything the middleware would have
+// provided: periodic sampling loops with duty cycling, on-device
+// classification, a context upload protocol over MQTT, remote stream
+// (re)configuration, a server-side per-user context cache, and the
+// context-adaptive page generation pipeline. Only the third-party layers
+// the paper also kept — the sensing library and the MQTT client — are
+// reused.
+package conweb
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Topic scheme.
+const topicPrefix = "conweb"
+
+// contextTopic carries context uploads from one device.
+func contextTopic(deviceID string) string {
+	return topicPrefix + "/ctx/" + deviceID
+}
+
+// contextTopicFilter subscribes the server to all uploads.
+func contextTopicFilter() string {
+	return topicPrefix + "/ctx/+"
+}
+
+// configTopic carries sampling configuration pushed to one device.
+func configTopic(deviceID string) string {
+	return topicPrefix + "/config/" + deviceID
+}
+
+// deviceFromContextTopic parses the device id out of a context topic.
+func deviceFromContextTopic(topic string) (string, error) {
+	parts := strings.Split(topic, "/")
+	if len(parts) != 3 || parts[0] != topicPrefix || parts[1] != "ctx" || parts[2] == "" {
+		return "", fmt.Errorf("conweb: bad context topic %q", topic)
+	}
+	return parts[2], nil
+}
+
+// wireContext is one context snapshot uploaded by a device.
+type wireContext struct {
+	UserID    string    `json:"user_id"`
+	DeviceID  string    `json:"device_id"`
+	Activity  string    `json:"activity,omitempty"`
+	Audio     string    `json:"audio,omitempty"`
+	City      string    `json:"city,omitempty"`
+	SampledAt time.Time `json:"sampled_at"`
+}
+
+func (c wireContext) validate() error {
+	if c.UserID == "" || c.DeviceID == "" {
+		return fmt.Errorf("conweb: context missing identity")
+	}
+	if c.Activity == "" && c.Audio == "" && c.City == "" {
+		return fmt.Errorf("conweb: context carries no values")
+	}
+	return nil
+}
+
+func encodeContext(c wireContext) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("conweb: encode context: %w", err)
+	}
+	return b, nil
+}
+
+func decodeContext(b []byte) (wireContext, error) {
+	var c wireContext
+	if err := json.Unmarshal(b, &c); err != nil {
+		return wireContext{}, fmt.Errorf("conweb: decode context: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return wireContext{}, err
+	}
+	return c, nil
+}
+
+// wireConfig reconfigures a device's sampling remotely.
+type wireConfig struct {
+	// Modalities selects which of activity/audio/city to sample.
+	Modalities []string `json:"modalities"`
+	// IntervalMS is the sampling period in milliseconds.
+	IntervalMS int `json:"interval_ms"`
+	// DutyPercent in (0,100] thins the sampling cycles.
+	DutyPercent int `json:"duty_percent"`
+}
+
+func (c wireConfig) validate() error {
+	if len(c.Modalities) == 0 {
+		return fmt.Errorf("conweb: config selects no modalities")
+	}
+	for _, m := range c.Modalities {
+		switch m {
+		case "activity", "audio", "city":
+		default:
+			return fmt.Errorf("conweb: config has unknown modality %q", m)
+		}
+	}
+	if c.IntervalMS <= 0 {
+		return fmt.Errorf("conweb: config interval must be positive")
+	}
+	if c.DutyPercent <= 0 || c.DutyPercent > 100 {
+		return fmt.Errorf("conweb: config duty percent outside (0,100]")
+	}
+	return nil
+}
+
+func (c wireConfig) interval() time.Duration {
+	return time.Duration(c.IntervalMS) * time.Millisecond
+}
+
+func encodeConfig(c wireConfig) ([]byte, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("conweb: encode config: %w", err)
+	}
+	return b, nil
+}
+
+func decodeConfig(b []byte) (wireConfig, error) {
+	var c wireConfig
+	if err := json.Unmarshal(b, &c); err != nil {
+		return wireConfig{}, fmt.Errorf("conweb: decode config: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return wireConfig{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,153 @@
+package conweb
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/mqtt"
+)
+
+// ServerApp is the ConWeb server without SenSocial: it maintains its own
+// per-user context cache from raw MQTT uploads, manages device sampling
+// configurations remotely, and generates context-adapted Web pages.
+type ServerApp struct {
+	broker *mqtt.Broker
+
+	mu      sync.Mutex
+	devices map[string]string // userID -> deviceID
+	cache   map[string]userContext
+}
+
+// userContext is the latest known context of one user.
+type userContext struct {
+	Activity  string
+	Audio     string
+	City      string
+	UpdatedAt time.Time
+}
+
+// NewServerApp attaches the app to a colocated broker.
+func NewServerApp(broker *mqtt.Broker) (*ServerApp, error) {
+	if broker == nil {
+		return nil, fmt.Errorf("conweb: server app requires a broker")
+	}
+	app := &ServerApp{
+		broker:  broker,
+		devices: make(map[string]string),
+		cache:   make(map[string]userContext),
+	}
+	if err := broker.SubscribeLocal(contextTopicFilter(), app.onContext); err != nil {
+		return nil, fmt.Errorf("conweb: %w", err)
+	}
+	return app, nil
+}
+
+// Register binds a user to a device.
+func (s *ServerApp) Register(userID, deviceID string) error {
+	if userID == "" || deviceID == "" {
+		return fmt.Errorf("conweb: registration needs user and device ids")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.devices[userID] = deviceID
+	return nil
+}
+
+// Reconfigure pushes a new sampling configuration to a user's device —
+// ConWeb "leverages remote stream management to dynamically destroy the
+// current streams and then subscribe to the streams of relevant context
+// data", here hand-rolled.
+func (s *ServerApp) Reconfigure(userID string, cfg wireConfig) error {
+	s.mu.Lock()
+	deviceID, ok := s.devices[userID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("conweb: no device registered for user %q", userID)
+	}
+	payload, err := encodeConfig(cfg)
+	if err != nil {
+		return err
+	}
+	return s.broker.PublishLocal(mqtt.Message{
+		Topic:   configTopic(deviceID),
+		Payload: payload,
+		QoS:     1,
+	})
+}
+
+// onContext folds an upload into the cache.
+func (s *ServerApp) onContext(msg mqtt.Message) {
+	if _, err := deviceFromContextTopic(msg.Topic); err != nil {
+		return
+	}
+	c, err := decodeContext(msg.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cache[c.UserID]
+	if c.Activity != "" {
+		cur.Activity = c.Activity
+	}
+	if c.Audio != "" {
+		cur.Audio = c.Audio
+	}
+	if c.City != "" {
+		cur.City = c.City
+	}
+	cur.UpdatedAt = c.SampledAt
+	s.cache[c.UserID] = cur
+}
+
+// Context returns the latest context for a user.
+func (s *ServerApp) Context(userID string) (activity, audio, city string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.cache[userID]
+	return c.Activity, c.Audio, c.City, ok
+}
+
+// HTTPHandler serves the adaptive pages: GET /page?user=<id>.
+func (s *ServerApp) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /page", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			http.Error(w, "user query parameter required", http.StatusBadRequest)
+			return
+		}
+		activity, audio, city, ok := s.Context(user)
+		if !ok {
+			fmt.Fprint(w, "<html><body><p>No context yet — default page.</p></body></html>")
+			return
+		}
+		style, headline, body := s.composePage(activity, audio, city)
+		fmt.Fprintf(w, "<html><body style=%q><h1>%s</h1><p>%s</p></body></html>", style, headline, body)
+	})
+	return mux
+}
+
+// composePage is the adaptation policy (hand-rolled per application).
+func (s *ServerApp) composePage(activity, audio, city string) (style, headline, body string) {
+	headline = "Your reader"
+	if city != "" {
+		headline = city + " reader"
+	}
+	switch {
+	case activity == "running":
+		return "font-size:xx-large;background:#000;color:#fff", headline,
+			"Audio edition queued — you appear to be running."
+	case activity == "walking":
+		return "font-size:x-large;background:#000;color:#ff0", headline,
+			"Headlines only while you walk."
+	case audio == "not silent":
+		return "background:#fff;color:#000", headline,
+			"Text-first edition for noisy places."
+	default:
+		return "background:#fdf6e3;color:#333", headline,
+			"Full layout with media."
+	}
+}

@@ -1,0 +1,137 @@
+package sensormap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sensors"
+)
+
+// Hand-rolled classifiers. Without the middleware there is no classifier
+// registry to plug into, so the application carries its own feature
+// extraction and thresholds — exactly the duplicated effort the paper's
+// comparison quantifies.
+
+// activityThresholds splits acceleration-magnitude stddev into classes.
+type activityThresholds struct {
+	walk float64
+	run  float64
+}
+
+func defaultActivityThresholds() activityThresholds {
+	return activityThresholds{walk: 0.8, run: 4.0}
+}
+
+// classifyActivity maps an accelerometer window to still/walking/running.
+func classifyActivity(r sensors.AccelReading, th activityThresholds) (string, error) {
+	if len(r.Samples) == 0 {
+		return "", fmt.Errorf("sensormap: empty accelerometer window")
+	}
+	mean := 0.0
+	for _, s := range r.Samples {
+		mean += sampleMagnitude(s)
+	}
+	mean /= float64(len(r.Samples))
+	variance := 0.0
+	for _, s := range r.Samples {
+		d := sampleMagnitude(s) - mean
+		variance += d * d
+	}
+	std := math.Sqrt(variance / float64(len(r.Samples)))
+	switch {
+	case std >= th.run:
+		return "running", nil
+	case std >= th.walk:
+		return "walking", nil
+	default:
+		return "still", nil
+	}
+}
+
+func sampleMagnitude(s sensors.AccelSample) float64 {
+	return math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+}
+
+// classifyAudio maps a microphone window to silent / not silent.
+func classifyAudio(r sensors.MicReading, threshold float64) (string, error) {
+	if len(r.RMS) == 0 {
+		return "", fmt.Errorf("sensormap: empty microphone window")
+	}
+	sum := 0.0
+	for _, v := range r.RMS {
+		sum += v
+	}
+	if sum/float64(len(r.RMS)) >= threshold {
+		return "not silent", nil
+	}
+	return "silent", nil
+}
+
+// cityTable is a hand-rolled reverse geocoder: the application ships its
+// own coordinate table instead of using a shared place database.
+type cityTable struct {
+	names   []string
+	lats    []float64
+	lons    []float64
+	radiusM []float64
+}
+
+func defaultCityTable() *cityTable {
+	return &cityTable{
+		names:   []string{"Paris", "Bordeaux", "Lyon", "Toulouse", "Birmingham", "London"},
+		lats:    []float64{48.8566, 44.8378, 45.7640, 43.6047, 52.4862, 51.5074},
+		lons:    []float64{2.3522, -0.5792, 4.8357, 1.4442, -1.8904, -0.1278},
+		radiusM: []float64{15000, 10000, 10000, 10000, 12000, 20000},
+	}
+}
+
+// lookup returns the city containing the coordinates, or "".
+func (ct *cityTable) lookup(lat, lon float64) string {
+	best := ""
+	bestDist := math.MaxFloat64
+	for i := range ct.names {
+		d := haversineMeters(lat, lon, ct.lats[i], ct.lons[i])
+		if d <= ct.radiusM[i] && d < bestDist {
+			best = ct.names[i]
+			bestDist = d
+		}
+	}
+	return best
+}
+
+// haversineMeters duplicates great-circle distance (no shared geo library
+// without the middleware).
+func haversineMeters(lat1, lon1, lat2, lon2 float64) float64 {
+	const earthRadius = 6371000.0
+	p1 := lat1 * math.Pi / 180
+	p2 := lat2 * math.Pi / 180
+	dp := (lat2 - lat1) * math.Pi / 180
+	dl := (lon2 - lon1) * math.Pi / 180
+	a := math.Sin(dp/2)*math.Sin(dp/2) + math.Cos(p1)*math.Cos(p2)*math.Sin(dl/2)*math.Sin(dl/2)
+	return earthRadius * 2 * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+}
+
+// privacySettings is the application's own, minimal privacy handling: a
+// per-modality opt-out the middleware would otherwise have enforced.
+type privacySettings struct {
+	allowActivity bool
+	allowAudio    bool
+	allowLocation bool
+}
+
+func defaultPrivacySettings() privacySettings {
+	return privacySettings{allowActivity: true, allowAudio: true, allowLocation: true}
+}
+
+func (p privacySettings) allows(modality string) bool {
+	switch modality {
+	case "activity":
+		return p.allowActivity
+	case "audio":
+		return p.allowAudio
+	case "location":
+		return p.allowLocation
+	default:
+		return false
+	}
+}

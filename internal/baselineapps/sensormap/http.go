@@ -1,0 +1,150 @@
+package sensormap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/osn"
+)
+
+// HTTP surface of the baseline server: without the middleware the
+// application must implement its own webhook receiver for the Facebook
+// plug-in, its own registration endpoint, and its own query APIs for the
+// map front end.
+
+// HTTPHandler exposes:
+//
+//	POST /fbsm/action        — Facebook plug-in webhook
+//	POST /fbsm/register      — user/device registration
+//	GET  /fbsm/markers       — all completed markers (JSON)
+//	GET  /fbsm/markers?user= — one user's markers (JSON)
+//	GET  /fbsm/markers?city= — markers in one city (JSON)
+//	GET  /fbsm/map           — text rendering of the map
+func (s *ServerApp) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fbsm/action", s.handleAction)
+	mux.HandleFunc("POST /fbsm/register", s.handleRegister)
+	mux.HandleFunc("GET /fbsm/markers", s.handleMarkers)
+	mux.HandleFunc("GET /fbsm/map", s.handleMap)
+	return mux
+}
+
+func (s *ServerApp) handleAction(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var a osn.Action
+	if err := json.Unmarshal(body, &a); err != nil {
+		http.Error(w, fmt.Sprintf("bad action: %v", err), http.StatusBadRequest)
+		return
+	}
+	if a.UserID == "" || a.ID == "" {
+		http.Error(w, "bad action: missing ids", http.StatusBadRequest)
+		return
+	}
+	if err := s.HandleOSNAction(a); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+type registerPayload struct {
+	UserID   string `json:"user_id"`
+	DeviceID string `json:"device_id"`
+}
+
+func (s *ServerApp) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		http.Error(w, "read body", http.StatusBadRequest)
+		return
+	}
+	var reg registerPayload
+	if err := json.Unmarshal(body, &reg); err != nil {
+		http.Error(w, fmt.Sprintf("bad registration: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.Register(reg.UserID, reg.DeviceID); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *ServerApp) handleMarkers(w http.ResponseWriter, r *http.Request) {
+	user := r.URL.Query().Get("user")
+	city := r.URL.Query().Get("city")
+	var (
+		markers []Marker
+		err     error
+	)
+	switch {
+	case user != "":
+		markers, err = s.MarkersByUser(user)
+	case city != "":
+		markers, err = s.MarkersInCity(city)
+	default:
+		markers = s.Markers()
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(markers); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *ServerApp) handleMap(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = io.WriteString(w, s.RenderMap())
+}
+
+// MarkersInCity queries the database for markers within one city.
+func (s *ServerApp) MarkersInCity(city string) ([]Marker, error) {
+	all := s.Markers()
+	out := make([]Marker, 0, len(all))
+	for _, m := range all {
+		if strings.EqualFold(m.City, city) {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// RenderMap produces the text equivalent of the Google-map view: markers
+// grouped by city, newest last.
+func (s *ServerApp) RenderMap() string {
+	markers := s.Markers()
+	byCity := map[string][]Marker{}
+	for _, m := range markers {
+		city := m.City
+		if city == "" {
+			city = "(unlocated)"
+		}
+		byCity[city] = append(byCity[city], m)
+	}
+	cities := make([]string, 0, len(byCity))
+	for c := range byCity {
+		cities = append(cities, c)
+	}
+	sort.Strings(cities)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Facebook Sensor Map — %d markers\n", len(markers))
+	for _, c := range cities {
+		fmt.Fprintf(&b, "%s:\n", c)
+		for _, m := range byCity[c] {
+			fmt.Fprintf(&b, "  [%s] %s %q (%s, %s) @ %.4f,%.4f\n",
+				m.User, m.Action, m.Text, m.Activity, m.Audio, m.Lat, m.Lon)
+		}
+	}
+	return b.String()
+}

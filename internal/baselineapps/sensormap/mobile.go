@@ -1,0 +1,208 @@
+package sensormap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/mqtt"
+	"repro/internal/sensing"
+	"repro/internal/sensors"
+)
+
+// MobileApp is the phone-side Facebook Sensor Map without SenSocial: it
+// manages its own broker connection, trigger subscription, one-off sensor
+// orchestration, classification, privacy checks, upload encoding, and a
+// local marker store (the original keeps one in SQLite for the on-phone
+// map view).
+type MobileApp struct {
+	dev     *device.Device
+	sensing *sensing.Manager
+	client  *mqtt.Client
+
+	thresholds activityThresholds
+	audioGate  float64
+	privacy    privacySettings
+
+	mu      sync.Mutex
+	markers []LocalMarker
+	closed  bool
+}
+
+// LocalMarker is one entry of the on-phone map view.
+type LocalMarker struct {
+	ActionID string
+	Text     string
+	Activity string
+	Audio    string
+	Lat, Lon float64
+	At       time.Time
+}
+
+// MobileConfig assembles a MobileApp.
+type MobileConfig struct {
+	// Device is the phone hardware.
+	Device *device.Device
+	// BrokerAddr is the MQTT broker address on the device's fabric.
+	BrokerAddr string
+	// Privacy toggles per-modality consent; zero value allows all.
+	Privacy *privacySettings
+}
+
+// NewMobileApp connects the app to the broker and subscribes to its
+// trigger topic.
+func NewMobileApp(cfg MobileConfig) (*MobileApp, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("sensormap: mobile app requires a device")
+	}
+	if cfg.BrokerAddr == "" {
+		return nil, fmt.Errorf("sensormap: mobile app requires a broker address")
+	}
+	sm, err := sensing.NewManager(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("sensormap: %w", err)
+	}
+	privacy := defaultPrivacySettings()
+	if cfg.Privacy != nil {
+		privacy = *cfg.Privacy
+	}
+	app := &MobileApp{
+		dev:        cfg.Device,
+		sensing:    sm,
+		thresholds: defaultActivityThresholds(),
+		audioGate:  0.05,
+		privacy:    privacy,
+	}
+	client, err := connectWithRetry(cfg.Device, cfg.BrokerAddr, 5)
+	if err != nil {
+		return nil, err
+	}
+	app.client = client
+	if err := client.Subscribe(triggerTopic(cfg.Device.ID()), 1, app.onTrigger); err != nil {
+		_ = client.Close()
+		return nil, fmt.Errorf("sensormap: subscribe triggers: %w", err)
+	}
+	return app, nil
+}
+
+// connectWithRetry dials the broker with exponential backoff — connection
+// management the middleware would otherwise own.
+func connectWithRetry(dev *device.Device, brokerAddr string, attempts int) (*mqtt.Client, error) {
+	backoff := 100 * time.Millisecond
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := dev.Dial(brokerAddr)
+		if err != nil {
+			lastErr = err
+		} else {
+			client, err := mqtt.Connect(conn, mqtt.ClientOptions{
+				ClientID:  "fbsm-" + dev.ID(),
+				KeepAlive: time.Minute,
+				Clock:     dev.Clock(),
+			})
+			if err == nil {
+				return client, nil
+			}
+			lastErr = err
+		}
+		dev.Clock().Sleep(backoff)
+		backoff *= 2
+	}
+	return nil, fmt.Errorf("sensormap: broker unreachable after %d attempts: %w", attempts, lastErr)
+}
+
+// onTrigger performs the whole coupled-sampling pipeline by hand: decode,
+// sample three sensors one-off, classify, join with the action, store the
+// local marker and upload each modality.
+func (a *MobileApp) onTrigger(msg mqtt.Message) {
+	trig, err := decodeTrigger(msg.Payload)
+	if err != nil {
+		return
+	}
+	now := a.dev.Clock().Now()
+	marker := LocalMarker{ActionID: trig.ActionID, Text: trig.ActionText, At: now}
+
+	if a.privacy.allows("activity") {
+		if reading, err := a.sensing.SenseOnce(sensors.ModalityAccelerometer); err == nil {
+			if accel, ok := reading.Payload.(sensors.AccelReading); ok {
+				if label, err := classifyActivity(accel, a.thresholds); err == nil {
+					a.chargeClassification(sensors.ModalityAccelerometer)
+					marker.Activity = label
+					a.uploadSample(wireSample{
+						ActionID: trig.ActionID, ActionType: trig.ActionType, ActionText: trig.ActionText,
+						UserID: trig.UserID, DeviceID: a.dev.ID(),
+						Modality: "activity", Label: label, SampledAt: now,
+					})
+				}
+			}
+		}
+	}
+	if a.privacy.allows("audio") {
+		if reading, err := a.sensing.SenseOnce(sensors.ModalityMicrophone); err == nil {
+			if mic, ok := reading.Payload.(sensors.MicReading); ok {
+				if label, err := classifyAudio(mic, a.audioGate); err == nil {
+					a.chargeClassification(sensors.ModalityMicrophone)
+					marker.Audio = label
+					a.uploadSample(wireSample{
+						ActionID: trig.ActionID, ActionType: trig.ActionType, ActionText: trig.ActionText,
+						UserID: trig.UserID, DeviceID: a.dev.ID(),
+						Modality: "audio", Label: label, SampledAt: now,
+					})
+				}
+			}
+		}
+	}
+	if a.privacy.allows("location") {
+		if reading, err := a.sensing.SenseOnce(sensors.ModalityLocation); err == nil {
+			if fix, ok := reading.Payload.(sensors.LocationReading); ok {
+				marker.Lat, marker.Lon = fix.Lat, fix.Lon
+				a.uploadSample(wireSample{
+					ActionID: trig.ActionID, ActionType: trig.ActionType, ActionText: trig.ActionText,
+					UserID: trig.UserID, DeviceID: a.dev.ID(),
+					Modality: "location", Lat: fix.Lat, Lon: fix.Lon, SampledAt: now,
+				})
+			}
+		}
+	}
+
+	a.mu.Lock()
+	a.markers = append(a.markers, marker)
+	a.mu.Unlock()
+}
+
+// chargeClassification burns the classification energy the hand-rolled
+// classifiers cost, through the device (hardware) accounting.
+func (a *MobileApp) chargeClassification(modality string) {
+	_ = a.dev.ChargeClassification(modality)
+}
+
+// uploadSample encodes and publishes one sample, charging transmission.
+func (a *MobileApp) uploadSample(s wireSample) {
+	payload, err := encodeSample(s)
+	if err != nil {
+		return
+	}
+	a.dev.ChargeTransmission(s.Modality, len(payload))
+	_ = a.client.Publish(dataTopic(a.dev.ID()), payload, 0, false)
+}
+
+// LocalMarkers returns the on-phone map entries.
+func (a *MobileApp) LocalMarkers() []LocalMarker {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]LocalMarker(nil), a.markers...)
+}
+
+// Close disconnects the app.
+func (a *MobileApp) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	a.sensing.Close()
+	return a.client.Close()
+}

@@ -1,0 +1,147 @@
+// Package sensormap is the Facebook Sensor Map application implemented
+// WITHOUT the SenSocial middleware — the second arm of the paper's Table 5
+// programming-effort comparison.
+//
+// Everything the middleware would have provided is hand-rolled here, just
+// as the paper's comparison versions had to: the MQTT topic scheme and
+// JSON wire protocol, trigger compilation and handling, one-off sensor
+// sampling orchestration, on-device classification, privacy checks,
+// server-side registration, action-context joining, marker storage and
+// querying, and location tracking. Only the third-party pieces the paper
+// also kept — the sensing library (package sensing, our ESSensorManager),
+// the MQTT client library, and the database driver (package docstore) —
+// are reused.
+package sensormap
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Topic scheme (hand-rolled; the middleware's scheme is unavailable).
+const (
+	topicPrefix = "fbsensormap"
+)
+
+// triggerTopic is the per-device topic the mobile app listens on.
+func triggerTopic(deviceID string) string {
+	return topicPrefix + "/trigger/" + deviceID
+}
+
+// dataTopic is the per-device topic the mobile app uploads on.
+func dataTopic(deviceID string) string {
+	return topicPrefix + "/data/" + deviceID
+}
+
+// dataTopicFilter subscribes the server to every device's uploads.
+func dataTopicFilter() string {
+	return topicPrefix + "/data/+"
+}
+
+// deviceFromDataTopic parses the device id back out of a data topic.
+func deviceFromDataTopic(topic string) (string, error) {
+	parts := strings.Split(topic, "/")
+	if len(parts) != 3 || parts[0] != topicPrefix || parts[1] != "data" || parts[2] == "" {
+		return "", fmt.Errorf("sensormap: bad data topic %q", topic)
+	}
+	return parts[2], nil
+}
+
+// wireTrigger tells a device to sample its sensors because of an OSN
+// action.
+type wireTrigger struct {
+	ActionID   string    `json:"action_id"`
+	ActionType string    `json:"action_type"`
+	ActionText string    `json:"action_text"`
+	UserID     string    `json:"user_id"`
+	IssuedAt   time.Time `json:"issued_at"`
+}
+
+func (t wireTrigger) validate() error {
+	if t.ActionID == "" {
+		return fmt.Errorf("sensormap: trigger missing action id")
+	}
+	if t.UserID == "" {
+		return fmt.Errorf("sensormap: trigger missing user id")
+	}
+	return nil
+}
+
+func encodeTrigger(t wireTrigger) ([]byte, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(t)
+	if err != nil {
+		return nil, fmt.Errorf("sensormap: encode trigger: %w", err)
+	}
+	return b, nil
+}
+
+func decodeTrigger(b []byte) (wireTrigger, error) {
+	var t wireTrigger
+	if err := json.Unmarshal(b, &t); err != nil {
+		return wireTrigger{}, fmt.Errorf("sensormap: decode trigger: %w", err)
+	}
+	if err := t.validate(); err != nil {
+		return wireTrigger{}, err
+	}
+	return t, nil
+}
+
+// wireSample is one sampled modality coupled to the triggering action.
+type wireSample struct {
+	ActionID   string    `json:"action_id"`
+	ActionType string    `json:"action_type"`
+	ActionText string    `json:"action_text"`
+	UserID     string    `json:"user_id"`
+	DeviceID   string    `json:"device_id"`
+	Modality   string    `json:"modality"`
+	Label      string    `json:"label,omitempty"`
+	Lat        float64   `json:"lat,omitempty"`
+	Lon        float64   `json:"lon,omitempty"`
+	SampledAt  time.Time `json:"sampled_at"`
+}
+
+func (s wireSample) validate() error {
+	if s.ActionID == "" || s.UserID == "" || s.DeviceID == "" {
+		return fmt.Errorf("sensormap: sample missing identity fields")
+	}
+	switch s.Modality {
+	case "activity", "audio":
+		if s.Label == "" {
+			return fmt.Errorf("sensormap: %s sample missing label", s.Modality)
+		}
+	case "location":
+		if s.Lat == 0 && s.Lon == 0 {
+			return fmt.Errorf("sensormap: location sample missing coordinates")
+		}
+	default:
+		return fmt.Errorf("sensormap: unknown sample modality %q", s.Modality)
+	}
+	return nil
+}
+
+func encodeSample(s wireSample) ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("sensormap: encode sample: %w", err)
+	}
+	return b, nil
+}
+
+func decodeSample(b []byte) (wireSample, error) {
+	var s wireSample
+	if err := json.Unmarshal(b, &s); err != nil {
+		return wireSample{}, fmt.Errorf("sensormap: decode sample: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return wireSample{}, err
+	}
+	return s, nil
+}

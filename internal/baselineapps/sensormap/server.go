@@ -1,0 +1,236 @@
+package sensormap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/docstore"
+	"repro/internal/mqtt"
+	"repro/internal/osn"
+)
+
+// ServerApp is the server-side Facebook Sensor Map without SenSocial. It
+// re-implements what the middleware's server component would have given it:
+// user/device registration, the Facebook webhook handling, trigger
+// compilation and publication, upload parsing, the action-context join, a
+// queryable marker store, and location tracking.
+type ServerApp struct {
+	broker *mqtt.Broker
+	store  *docstore.Store
+	cities *cityTable
+
+	mu       sync.Mutex
+	devices  map[string]string // userID -> deviceID
+	users    map[string]bool
+	joined   map[string]*Marker // actionID -> marker under assembly
+	complete []Marker
+	onJoin   []func(Marker)
+}
+
+// Marker is one fully joined map marker.
+type Marker struct {
+	ActionID string
+	User     string
+	Action   string
+	Text     string
+	Activity string
+	Audio    string
+	Lat, Lon float64
+	City     string
+	At       time.Time
+}
+
+// joinedParts reports whether all three modalities have arrived.
+func (m *Marker) joinedParts() bool {
+	return m.Activity != "" && m.Audio != "" && (m.Lat != 0 || m.Lon != 0)
+}
+
+// NewServerApp attaches the app to a colocated broker and database.
+func NewServerApp(broker *mqtt.Broker, store *docstore.Store) (*ServerApp, error) {
+	if broker == nil {
+		return nil, fmt.Errorf("sensormap: server app requires a broker")
+	}
+	if store == nil {
+		store = docstore.NewStore()
+	}
+	app := &ServerApp{
+		broker:  broker,
+		store:   store,
+		cities:  defaultCityTable(),
+		devices: make(map[string]string),
+		users:   make(map[string]bool),
+		joined:  make(map[string]*Marker),
+	}
+	if err := store.Collection("fbsm_markers").CreateIndex("user"); err != nil {
+		return nil, fmt.Errorf("sensormap: %w", err)
+	}
+	if err := broker.SubscribeLocal(dataTopicFilter(), app.onData); err != nil {
+		return nil, fmt.Errorf("sensormap: %w", err)
+	}
+	return app, nil
+}
+
+// Register binds a user to a device (the registration the middleware's
+// registry would have handled).
+func (s *ServerApp) Register(userID, deviceID string) error {
+	if userID == "" || deviceID == "" {
+		return fmt.Errorf("sensormap: registration needs user and device ids")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[userID] = true
+	s.devices[userID] = deviceID
+	return nil
+}
+
+// OnJoin registers a callback fired when a marker completes.
+func (s *ServerApp) OnJoin(f func(Marker)) {
+	if f == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onJoin = append(s.onJoin, f)
+}
+
+// HandleOSNAction is the webhook entry: compile and push a trigger to the
+// acting user's device.
+func (s *ServerApp) HandleOSNAction(a osn.Action) error {
+	s.mu.Lock()
+	deviceID, ok := s.devices[a.UserID]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("sensormap: no device registered for user %q", a.UserID)
+	}
+	payload, err := encodeTrigger(wireTrigger{
+		ActionID:   a.ID,
+		ActionType: string(a.Type),
+		ActionText: a.Text,
+		UserID:     a.UserID,
+		IssuedAt:   a.Time,
+	})
+	if err != nil {
+		return err
+	}
+	return s.broker.PublishLocal(mqtt.Message{
+		Topic:   triggerTopic(deviceID),
+		Payload: payload,
+		QoS:     1,
+	})
+}
+
+// onData parses an upload and folds it into the join state.
+func (s *ServerApp) onData(msg mqtt.Message) {
+	if _, err := deviceFromDataTopic(msg.Topic); err != nil {
+		return
+	}
+	sample, err := decodeSample(msg.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	m, ok := s.joined[sample.ActionID]
+	if !ok {
+		m = &Marker{
+			ActionID: sample.ActionID,
+			User:     sample.UserID,
+			Action:   sample.ActionType,
+			Text:     sample.ActionText,
+			At:       sample.SampledAt,
+		}
+		s.joined[sample.ActionID] = m
+	}
+	switch sample.Modality {
+	case "activity":
+		m.Activity = sample.Label
+	case "audio":
+		m.Audio = sample.Label
+	case "location":
+		m.Lat, m.Lon = sample.Lat, sample.Lon
+		m.City = s.cities.lookup(sample.Lat, sample.Lon)
+	}
+	var finished *Marker
+	if m.joinedParts() {
+		delete(s.joined, sample.ActionID)
+		s.complete = append(s.complete, *m)
+		finished = m
+	}
+	callbacks := append([]func(Marker){}, s.onJoin...)
+	s.mu.Unlock()
+
+	if finished != nil {
+		s.persist(*finished)
+		for _, f := range callbacks {
+			f(*finished)
+		}
+	}
+}
+
+// persist writes the completed marker into the database for multi-user
+// querying.
+func (s *ServerApp) persist(m Marker) {
+	_, err := s.store.Collection("fbsm_markers").Insert(docstore.Doc{
+		"action_id": m.ActionID,
+		"user":      m.User,
+		"action":    m.Action,
+		"text":      m.Text,
+		"activity":  m.Activity,
+		"audio":     m.Audio,
+		"loc":       docstore.Doc{"lat": m.Lat, "lon": m.Lon},
+		"city":      m.City,
+		"time":      m.At.UnixMilli(),
+	})
+	_ = err // persistence is best effort, like the original's logging
+}
+
+// Markers returns completed markers, oldest first.
+func (s *ServerApp) Markers() []Marker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Marker(nil), s.complete...)
+}
+
+// MarkersByUser queries the database for one user's markers.
+func (s *ServerApp) MarkersByUser(userID string) ([]Marker, error) {
+	docs, err := s.store.Collection("fbsm_markers").Find(
+		docstore.Doc{"user": userID}, docstore.FindOpts{SortBy: "time"})
+	if err != nil {
+		return nil, fmt.Errorf("sensormap: query markers: %w", err)
+	}
+	out := make([]Marker, 0, len(docs))
+	for _, d := range docs {
+		m := Marker{}
+		m.ActionID, _ = d["action_id"].(string)
+		m.User, _ = d["user"].(string)
+		m.Action, _ = d["action"].(string)
+		m.Text, _ = d["text"].(string)
+		m.Activity, _ = d["activity"].(string)
+		m.Audio, _ = d["audio"].(string)
+		m.City, _ = d["city"].(string)
+		if loc, ok := d["loc"].(map[string]any); ok {
+			m.Lat, _ = loc["lat"].(float64)
+			m.Lon, _ = loc["lon"].(float64)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// UsersWithMarkers lists users that contributed at least one marker,
+// sorted.
+func (s *ServerApp) UsersWithMarkers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	set := map[string]bool{}
+	for _, m := range s.complete {
+		set[m.User] = true
+	}
+	out := make([]string, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}

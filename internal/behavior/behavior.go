@@ -1,0 +1,268 @@
+// Package behavior implements the paper's future-work plan (§9): "machine
+// learning algorithms that exploit the linked information provided by the
+// SenSocial middleware, such as the association between sensor readings and
+// social activities, and infer higher level descriptors of human behavior".
+//
+// It consumes the middleware's joined stream items (physical context
+// coupled with OSN actions) and produces:
+//
+//   - per-user daily summaries (activity budget, noise exposure, places
+//     visited, OSN activity and sentiment balance);
+//   - association mining between OSN sentiment and physical context (does
+//     a user post positively more often while out and about?);
+//   - a simple wellbeing score combining activity, social engagement and
+//     sentiment, the kind of "user's health state" descriptor the paper
+//     envisions.
+package behavior
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/sensors"
+)
+
+// Analyzer accumulates middleware items and derives descriptors. It
+// implements core.Listener so it can be registered directly on the server
+// hub or on an aggregator.
+type Analyzer struct {
+	sentiment *classify.SentimentClassifier
+	topics    *classify.TopicClassifier
+
+	mu    sync.Mutex
+	users map[string]*userState
+}
+
+var _ core.Listener = (*Analyzer)(nil)
+
+type userState struct {
+	activityCounts map[string]int // still/walking/running observations
+	audioCounts    map[string]int // silent / not silent
+	cities         map[string]int
+	actions        int
+	sentimentCount map[string]int // positive/negative/neutral
+	topicCounts    map[string]int
+	// cross features: sentiment observed while in each activity class
+	sentimentByActivity map[string]map[string]int
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		sentiment: classify.NewSentimentClassifier(),
+		topics:    classify.NewTopicClassifier(nil),
+		users:     make(map[string]*userState),
+	}
+}
+
+// OnItem implements core.Listener.
+func (a *Analyzer) OnItem(i core.Item) {
+	if i.UserID == "" {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.users[i.UserID]
+	if !ok {
+		st = &userState{
+			activityCounts:      make(map[string]int),
+			audioCounts:         make(map[string]int),
+			cities:              make(map[string]int),
+			sentimentCount:      make(map[string]int),
+			topicCounts:         make(map[string]int),
+			sentimentByActivity: make(map[string]map[string]int),
+		}
+		a.users[i.UserID] = st
+	}
+
+	// Physical context, from the item's own classification or its carried
+	// context snapshot.
+	activity := i.Context[core.CtxPhysicalActivity]
+	if i.Modality == sensors.ModalityAccelerometer && i.Classified != "" {
+		activity = i.Classified
+	}
+	if activity != "" {
+		st.activityCounts[activity]++
+	}
+	audio := i.Context[core.CtxAudioEnvironment]
+	if i.Modality == sensors.ModalityMicrophone && i.Classified != "" {
+		audio = i.Classified
+	}
+	if audio != "" {
+		st.audioCounts[audio]++
+	}
+	city := i.Context[core.CtxPlace]
+	if i.Modality == sensors.ModalityLocation && i.Classified != "" {
+		city = i.Classified
+	}
+	if city != "" && city != "unknown" {
+		st.cities[city]++
+	}
+
+	// OSN linkage.
+	if i.Action != nil {
+		st.actions++
+		s := a.sentiment.Classify(i.Action.Text)
+		st.sentimentCount[s]++
+		for _, topic := range a.topics.Classify(i.Action.Text) {
+			st.topicCounts[topic]++
+		}
+		if activity != "" {
+			m, ok := st.sentimentByActivity[activity]
+			if !ok {
+				m = make(map[string]int)
+				st.sentimentByActivity[activity] = m
+			}
+			m[s]++
+		}
+	}
+}
+
+// Summary is a per-user behavioral descriptor.
+type Summary struct {
+	UserID string
+	// Observations is the number of context items seen.
+	Observations int
+	// ActiveFraction is the share of activity observations that were
+	// walking or running.
+	ActiveFraction float64
+	// NoisyFraction is the share of audio observations that were noisy.
+	NoisyFraction float64
+	// Cities visited, sorted by observation count (descending).
+	Cities []string
+	// OSNActions is the number of coupled OSN actions.
+	OSNActions int
+	// SentimentBalance is (positive - negative) / actions in [-1, 1];
+	// zero when no actions carried sentiment.
+	SentimentBalance float64
+	// TopTopics are the most frequent post topics, most frequent first.
+	TopTopics []string
+	// Wellbeing is a [0,1] composite of activity, sentiment and social
+	// engagement — the paper's envisioned "health state" descriptor, at
+	// proof-of-concept fidelity like the paper's own classifiers.
+	Wellbeing float64
+}
+
+// Summarize derives the descriptor for one user.
+func (a *Analyzer) Summarize(userID string) (Summary, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.users[userID]
+	if !ok {
+		return Summary{}, fmt.Errorf("behavior: no observations for user %q", userID)
+	}
+	s := Summary{UserID: userID, OSNActions: st.actions}
+
+	totalAct := 0
+	active := 0
+	for label, n := range st.activityCounts {
+		totalAct += n
+		if label == "walking" || label == "running" {
+			active += n
+		}
+	}
+	if totalAct > 0 {
+		s.ActiveFraction = float64(active) / float64(totalAct)
+	}
+	totalAudio := 0
+	noisy := 0
+	for label, n := range st.audioCounts {
+		totalAudio += n
+		if label == sensors.AudioNoisy.String() {
+			noisy += n
+		}
+	}
+	if totalAudio > 0 {
+		s.NoisyFraction = float64(noisy) / float64(totalAudio)
+	}
+	s.Observations = totalAct + totalAudio + len(st.cities)
+
+	s.Cities = keysByCount(st.cities)
+	s.TopTopics = keysByCount(st.topicCounts)
+	if len(s.TopTopics) > 3 {
+		s.TopTopics = s.TopTopics[:3]
+	}
+
+	if st.actions > 0 {
+		s.SentimentBalance = float64(st.sentimentCount[classify.SentimentPositive]-
+			st.sentimentCount[classify.SentimentNegative]) / float64(st.actions)
+	}
+
+	// Wellbeing: equal-weight blend of physical activity, emotional
+	// valence (rescaled to [0,1]) and having any social engagement at all.
+	engagement := 0.0
+	if st.actions > 0 {
+		engagement = 1.0
+	}
+	s.Wellbeing = (s.ActiveFraction + (s.SentimentBalance+1)/2 + engagement) / 3
+	return s, nil
+}
+
+// Users lists users with observations, sorted.
+func (a *Analyzer) Users() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, 0, len(a.users))
+	for u := range a.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Association quantifies how sentiment co-occurs with an activity class.
+type Association struct {
+	Activity string
+	// PositiveRate is the share of actions performed during this activity
+	// that were positive.
+	PositiveRate float64
+	// Support is the number of coupled observations backing the rate.
+	Support int
+}
+
+// SentimentActivityAssociations mines, for one user, the link between what
+// they do and how they post — the paper's "association between sensor
+// readings and social activities". Results are sorted by activity name.
+func (a *Analyzer) SentimentActivityAssociations(userID string) ([]Association, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.users[userID]
+	if !ok {
+		return nil, fmt.Errorf("behavior: no observations for user %q", userID)
+	}
+	out := make([]Association, 0, len(st.sentimentByActivity))
+	for activity, counts := range st.sentimentByActivity {
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		out = append(out, Association{
+			Activity:     activity,
+			PositiveRate: float64(counts[classify.SentimentPositive]) / float64(total),
+			Support:      total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Activity < out[j].Activity })
+	return out, nil
+}
+
+// keysByCount sorts map keys by descending count, ties alphabetical.
+func keysByCount(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,193 @@
+package behavior
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/osn"
+)
+
+func item(user, modality, classified string, ctx core.Context, action *osn.Action) core.Item {
+	return core.Item{
+		StreamID: "s", DeviceID: user + "-phone", UserID: user,
+		Modality: modality, Granularity: core.GranularityClassified,
+		Time: time.Now(), Classified: classified, Context: ctx, Action: action,
+	}
+}
+
+func post(id, user, text string) *osn.Action {
+	return &osn.Action{ID: id, Network: "facebook", UserID: user, Type: osn.ActionPost, Text: text, Time: time.Now()}
+}
+
+func TestSummarizeUnknownUser(t *testing.T) {
+	a := NewAnalyzer()
+	if _, err := a.Summarize("nobody"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if _, err := a.SentimentActivityAssociations("nobody"); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+}
+
+func TestSummaryActivityAndAudioFractions(t *testing.T) {
+	a := NewAnalyzer()
+	for i := 0; i < 6; i++ {
+		a.OnItem(item("alice", "accelerometer", "walking", nil, nil))
+	}
+	for i := 0; i < 4; i++ {
+		a.OnItem(item("alice", "accelerometer", "still", nil, nil))
+	}
+	for i := 0; i < 3; i++ {
+		a.OnItem(item("alice", "microphone", "not silent", nil, nil))
+	}
+	a.OnItem(item("alice", "microphone", "silent", nil, nil))
+	s, err := a.Summarize("alice")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if math.Abs(s.ActiveFraction-0.6) > 1e-9 {
+		t.Fatalf("ActiveFraction = %f, want 0.6", s.ActiveFraction)
+	}
+	if math.Abs(s.NoisyFraction-0.75) > 1e-9 {
+		t.Fatalf("NoisyFraction = %f, want 0.75", s.NoisyFraction)
+	}
+	if s.OSNActions != 0 || s.SentimentBalance != 0 {
+		t.Fatalf("unexpected OSN stats: %+v", s)
+	}
+}
+
+func TestSummaryCitiesOrderedByVisits(t *testing.T) {
+	a := NewAnalyzer()
+	for i := 0; i < 5; i++ {
+		a.OnItem(item("alice", "location", "Paris", nil, nil))
+	}
+	for i := 0; i < 2; i++ {
+		a.OnItem(item("alice", "location", "Bordeaux", nil, nil))
+	}
+	a.OnItem(item("alice", "location", "unknown", nil, nil)) // filtered
+	s, err := a.Summarize("alice")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if len(s.Cities) != 2 || s.Cities[0] != "Paris" || s.Cities[1] != "Bordeaux" {
+		t.Fatalf("Cities = %v", s.Cities)
+	}
+}
+
+func TestSentimentBalanceAndTopics(t *testing.T) {
+	a := NewAnalyzer()
+	posts := []string{
+		"I love this amazing city",              // positive, no topic
+		"Best concert ever, brilliant band",     // positive, music
+		"What a terrible awful day",             // negative
+		"Great goal in the football match",      // positive, football
+		"Taking the train tomorrow",             // neutral
+		"Another brilliant gig, great playlist", // positive, music
+	}
+	for i, text := range posts {
+		a.OnItem(item("alice", "accelerometer", "walking", nil, post(fmt.Sprintf("p%d", i), "alice", text)))
+	}
+	s, err := a.Summarize("alice")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.OSNActions != 6 {
+		t.Fatalf("OSNActions = %d", s.OSNActions)
+	}
+	// (4 positive - 1 negative) / 6.
+	if math.Abs(s.SentimentBalance-0.5) > 1e-9 {
+		t.Fatalf("SentimentBalance = %f, want 0.5", s.SentimentBalance)
+	}
+	if len(s.TopTopics) == 0 || s.TopTopics[0] != "music" {
+		t.Fatalf("TopTopics = %v, want music first", s.TopTopics)
+	}
+}
+
+func TestWellbeingComposite(t *testing.T) {
+	a := NewAnalyzer()
+	// Fully active, all-positive, socially engaged user: wellbeing ≈ 1.
+	for i := 0; i < 4; i++ {
+		a.OnItem(item("happy", "accelerometer", "running", nil,
+			post(fmt.Sprintf("h%d", i), "happy", "I love this amazing wonderful day")))
+	}
+	// Sedentary, all-negative, engaged user.
+	for i := 0; i < 4; i++ {
+		a.OnItem(item("sad", "accelerometer", "still", nil,
+			post(fmt.Sprintf("s%d", i), "sad", "terrible awful horrible day")))
+	}
+	happy, err := a.Summarize("happy")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	sad, err := a.Summarize("sad")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if happy.Wellbeing <= sad.Wellbeing {
+		t.Fatalf("wellbeing ordering broken: happy %f <= sad %f", happy.Wellbeing, sad.Wellbeing)
+	}
+	if happy.Wellbeing < 0.9 {
+		t.Fatalf("happy wellbeing = %f, want ~1", happy.Wellbeing)
+	}
+	if sad.Wellbeing > 0.5 {
+		t.Fatalf("sad wellbeing = %f, want low", sad.Wellbeing)
+	}
+}
+
+func TestSentimentActivityAssociations(t *testing.T) {
+	a := NewAnalyzer()
+	// Positive posts while walking, negative while still.
+	for i := 0; i < 3; i++ {
+		a.OnItem(item("alice", "accelerometer", "walking", nil,
+			post(fmt.Sprintf("w%d", i), "alice", "great wonderful amazing")))
+	}
+	for i := 0; i < 3; i++ {
+		a.OnItem(item("alice", "accelerometer", "still", nil,
+			post(fmt.Sprintf("t%d", i), "alice", "bored tired awful")))
+	}
+	assocs, err := a.SentimentActivityAssociations("alice")
+	if err != nil {
+		t.Fatalf("SentimentActivityAssociations: %v", err)
+	}
+	if len(assocs) != 2 {
+		t.Fatalf("assocs = %+v", assocs)
+	}
+	byAct := map[string]Association{}
+	for _, as := range assocs {
+		byAct[as.Activity] = as
+	}
+	if byAct["walking"].PositiveRate != 1 || byAct["walking"].Support != 3 {
+		t.Fatalf("walking = %+v", byAct["walking"])
+	}
+	if byAct["still"].PositiveRate != 0 {
+		t.Fatalf("still = %+v", byAct["still"])
+	}
+}
+
+func TestContextFallbackAndUsers(t *testing.T) {
+	a := NewAnalyzer()
+	// Items whose classification is elsewhere but context carries values.
+	a.OnItem(item("bob", "location", "", core.Context{
+		core.CtxPhysicalActivity: "walking",
+		core.CtxAudioEnvironment: "silent",
+		core.CtxPlace:            "Lyon",
+	}, nil))
+	a.OnItem(core.Item{UserID: ""}) // dropped
+	s, err := a.Summarize("bob")
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.ActiveFraction != 1 || s.NoisyFraction != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Cities) != 1 || s.Cities[0] != "Lyon" {
+		t.Fatalf("cities = %v", s.Cities)
+	}
+	users := a.Users()
+	if len(users) != 1 || users[0] != "bob" {
+		t.Fatalf("Users = %v", users)
+	}
+}

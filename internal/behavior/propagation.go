@@ -1,0 +1,193 @@
+package behavior
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/osn"
+)
+
+// Emotion propagation analysis — the study the paper's introduction
+// motivates: "a social science research application that captures emotions
+// through the sentiment analysis of OSN posts, senses the physical context
+// as the relevant posts are made, and maps the data to the social network
+// in order to not only examine single user's emotions, but also analyze
+// large-scale emotion propagation, and various factors that might drive
+// it."
+
+// SentimentEvent is one sentiment-bearing OSN action.
+type SentimentEvent struct {
+	UserID    string
+	Sentiment string
+	Time      time.Time
+	// Activity is the physical context at posting time, when known.
+	Activity string
+}
+
+// PropagationStudy accumulates sentiment events over a social graph and
+// mines propagation structure.
+type PropagationStudy struct {
+	graph     *osn.Graph
+	sentiment *classify.SentimentClassifier
+
+	mu     sync.Mutex
+	events []SentimentEvent
+}
+
+// NewPropagationStudy builds a study over a friendship graph.
+func NewPropagationStudy(graph *osn.Graph) (*PropagationStudy, error) {
+	if graph == nil {
+		return nil, fmt.Errorf("behavior: propagation study requires a graph")
+	}
+	return &PropagationStudy{
+		graph:     graph,
+		sentiment: classify.NewSentimentClassifier(),
+	}, nil
+}
+
+// Observe records one OSN action with optional physical context.
+func (p *PropagationStudy) Observe(a osn.Action, activity string) {
+	s := p.sentiment.Classify(a.Text)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.events = append(p.events, SentimentEvent{
+		UserID:    a.UserID,
+		Sentiment: s,
+		Time:      a.Time,
+		Activity:  activity,
+	})
+}
+
+// EventCount returns the number of observed events.
+func (p *PropagationStudy) EventCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.events)
+}
+
+// Cascade is one potential propagation edge: a user expressing a sentiment
+// within the window after a friend expressed the same sentiment.
+type Cascade struct {
+	From, To  string
+	Sentiment string
+	Lag       time.Duration
+}
+
+// Cascades finds same-sentiment friend pairs within the window, ordered by
+// occurrence. Neutral events do not propagate.
+func (p *PropagationStudy) Cascades(window time.Duration) []Cascade {
+	p.mu.Lock()
+	events := append([]SentimentEvent(nil), p.events...)
+	p.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Time.Before(events[j].Time) })
+
+	var out []Cascade
+	for i, later := range events {
+		if later.Sentiment == classify.SentimentNeutral {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			earlier := events[j]
+			lag := later.Time.Sub(earlier.Time)
+			if lag > window {
+				break
+			}
+			if earlier.UserID == later.UserID || earlier.Sentiment != later.Sentiment {
+				continue
+			}
+			if !p.graph.AreFriends(earlier.UserID, later.UserID) {
+				continue
+			}
+			out = append(out, Cascade{
+				From: earlier.UserID, To: later.UserID,
+				Sentiment: later.Sentiment, Lag: lag,
+			})
+		}
+	}
+	return out
+}
+
+// Assortativity measures whether friends share mood: the rate at which
+// friend pairs with events in the window agree in sentiment, minus the
+// agreement rate of non-friend pairs. Positive values mean mood clusters
+// along the social graph. Returns an error when there is not at least one
+// pair of each kind.
+func (p *PropagationStudy) Assortativity(window time.Duration) (float64, error) {
+	p.mu.Lock()
+	events := append([]SentimentEvent(nil), p.events...)
+	p.mu.Unlock()
+
+	type pairStat struct{ agree, total int }
+	var friends, strangers pairStat
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			a, b := events[i], events[j]
+			if a.UserID == b.UserID {
+				continue
+			}
+			lag := b.Time.Sub(a.Time)
+			if lag < 0 {
+				lag = -lag
+			}
+			if lag > window {
+				continue
+			}
+			if a.Sentiment == classify.SentimentNeutral || b.Sentiment == classify.SentimentNeutral {
+				continue
+			}
+			agree := 0
+			if a.Sentiment == b.Sentiment {
+				agree = 1
+			}
+			if p.graph.AreFriends(a.UserID, b.UserID) {
+				friends.agree += agree
+				friends.total++
+			} else {
+				strangers.agree += agree
+				strangers.total++
+			}
+		}
+	}
+	if friends.total == 0 || strangers.total == 0 {
+		return 0, fmt.Errorf("behavior: assortativity needs friend and non-friend pairs (have %d/%d)",
+			friends.total, strangers.total)
+	}
+	return float64(friends.agree)/float64(friends.total) -
+		float64(strangers.agree)/float64(strangers.total), nil
+}
+
+// ContextFactor reports how often a sentiment co-occurred with each
+// physical activity, one of the "various factors that might drive"
+// propagation. Results sorted by activity.
+func (p *PropagationStudy) ContextFactor(sentiment string) []Association {
+	p.mu.Lock()
+	events := append([]SentimentEvent(nil), p.events...)
+	p.mu.Unlock()
+	counts := map[string]pair{}
+	for _, e := range events {
+		if e.Activity == "" {
+			continue
+		}
+		c := counts[e.Activity]
+		c.total++
+		if e.Sentiment == sentiment {
+			c.hit++
+		}
+		counts[e.Activity] = c
+	}
+	out := make([]Association, 0, len(counts))
+	for act, c := range counts {
+		out = append(out, Association{
+			Activity:     act,
+			PositiveRate: float64(c.hit) / float64(c.total),
+			Support:      c.total,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Activity < out[j].Activity })
+	return out
+}
+
+type pair struct{ hit, total int }

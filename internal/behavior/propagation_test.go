@@ -1,0 +1,154 @@
+package behavior
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osn"
+)
+
+func studyGraph(t *testing.T) *osn.Graph {
+	t.Helper()
+	g := osn.NewGraph()
+	for _, u := range []string{"a", "b", "c", "d"} {
+		if err := g.AddUser(u); err != nil {
+			t.Fatalf("AddUser: %v", err)
+		}
+	}
+	// a-b friends, c-d friends; no cross edges.
+	if err := g.Befriend("a", "b"); err != nil {
+		t.Fatalf("Befriend: %v", err)
+	}
+	if err := g.Befriend("c", "d"); err != nil {
+		t.Fatalf("Befriend: %v", err)
+	}
+	return g
+}
+
+func ev(study *PropagationStudy, user, text string, at time.Time, activity string) {
+	study.Observe(osn.Action{
+		ID: user + at.String(), Network: "facebook", UserID: user,
+		Type: osn.ActionPost, Text: text, Time: at,
+	}, activity)
+}
+
+var t0 = time.Date(2014, 12, 8, 12, 0, 0, 0, time.UTC)
+
+func TestNewPropagationStudyValidation(t *testing.T) {
+	if _, err := NewPropagationStudy(nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+}
+
+func TestCascadesDetectFriendPropagation(t *testing.T) {
+	study, err := NewPropagationStudy(studyGraph(t))
+	if err != nil {
+		t.Fatalf("NewPropagationStudy: %v", err)
+	}
+	ev(study, "a", "what a wonderful amazing day", t0, "walking")
+	ev(study, "b", "feeling great and happy too", t0.Add(10*time.Minute), "still")       // cascade a->b
+	ev(study, "c", "terrible awful news", t0.Add(12*time.Minute), "still")               // different sentiment
+	ev(study, "d", "this is horrible and sad", t0.Add(20*time.Minute), "")               // cascade c->d
+	ev(study, "a", "lovely brilliant evening", t0.Add(3*time.Hour), "still")             // outside window of b
+	ev(study, "b", "boring neutral statement here", t0.Add(3*time.Hour+time.Minute), "") // neutral: never propagates
+
+	cascades := study.Cascades(30 * time.Minute)
+	if len(cascades) != 2 {
+		t.Fatalf("cascades = %+v", cascades)
+	}
+	byPair := map[string]Cascade{}
+	for _, c := range cascades {
+		byPair[c.From+">"+c.To] = c
+	}
+	ab, ok := byPair["a>b"]
+	if !ok || ab.Sentiment != "positive" || ab.Lag != 10*time.Minute {
+		t.Fatalf("a>b = %+v", ab)
+	}
+	cd, ok := byPair["c>d"]
+	if !ok || cd.Sentiment != "negative" {
+		t.Fatalf("c>d = %+v", cd)
+	}
+	if study.EventCount() != 6 {
+		t.Fatalf("EventCount = %d", study.EventCount())
+	}
+}
+
+func TestCascadesIgnoreNonFriends(t *testing.T) {
+	study, err := NewPropagationStudy(studyGraph(t))
+	if err != nil {
+		t.Fatalf("NewPropagationStudy: %v", err)
+	}
+	// a and c are not friends: same sentiment close in time, no cascade.
+	ev(study, "a", "wonderful amazing", t0, "")
+	ev(study, "c", "so happy and glad", t0.Add(5*time.Minute), "")
+	if cascades := study.Cascades(time.Hour); len(cascades) != 0 {
+		t.Fatalf("non-friend cascade detected: %+v", cascades)
+	}
+}
+
+func TestAssortativityPositiveWhenFriendsShareMood(t *testing.T) {
+	study, err := NewPropagationStudy(studyGraph(t))
+	if err != nil {
+		t.Fatalf("NewPropagationStudy: %v", err)
+	}
+	// Friends agree (a,b positive; c,d negative); strangers disagree.
+	ev(study, "a", "great wonderful", t0, "")
+	ev(study, "b", "happy brilliant", t0.Add(time.Minute), "")
+	ev(study, "c", "awful terrible", t0.Add(2*time.Minute), "")
+	ev(study, "d", "sad horrible", t0.Add(3*time.Minute), "")
+	score, err := study.Assortativity(time.Hour)
+	if err != nil {
+		t.Fatalf("Assortativity: %v", err)
+	}
+	if score <= 0 {
+		t.Fatalf("assortativity = %f, want positive", score)
+	}
+}
+
+func TestAssortativityNeedsBothPairKinds(t *testing.T) {
+	g := osn.NewGraph()
+	for _, u := range []string{"a", "b"} {
+		if err := g.AddUser(u); err != nil {
+			t.Fatalf("AddUser: %v", err)
+		}
+	}
+	if err := g.Befriend("a", "b"); err != nil {
+		t.Fatalf("Befriend: %v", err)
+	}
+	study, err := NewPropagationStudy(g)
+	if err != nil {
+		t.Fatalf("NewPropagationStudy: %v", err)
+	}
+	ev(study, "a", "great", t0, "")
+	ev(study, "b", "awful", t0.Add(time.Minute), "")
+	if _, err := study.Assortativity(time.Hour); err == nil {
+		t.Fatal("assortativity without stranger pairs accepted")
+	}
+}
+
+func TestContextFactor(t *testing.T) {
+	study, err := NewPropagationStudy(studyGraph(t))
+	if err != nil {
+		t.Fatalf("NewPropagationStudy: %v", err)
+	}
+	ev(study, "a", "great wonderful", t0, "walking")
+	ev(study, "a", "amazing happy", t0.Add(time.Minute), "walking")
+	ev(study, "a", "terrible sad", t0.Add(2*time.Minute), "still")
+	ev(study, "b", "awful horrible", t0.Add(3*time.Minute), "still")
+	ev(study, "b", "no context here", t0.Add(4*time.Minute), "") // excluded
+
+	factors := study.ContextFactor("positive")
+	if len(factors) != 2 {
+		t.Fatalf("factors = %+v", factors)
+	}
+	byAct := map[string]Association{}
+	for _, f := range factors {
+		byAct[f.Activity] = f
+	}
+	if byAct["walking"].PositiveRate != 1 || byAct["walking"].Support != 2 {
+		t.Fatalf("walking = %+v", byAct["walking"])
+	}
+	if byAct["still"].PositiveRate != 0 || byAct["still"].Support != 2 {
+		t.Fatalf("still = %+v", byAct["still"])
+	}
+}

@@ -1,0 +1,300 @@
+// Package classify provides the on-device classifiers that turn raw sensor
+// readings into high-level context classes (paper §4, "Sensor Data
+// Classification"): accelerometer → physical activity ("still", "walking",
+// "running"), microphone → audio environment ("silent", "not silent"),
+// GPS → place name, plus WiFi and Bluetooth scan classifiers.
+//
+// It also hosts the OSN text classifiers the paper lists as future work
+// ("classifiers that are able to extract OSN post topics and emotional
+// states of the individuals"): a lexicon-based sentiment classifier and a
+// keyword topic classifier.
+//
+// Classifier implementations are registered with the middleware; the paper
+// notes developers can plug in their own, so everything here implements a
+// common interface.
+package classify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/sensors"
+)
+
+// Classifier turns a raw sensor payload into a high-level string label.
+type Classifier interface {
+	// Modality returns the sensor modality this classifier consumes.
+	Modality() string
+	// Classify maps a raw payload to a class label.
+	Classify(payload any) (string, error)
+}
+
+// errWrongPayload builds the canonical type-mismatch error.
+func errWrongPayload(modality string, payload any) error {
+	return fmt.Errorf("classify: %s classifier got payload type %T", modality, payload)
+}
+
+// ActivityClassifier implements the paper's accelerometer classifier using
+// the standard coarse features: standard deviation of the acceleration
+// magnitude over the window.
+type ActivityClassifier struct {
+	// WalkThreshold and RunThreshold split magnitude stddev into the three
+	// classes. Defaults from NewActivityClassifier suit the simulated
+	// sensor shapes (and roughly match literature values in m/s²).
+	WalkThreshold float64
+	RunThreshold  float64
+}
+
+var _ Classifier = ActivityClassifier{}
+
+// NewActivityClassifier returns a classifier with default thresholds.
+func NewActivityClassifier() ActivityClassifier {
+	return ActivityClassifier{WalkThreshold: 0.8, RunThreshold: 4.0}
+}
+
+// Modality implements Classifier.
+func (ActivityClassifier) Modality() string { return sensors.ModalityAccelerometer }
+
+// Classify implements Classifier.
+func (c ActivityClassifier) Classify(payload any) (string, error) {
+	r, ok := payload.(sensors.AccelReading)
+	if !ok {
+		return "", errWrongPayload(sensors.ModalityAccelerometer, payload)
+	}
+	if len(r.Samples) == 0 {
+		return "", fmt.Errorf("classify: empty accelerometer window")
+	}
+	mean := 0.0
+	for _, s := range r.Samples {
+		mean += magnitude(s)
+	}
+	mean /= float64(len(r.Samples))
+	variance := 0.0
+	for _, s := range r.Samples {
+		d := magnitude(s) - mean
+		variance += d * d
+	}
+	std := math.Sqrt(variance / float64(len(r.Samples)))
+	switch {
+	case std >= c.RunThreshold:
+		return sensors.ActivityRunning.String(), nil
+	case std >= c.WalkThreshold:
+		return sensors.ActivityWalking.String(), nil
+	default:
+		return sensors.ActivityStill.String(), nil
+	}
+}
+
+func magnitude(s sensors.AccelSample) float64 {
+	return math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+}
+
+// AudioClassifier implements the paper's microphone classifier: mean RMS
+// above a threshold means "not silent".
+type AudioClassifier struct {
+	// SilenceThreshold is the mean-RMS boundary between classes.
+	SilenceThreshold float64
+}
+
+var _ Classifier = AudioClassifier{}
+
+// NewAudioClassifier returns a classifier with the default threshold.
+func NewAudioClassifier() AudioClassifier {
+	return AudioClassifier{SilenceThreshold: 0.05}
+}
+
+// Modality implements Classifier.
+func (AudioClassifier) Modality() string { return sensors.ModalityMicrophone }
+
+// Classify implements Classifier.
+func (c AudioClassifier) Classify(payload any) (string, error) {
+	r, ok := payload.(sensors.MicReading)
+	if !ok {
+		return "", errWrongPayload(sensors.ModalityMicrophone, payload)
+	}
+	if len(r.RMS) == 0 {
+		return "", fmt.Errorf("classify: empty microphone window")
+	}
+	sum := 0.0
+	for _, v := range r.RMS {
+		sum += v
+	}
+	if sum/float64(len(r.RMS)) >= c.SilenceThreshold {
+		return sensors.AudioNoisy.String(), nil
+	}
+	return sensors.AudioSilent.String(), nil
+}
+
+// PlaceClassifier reverse-geocodes GPS fixes into place names — the paper's
+// "raw GPS coordinates are classified to a descriptive address, i.e. the
+// name of the city that the user is in".
+type PlaceClassifier struct {
+	db *geo.PlaceDB
+	// Unknown is returned for fixes outside every known place.
+	Unknown string
+}
+
+var _ Classifier = (*PlaceClassifier)(nil)
+
+// NewPlaceClassifier builds a classifier over a place database.
+func NewPlaceClassifier(db *geo.PlaceDB) (*PlaceClassifier, error) {
+	if db == nil {
+		return nil, fmt.Errorf("classify: place classifier requires a place database")
+	}
+	return &PlaceClassifier{db: db, Unknown: "unknown"}, nil
+}
+
+// Modality implements Classifier.
+func (*PlaceClassifier) Modality() string { return sensors.ModalityLocation }
+
+// Classify implements Classifier.
+func (c *PlaceClassifier) Classify(payload any) (string, error) {
+	r, ok := payload.(sensors.LocationReading)
+	if !ok {
+		return "", errWrongPayload(sensors.ModalityLocation, payload)
+	}
+	if name := c.db.ReverseGeocode(r.Point()); name != "" {
+		return name, nil
+	}
+	return c.Unknown, nil
+}
+
+// WiFiPlaceClassifier fingerprints WiFi scans against known SSID sets,
+// yielding semantic places like "home" or "work".
+type WiFiPlaceClassifier struct {
+	// Places maps a label to the set of SSIDs expected there.
+	Places map[string][]string
+	// Unknown is returned when no fingerprint matches.
+	Unknown string
+}
+
+var _ Classifier = WiFiPlaceClassifier{}
+
+// NewWiFiPlaceClassifier builds a fingerprint classifier.
+func NewWiFiPlaceClassifier(places map[string][]string) WiFiPlaceClassifier {
+	cp := make(map[string][]string, len(places))
+	for k, v := range places {
+		cp[k] = append([]string(nil), v...)
+	}
+	return WiFiPlaceClassifier{Places: cp, Unknown: "unknown"}
+}
+
+// Modality implements Classifier.
+func (WiFiPlaceClassifier) Modality() string { return sensors.ModalityWiFi }
+
+// Classify implements Classifier. The label whose SSID set overlaps the
+// scan the most wins; ties break toward the lexically smaller label for
+// determinism.
+func (c WiFiPlaceClassifier) Classify(payload any) (string, error) {
+	r, ok := payload.(sensors.WiFiReading)
+	if !ok {
+		return "", errWrongPayload(sensors.ModalityWiFi, payload)
+	}
+	seen := make(map[string]bool, len(r.APs))
+	for _, ap := range r.APs {
+		seen[ap.SSID] = true
+	}
+	best, bestScore := c.Unknown, 0
+	for label, ssids := range c.Places {
+		score := 0
+		for _, s := range ssids {
+			if seen[s] {
+				score++
+			}
+		}
+		if score > bestScore || (score == bestScore && score > 0 && label < best) {
+			best, bestScore = label, score
+		}
+	}
+	return best, nil
+}
+
+// BTSocialClassifier maps the number of nearby Bluetooth devices to a
+// social-density class, a standard proxy for collocation in the mobile
+// sensing literature the paper builds on.
+type BTSocialClassifier struct {
+	// SmallGroupMin and CrowdMin are device-count boundaries.
+	SmallGroupMin int
+	CrowdMin      int
+}
+
+var _ Classifier = BTSocialClassifier{}
+
+// NewBTSocialClassifier returns a classifier with default boundaries.
+func NewBTSocialClassifier() BTSocialClassifier {
+	return BTSocialClassifier{SmallGroupMin: 1, CrowdMin: 6}
+}
+
+// Modality implements Classifier.
+func (BTSocialClassifier) Modality() string { return sensors.ModalityBluetooth }
+
+// Classify implements Classifier.
+func (c BTSocialClassifier) Classify(payload any) (string, error) {
+	r, ok := payload.(sensors.BTReading)
+	if !ok {
+		return "", errWrongPayload(sensors.ModalityBluetooth, payload)
+	}
+	n := len(r.Devices)
+	switch {
+	case n >= c.CrowdMin:
+		return "crowd", nil
+	case n >= c.SmallGroupMin:
+		return "small-group", nil
+	default:
+		return "alone", nil
+	}
+}
+
+// Registry maps modalities to classifiers, letting the middleware (and
+// developers, per the paper's extensibility note) look up and override the
+// classifier per modality.
+type Registry struct {
+	byModality map[string]Classifier
+}
+
+// NewRegistry builds a registry containing the given classifiers.
+// Registering two classifiers for one modality keeps the later one.
+func NewRegistry(cs ...Classifier) *Registry {
+	r := &Registry{byModality: make(map[string]Classifier)}
+	for _, c := range cs {
+		r.byModality[c.Modality()] = c
+	}
+	return r
+}
+
+// DefaultRegistry returns the stock classifiers for all five modalities,
+// with location classification backed by db.
+func DefaultRegistry(db *geo.PlaceDB) (*Registry, error) {
+	pc, err := NewPlaceClassifier(db)
+	if err != nil {
+		return nil, err
+	}
+	return NewRegistry(
+		NewActivityClassifier(),
+		NewAudioClassifier(),
+		pc,
+		NewWiFiPlaceClassifier(nil),
+		NewBTSocialClassifier(),
+	), nil
+}
+
+// Register adds or replaces the classifier for its modality.
+func (r *Registry) Register(c Classifier) {
+	r.byModality[c.Modality()] = c
+}
+
+// For returns the classifier for a modality.
+func (r *Registry) For(modality string) (Classifier, bool) {
+	c, ok := r.byModality[modality]
+	return c, ok
+}
+
+// Classify routes a reading to the right classifier.
+func (r *Registry) Classify(reading sensors.Reading) (string, error) {
+	c, ok := r.byModality[reading.Modality]
+	if !ok {
+		return "", fmt.Errorf("classify: no classifier for modality %q", reading.Modality)
+	}
+	return c.Classify(reading.Payload)
+}

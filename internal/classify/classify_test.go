@@ -1,0 +1,261 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sensors"
+)
+
+var (
+	start = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+	paris = geo.Point{Lat: 48.8566, Lon: 2.3522}
+)
+
+func suiteWith(t *testing.T, act sensors.Activity, audio sensors.AudioEnv) *sensors.Suite {
+	t.Helper()
+	p, err := sensors.NewProfile(geo.Stationary{At: paris},
+		sensors.WithPhases(false, sensors.Phase{Activity: act, Audio: audio, Duration: time.Hour}))
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	s, err := sensors.NewSuite(p, start, 7)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	return s
+}
+
+func TestActivityClassifierRecoversGroundTruth(t *testing.T) {
+	c := NewActivityClassifier()
+	cases := []sensors.Activity{sensors.ActivityStill, sensors.ActivityWalking, sensors.ActivityRunning}
+	for _, want := range cases {
+		s := suiteWith(t, want, sensors.AudioSilent)
+		// Several windows: the classifier must be stable, not lucky.
+		for i := 0; i < 10; i++ {
+			r, err := s.Sample(sensors.ModalityAccelerometer, start.Add(time.Duration(i)*time.Minute))
+			if err != nil {
+				t.Fatalf("Sample: %v", err)
+			}
+			got, err := c.Classify(r.Payload)
+			if err != nil {
+				t.Fatalf("Classify: %v", err)
+			}
+			if got != want.String() {
+				t.Fatalf("window %d: classified %s as %q", i, want, got)
+			}
+		}
+	}
+}
+
+func TestActivityClassifierErrors(t *testing.T) {
+	c := NewActivityClassifier()
+	if _, err := c.Classify("not a reading"); err == nil {
+		t.Fatal("wrong payload type accepted")
+	}
+	if _, err := c.Classify(sensors.AccelReading{}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if c.Modality() != sensors.ModalityAccelerometer {
+		t.Fatal("wrong modality")
+	}
+}
+
+func TestAudioClassifierRecoversGroundTruth(t *testing.T) {
+	c := NewAudioClassifier()
+	for _, want := range []sensors.AudioEnv{sensors.AudioSilent, sensors.AudioNoisy} {
+		s := suiteWith(t, sensors.ActivityStill, want)
+		for i := 0; i < 10; i++ {
+			r, err := s.Sample(sensors.ModalityMicrophone, start.Add(time.Duration(i)*time.Minute))
+			if err != nil {
+				t.Fatalf("Sample: %v", err)
+			}
+			got, err := c.Classify(r.Payload)
+			if err != nil {
+				t.Fatalf("Classify: %v", err)
+			}
+			if got != want.String() {
+				t.Fatalf("window %d: classified %s as %q", i, want, got)
+			}
+		}
+	}
+}
+
+func TestAudioClassifierErrors(t *testing.T) {
+	c := NewAudioClassifier()
+	if _, err := c.Classify(42); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+	if _, err := c.Classify(sensors.MicReading{}); err == nil {
+		t.Fatal("empty window accepted")
+	}
+}
+
+func TestPlaceClassifier(t *testing.T) {
+	pc, err := NewPlaceClassifier(geo.EuropeanCities())
+	if err != nil {
+		t.Fatalf("NewPlaceClassifier: %v", err)
+	}
+	got, err := pc.Classify(sensors.LocationReading{Lat: paris.Lat, Lon: paris.Lon})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if got != "Paris" {
+		t.Fatalf("classified as %q, want Paris", got)
+	}
+	mid, err := pc.Classify(sensors.LocationReading{Lat: 40, Lon: -40})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if mid != "unknown" {
+		t.Fatalf("mid-atlantic = %q, want unknown", mid)
+	}
+	if _, err := pc.Classify("x"); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+	if _, err := NewPlaceClassifier(nil); err == nil {
+		t.Fatal("nil db accepted")
+	}
+}
+
+func TestWiFiPlaceClassifier(t *testing.T) {
+	c := NewWiFiPlaceClassifier(map[string][]string{
+		"home": {"homenet", "homenet-5g"},
+		"work": {"campus", "campus-guest"},
+	})
+	got, err := c.Classify(sensors.WiFiReading{APs: []sensors.AP{
+		{SSID: "homenet"}, {SSID: "cafe"},
+	}})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if got != "home" {
+		t.Fatalf("got %q, want home", got)
+	}
+	got, err = c.Classify(sensors.WiFiReading{APs: []sensors.AP{{SSID: "stranger"}}})
+	if err != nil {
+		t.Fatalf("Classify: %v", err)
+	}
+	if got != "unknown" {
+		t.Fatalf("got %q, want unknown", got)
+	}
+	if _, err := c.Classify(9); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+}
+
+func TestBTSocialClassifier(t *testing.T) {
+	c := NewBTSocialClassifier()
+	mk := func(n int) sensors.BTReading {
+		devs := make([]sensors.BTDevice, n)
+		return sensors.BTReading{Devices: devs}
+	}
+	cases := []struct {
+		n    int
+		want string
+	}{{0, "alone"}, {1, "small-group"}, {5, "small-group"}, {6, "crowd"}, {20, "crowd"}}
+	for _, tc := range cases {
+		got, err := c.Classify(mk(tc.n))
+		if err != nil {
+			t.Fatalf("Classify(%d): %v", tc.n, err)
+		}
+		if got != tc.want {
+			t.Errorf("Classify(%d devices) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+	if _, err := c.Classify(nil); err == nil {
+		t.Fatal("wrong payload accepted")
+	}
+}
+
+func TestRegistryRoutesAllModalities(t *testing.T) {
+	reg, err := DefaultRegistry(geo.EuropeanCities())
+	if err != nil {
+		t.Fatalf("DefaultRegistry: %v", err)
+	}
+	s := suiteWith(t, sensors.ActivityWalking, sensors.AudioNoisy)
+	for _, mod := range sensors.Modalities() {
+		r, err := s.Sample(mod, start)
+		if err != nil {
+			t.Fatalf("Sample(%s): %v", mod, err)
+		}
+		label, err := reg.Classify(r)
+		if err != nil {
+			t.Fatalf("Classify(%s): %v", mod, err)
+		}
+		if label == "" {
+			t.Fatalf("empty label for %s", mod)
+		}
+	}
+	if _, err := reg.Classify(sensors.Reading{Modality: "gyroscope"}); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}
+
+func TestRegistryOverride(t *testing.T) {
+	reg := NewRegistry(NewAudioClassifier())
+	custom := AudioClassifier{SilenceThreshold: 0.9}
+	reg.Register(custom)
+	c, ok := reg.For(sensors.ModalityMicrophone)
+	if !ok {
+		t.Fatal("classifier missing")
+	}
+	if c.(AudioClassifier).SilenceThreshold != 0.9 {
+		t.Fatal("override did not replace classifier")
+	}
+	if _, ok := reg.For("nope"); ok {
+		t.Fatal("unknown modality reported present")
+	}
+}
+
+func TestSentimentClassifier(t *testing.T) {
+	c := NewSentimentClassifier()
+	cases := []struct {
+		text, want string
+	}{
+		{"I love this amazing city!", SentimentPositive},
+		{"What a terrible, horrible day", SentimentNegative},
+		{"Taking the train to Bordeaux", SentimentNeutral},
+		{"Great goal but we ended up losing", SentimentNeutral}, // +1 -1
+		{"", SentimentNeutral},
+		{"HAPPY HAPPY sad", SentimentPositive}, // case-insensitive, majority
+	}
+	for _, tc := range cases {
+		if got := c.Classify(tc.text); got != tc.want {
+			t.Errorf("Classify(%q) = %q, want %q", tc.text, got, tc.want)
+		}
+	}
+}
+
+func TestTopicClassifier(t *testing.T) {
+	c := NewTopicClassifier(nil)
+	got := c.Classify("Watching the football match, what a goal!")
+	if len(got) != 1 || got[0] != "football" {
+		t.Fatalf("topics = %v", got)
+	}
+	got = c.Classify("Airport coffee before the flight")
+	if strings.Join(got, ",") != "food,travel" {
+		t.Fatalf("topics = %v, want [food travel]", got)
+	}
+	if got := c.Classify("nothing relevant here"); len(got) != 0 {
+		t.Fatalf("topics = %v, want none", got)
+	}
+	topics := c.Topics()
+	if len(topics) != 5 {
+		t.Fatalf("Topics() = %v", topics)
+	}
+	for i := 1; i < len(topics); i++ {
+		if topics[i] < topics[i-1] {
+			t.Fatalf("topics not sorted: %v", topics)
+		}
+	}
+}
+
+func TestTopicClassifierCustom(t *testing.T) {
+	c := NewTopicClassifier(map[string][]string{"greeting": {"hello", "bonjour"}})
+	if got := c.Classify("Bonjour Paris"); len(got) != 1 || got[0] != "greeting" {
+		t.Fatalf("topics = %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+package classify
+
+import (
+	"strings"
+)
+
+// Text classifiers for OSN content. The paper's future-work section plans
+// "classifiers that are able to extract OSN post topics and emotional
+// states of the individuals, and link them to the users' physical context";
+// these lexicon-based implementations realize that plan at proof-of-concept
+// quality, mirroring the spirit of the paper's deliberately simple sensor
+// classifiers.
+
+// Sentiment labels.
+const (
+	SentimentPositive = "positive"
+	SentimentNegative = "negative"
+	SentimentNeutral  = "neutral"
+)
+
+// SentimentClassifier scores text with positive/negative word lexicons.
+type SentimentClassifier struct {
+	positive map[string]bool
+	negative map[string]bool
+}
+
+// NewSentimentClassifier returns a classifier with a compact built-in
+// lexicon suitable for the simulated OSN content generator.
+func NewSentimentClassifier() *SentimentClassifier {
+	pos := []string{
+		"love", "great", "awesome", "happy", "amazing", "excited", "fantastic",
+		"wonderful", "best", "beautiful", "fun", "enjoyed", "win", "winning",
+		"delicious", "brilliant", "glad", "perfect", "thrilled", "yay",
+	}
+	neg := []string{
+		"hate", "awful", "terrible", "sad", "angry", "worst", "horrible",
+		"disappointed", "annoyed", "tired", "sick", "lost", "losing", "ugh",
+		"boring", "bad", "miserable", "frustrating", "broken", "delayed",
+	}
+	c := &SentimentClassifier{
+		positive: make(map[string]bool, len(pos)),
+		negative: make(map[string]bool, len(neg)),
+	}
+	for _, w := range pos {
+		c.positive[w] = true
+	}
+	for _, w := range neg {
+		c.negative[w] = true
+	}
+	return c
+}
+
+// Classify returns positive, negative or neutral for a text.
+func (c *SentimentClassifier) Classify(text string) string {
+	score := 0
+	for _, tok := range tokenize(text) {
+		if c.positive[tok] {
+			score++
+		}
+		if c.negative[tok] {
+			score--
+		}
+	}
+	switch {
+	case score > 0:
+		return SentimentPositive
+	case score < 0:
+		return SentimentNegative
+	default:
+		return SentimentNeutral
+	}
+}
+
+// TopicClassifier tags text with topics from keyword sets — e.g. the
+// paper's content-based subscription example "get user's location when the
+// user posts about football on his/her Facebook wall".
+type TopicClassifier struct {
+	topics map[string][]string
+}
+
+// NewTopicClassifier builds a classifier over topic keyword sets. With nil
+// topics a default set covering the simulated OSN generator is used.
+func NewTopicClassifier(topics map[string][]string) *TopicClassifier {
+	if topics == nil {
+		topics = map[string][]string{
+			"football": {"football", "match", "goal", "league", "cup", "striker"},
+			"food":     {"dinner", "lunch", "restaurant", "delicious", "recipe", "coffee"},
+			"travel":   {"trip", "flight", "train", "airport", "visiting", "holiday", "arrived"},
+			"music":    {"concert", "song", "album", "band", "gig", "playlist"},
+			"work":     {"meeting", "deadline", "office", "project", "conference", "paper"},
+		}
+	}
+	cp := make(map[string][]string, len(topics))
+	for k, v := range topics {
+		cp[k] = append([]string(nil), v...)
+	}
+	return &TopicClassifier{topics: cp}
+}
+
+// Classify returns all topics whose keywords appear in the text, sorted
+// alphabetically; empty when none match.
+func (c *TopicClassifier) Classify(text string) []string {
+	toks := make(map[string]bool)
+	for _, tok := range tokenize(text) {
+		toks[tok] = true
+	}
+	var out []string
+	for topic, words := range c.topics {
+		for _, w := range words {
+			if toks[w] {
+				out = append(out, topic)
+				break
+			}
+		}
+	}
+	// Insertion sort for determinism; topic counts are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Topics returns the known topic labels, sorted.
+func (c *TopicClassifier) Topics() []string {
+	out := make([]string, 0, len(c.topics))
+	for t := range c.topics {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// tokenize lower-cases and splits text on non-letter boundaries.
+func tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') && r != '\''
+	})
+}

@@ -1,0 +1,223 @@
+// Package config implements SenSocial's XML configuration documents. The
+// paper's remote stream management works by "encapsulating a stream
+// configuration in an XML file, which is pushed from the server to mobile
+// devices"; on the phone, "the FilterMerge class merges this newly
+// downloaded XML file to the existing set of filter configurations that are
+// stored in the mobile device as an XML file". Privacy policies live in a
+// PrivacyPolicyDescriptor file with the same lifecycle.
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// xmlStreams is the on-disk/on-wire shape of a stream configuration set.
+type xmlStreams struct {
+	XMLName xml.Name    `xml:"streams"`
+	Streams []xmlStream `xml:"stream"`
+}
+
+type xmlStream struct {
+	ID                string         `xml:"id,attr"`
+	DeviceID          string         `xml:"device,attr"`
+	UserID            string         `xml:"user,attr,omitempty"`
+	Modality          string         `xml:"modality,attr"`
+	Granularity       string         `xml:"granularity,attr"`
+	Kind              string         `xml:"kind,attr"`
+	SampleIntervalSec float64        `xml:"sampleIntervalSec,attr,omitempty"`
+	DutyCycle         float64        `xml:"dutyCycle,attr,omitempty"`
+	Deliver           string         `xml:"deliver,attr"`
+	Conditions        []xmlCondition `xml:"filter>condition"`
+}
+
+type xmlCondition struct {
+	Modality string `xml:"modality,attr"`
+	Operator string `xml:"operator,attr"`
+	Value    string `xml:"value,attr"`
+	UserID   string `xml:"user,attr,omitempty"`
+}
+
+// EncodeStreams serializes stream configurations to the XML document format.
+func EncodeStreams(configs []core.StreamConfig) ([]byte, error) {
+	doc := xmlStreams{}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("config: encode: %w", err)
+		}
+		xs := xmlStream{
+			ID:          c.ID,
+			DeviceID:    c.DeviceID,
+			UserID:      c.UserID,
+			Modality:    c.Modality,
+			Granularity: string(c.Granularity),
+			Kind:        string(c.Kind),
+			DutyCycle:   c.DutyCycle,
+			Deliver:     string(c.Deliver),
+		}
+		if c.SampleInterval > 0 {
+			xs.SampleIntervalSec = c.SampleInterval.Seconds()
+		}
+		for _, cond := range c.Filter.Conditions {
+			xs.Conditions = append(xs.Conditions, xmlCondition{
+				Modality: cond.Modality,
+				Operator: string(cond.Operator),
+				Value:    cond.Value,
+				UserID:   cond.UserID,
+			})
+		}
+		doc.Streams = append(doc.Streams, xs)
+	}
+	b, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: encode streams: %w", err)
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+// DecodeStreams parses and validates an XML stream configuration document.
+func DecodeStreams(data []byte) ([]core.StreamConfig, error) {
+	var doc xmlStreams
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("config: decode streams: %w", err)
+	}
+	var out []core.StreamConfig
+	seen := make(map[string]bool)
+	for _, xs := range doc.Streams {
+		if seen[xs.ID] {
+			return nil, fmt.Errorf("config: decode streams: duplicate stream id %q", xs.ID)
+		}
+		seen[xs.ID] = true
+		c := core.StreamConfig{
+			ID:             xs.ID,
+			DeviceID:       xs.DeviceID,
+			UserID:         xs.UserID,
+			Modality:       xs.Modality,
+			Granularity:    core.Granularity(xs.Granularity),
+			Kind:           core.StreamKind(xs.Kind),
+			SampleInterval: time.Duration(xs.SampleIntervalSec * float64(time.Second)),
+			DutyCycle:      xs.DutyCycle,
+			Deliver:        core.Destination(xs.Deliver),
+		}
+		for _, xc := range xs.Conditions {
+			c.Filter.Conditions = append(c.Filter.Conditions, core.Condition{
+				Modality: xc.Modality,
+				Operator: core.Operator(xc.Operator),
+				Value:    xc.Value,
+				UserID:   xc.UserID,
+			})
+		}
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("config: decode streams: %w", err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// MergeStreams implements FilterMerge semantics: incoming configurations
+// replace existing ones with the same id and new ids are appended;
+// untouched existing streams are preserved. Order: existing (updated in
+// place) then new.
+func MergeStreams(existing, incoming []core.StreamConfig) []core.StreamConfig {
+	out := make([]core.StreamConfig, 0, len(existing)+len(incoming))
+	replaced := make(map[string]core.StreamConfig, len(incoming))
+	for _, c := range incoming {
+		replaced[c.ID] = c
+	}
+	seen := make(map[string]bool, len(existing))
+	for _, c := range existing {
+		seen[c.ID] = true
+		if repl, ok := replaced[c.ID]; ok {
+			out = append(out, repl)
+		} else {
+			out = append(out, c)
+		}
+	}
+	for _, c := range incoming {
+		if !seen[c.ID] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RemoveStream deletes the configuration with the given id, reporting
+// whether it was present.
+func RemoveStream(configs []core.StreamConfig, id string) ([]core.StreamConfig, bool) {
+	out := make([]core.StreamConfig, 0, len(configs))
+	found := false
+	for _, c := range configs {
+		if c.ID == id {
+			found = true
+			continue
+		}
+		out = append(out, c)
+	}
+	return out, found
+}
+
+// xmlPrivacy is the on-disk shape of the PrivacyPolicyDescriptor file.
+type xmlPrivacy struct {
+	XMLName  xml.Name    `xml:"privacyPolicyDescriptor"`
+	Policies []xmlPolicy `xml:"policy"`
+}
+
+type xmlPolicy struct {
+	Modality        string `xml:"modality,attr"`
+	AllowRaw        bool   `xml:"allowRaw,attr"`
+	AllowClassified bool   `xml:"allowClassified,attr"`
+}
+
+// EncodePrivacy serializes privacy policies.
+func EncodePrivacy(policies []core.PrivacyPolicy) ([]byte, error) {
+	doc := xmlPrivacy{}
+	seen := make(map[string]bool)
+	for _, p := range policies {
+		if p.Modality == "" {
+			return nil, fmt.Errorf("config: encode privacy: empty modality")
+		}
+		if seen[p.Modality] {
+			return nil, fmt.Errorf("config: encode privacy: duplicate policy for %q", p.Modality)
+		}
+		seen[p.Modality] = true
+		doc.Policies = append(doc.Policies, xmlPolicy{
+			Modality:        p.Modality,
+			AllowRaw:        p.AllowRaw,
+			AllowClassified: p.AllowClassified,
+		})
+	}
+	b, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: encode privacy: %w", err)
+	}
+	return append([]byte(xml.Header), b...), nil
+}
+
+// DecodePrivacy parses a PrivacyPolicyDescriptor document.
+func DecodePrivacy(data []byte) ([]core.PrivacyPolicy, error) {
+	var doc xmlPrivacy
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("config: decode privacy: %w", err)
+	}
+	var out []core.PrivacyPolicy
+	seen := make(map[string]bool)
+	for _, p := range doc.Policies {
+		if p.Modality == "" {
+			return nil, fmt.Errorf("config: decode privacy: empty modality")
+		}
+		if seen[p.Modality] {
+			return nil, fmt.Errorf("config: decode privacy: duplicate policy for %q", p.Modality)
+		}
+		seen[p.Modality] = true
+		out = append(out, core.PrivacyPolicy{
+			Modality:        p.Modality,
+			AllowRaw:        p.AllowRaw,
+			AllowClassified: p.AllowClassified,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Aggregator multiplexes items from multiple source streams into a single
+// join stream (paper §3.1: "data from individual streams is multiplexed to
+// the same join stream, which can further be processed as any other stream
+// in the system"). It implements Listener so it can be registered on a Hub
+// for each source stream; downstream consumers register on the aggregator.
+type Aggregator struct {
+	id string
+
+	mu        sync.Mutex
+	sources   map[string]bool
+	listeners []Listener
+	count     int
+}
+
+var _ Listener = (*Aggregator)(nil)
+
+// NewAggregator creates an aggregator with the given join-stream id.
+func NewAggregator(id string, sourceStreamIDs ...string) (*Aggregator, error) {
+	if strings.TrimSpace(id) == "" {
+		return nil, fmt.Errorf("core: aggregator: empty id")
+	}
+	a := &Aggregator{id: id, sources: make(map[string]bool)}
+	for _, s := range sourceStreamIDs {
+		a.sources[s] = true
+	}
+	return a, nil
+}
+
+// ID returns the join-stream id.
+func (a *Aggregator) ID() string { return a.id }
+
+// AddSource accepts a further source stream.
+func (a *Aggregator) AddSource(streamID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sources[streamID] = true
+}
+
+// RemoveSource stops accepting a source stream.
+func (a *Aggregator) RemoveSource(streamID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.sources, streamID)
+}
+
+// Register adds a downstream listener for the aggregated stream.
+func (a *Aggregator) Register(l Listener) error {
+	if l == nil {
+		return fmt.Errorf("core: aggregator %q: nil listener", a.id)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.listeners = append(a.listeners, l)
+	return nil
+}
+
+// OnItem implements Listener: items from accepted sources are stamped with
+// the aggregate id and fanned out. Items from unknown sources are dropped
+// unless the aggregator was created with no explicit sources, in which case
+// it accepts everything it is wired to.
+func (a *Aggregator) OnItem(i Item) {
+	a.mu.Lock()
+	accept := len(a.sources) == 0 || a.sources[i.StreamID]
+	if !accept {
+		a.mu.Unlock()
+		return
+	}
+	a.count++
+	ls := append([]Listener(nil), a.listeners...)
+	a.mu.Unlock()
+	i.AggregateID = a.id
+	for _, l := range ls {
+		l.OnItem(i)
+	}
+}
+
+// Count returns how many items have been multiplexed.
+func (a *Aggregator) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.count
+}

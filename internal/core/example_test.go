@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The paper's canonical content-based filter: sample GPS only while the
+// user is walking.
+func ExampleFilter_Eval() {
+	filter, err := core.NewFilter(core.Condition{
+		Modality: core.CtxPhysicalActivity,
+		Operator: core.OpEquals,
+		Value:    "walking",
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(filter.Eval(core.Context{core.CtxPhysicalActivity: "walking"}))
+	fmt.Println(filter.Eval(core.Context{core.CtxPhysicalActivity: "still"}))
+	// Output:
+	// true
+	// false
+}
+
+// Cross-user conditions let the server gate one user's stream on another
+// user's context.
+func ExampleCondition_crossUser() {
+	c := core.Condition{
+		Modality: core.CtxPhysicalActivity,
+		Operator: core.OpEquals,
+		Value:    "walking",
+		UserID:   "bob",
+	}
+	ctx := core.Context{core.Key("bob", core.CtxPhysicalActivity): "walking"}
+	fmt.Println(c.Eval(ctx))
+	// Output:
+	// true
+}
+
+// A stream configuration is validated before it can run anywhere.
+func ExampleStreamConfig_Validate() {
+	cfg := core.StreamConfig{
+		ID:             "quick",
+		DeviceID:       "phone-1",
+		Modality:       "location",
+		Granularity:    core.GranularityClassified,
+		Kind:           core.KindContinuous,
+		SampleInterval: time.Minute,
+		Deliver:        core.DeliverServer,
+	}
+	fmt.Println(cfg.Validate())
+	cfg.Modality = "gyroscope"
+	fmt.Println(cfg.Validate() != nil)
+	// Output:
+	// <nil>
+	// true
+}
+
+// Privacy defaults closed: a modality without a policy is denied, and
+// granting classified access is not granting raw access.
+func ExamplePrivacyDescriptor_Screen() {
+	privacy := core.NewPrivacyDescriptor(core.PrivacyPolicy{
+		Modality:        "location",
+		AllowClassified: true,
+	})
+	cfg := core.StreamConfig{
+		ID: "loc", DeviceID: "d", Modality: "location",
+		Granularity: core.GranularityClassified, Kind: core.KindSocialEvent,
+		Deliver: core.DeliverLocal,
+	}
+	fmt.Println(privacy.Screen(cfg))
+	cfg.Granularity = core.GranularityRaw
+	fmt.Println(privacy.Screen(cfg) != nil)
+	// Output:
+	// <nil>
+	// true
+}
+
+// Aggregators multiplex several streams into one join stream.
+func ExampleAggregator() {
+	agg, err := core.NewAggregator("join", "s1", "s2")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := agg.Register(core.ListenerFunc(func(i core.Item) {
+		fmt.Printf("%s via %s\n", i.StreamID, i.AggregateID)
+	})); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	agg.OnItem(core.Item{StreamID: "s1"})
+	agg.OnItem(core.Item{StreamID: "other"}) // not a source: dropped
+	agg.OnItem(core.Item{StreamID: "s2"})
+	// Output:
+	// s1 via join
+	// s2 via join
+}

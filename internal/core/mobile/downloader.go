@@ -1,0 +1,72 @@
+package mobile
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/config"
+)
+
+// FilterDownloader support: when the server announces new configuration
+// with a config-pull trigger, the device fetches its stream configuration
+// document from the server's HTTP endpoint and merges it (the paper's
+// FilterDownloader + FilterMerge classes).
+
+// newHTTPClient builds an HTTP client whose connections originate from the
+// device's network interface.
+func (m *Manager) newHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(_ context.Context, _, addr string) (net.Conn, error) {
+				return m.dev.Dial(addr)
+			},
+			DisableKeepAlives: true,
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// downloadConfigs fetches this device's stream configurations from the
+// server and applies them like an inline config trigger.
+func (m *Manager) downloadConfigs() error {
+	if m.httpBase == "" {
+		return fmt.Errorf("mobile: config-pull trigger but no HTTP server address configured")
+	}
+	url := "http://" + m.httpBase + "/streams?device=" + m.dev.ID()
+	resp, err := m.httpClient.Get(url)
+	if err != nil {
+		return fmt.Errorf("mobile: download configs: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("mobile: download configs: HTTP %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("mobile: download configs: %w", err)
+	}
+	configs, err := config.DecodeStreams(body)
+	if err != nil {
+		return fmt.Errorf("mobile: download configs: %w", err)
+	}
+	for _, cfg := range configs {
+		if cfg.DeviceID != m.dev.ID() {
+			continue
+		}
+		m.mu.Lock()
+		_, exists := m.streams[cfg.ID]
+		m.mu.Unlock()
+		if exists {
+			if err := m.UpdateStream(cfg); err != nil {
+				m.logf("downloaded update failed", "stream", cfg.ID, "err", err)
+			}
+		} else if err := m.CreateStream(cfg); err != nil {
+			m.logf("downloaded create failed", "stream", cfg.ID, "err", err)
+		}
+	}
+	return nil
+}

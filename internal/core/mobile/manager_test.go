@@ -1,0 +1,404 @@
+package mobile
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+var epoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+// testRig is an offline mobile manager over a manual clock.
+type testRig struct {
+	clock   *vclock.Manual
+	manager *Manager
+	privacy *core.PrivacyDescriptor
+}
+
+func newRig(t *testing.T, act sensors.Activity, audio sensors.AudioEnv) *testRig {
+	t.Helper()
+	clock := vclock.NewManual(epoch)
+	profile, err := sensors.NewProfile(geo.Stationary{At: geo.Point{Lat: 48.8566, Lon: 2.3522}},
+		sensors.WithPhases(false, sensors.Phase{Activity: act, Audio: audio, Duration: 100 * time.Hour}))
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	dev, err := device.New(device.Config{
+		ID: "dev1", UserID: "alice", Clock: clock, Profile: profile, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	reg, err := classify.DefaultRegistry(geo.EuropeanCities())
+	if err != nil {
+		t.Fatalf("DefaultRegistry: %v", err)
+	}
+	privacy := core.AllowAll(sensors.Modalities())
+	m, err := New(Options{Device: dev, Classifiers: reg, Privacy: privacy})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = m.Close() })
+	return &testRig{clock: clock, manager: m, privacy: privacy}
+}
+
+// itemSink collects delivered items.
+type itemSink struct {
+	mu    sync.Mutex
+	items []core.Item
+}
+
+func (s *itemSink) OnItem(i core.Item) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items = append(s.items, i)
+}
+
+func (s *itemSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func (s *itemSink) snapshot() []core.Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Item(nil), s.items...)
+}
+
+func (s *itemSink) waitFor(t *testing.T, n int) []core.Item {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s.count() >= n {
+			return s.snapshot()
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout: have %d items, want %d", s.count(), n)
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+}
+
+func contStream(id, modality string, g core.Granularity) core.StreamConfig {
+	return core.StreamConfig{
+		ID: id, Modality: modality, Granularity: g,
+		Kind: core.KindContinuous, SampleInterval: time.Minute,
+		Deliver: core.DeliverLocal,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing device accepted")
+	}
+}
+
+func TestContinuousClassifiedStreamDelivers(t *testing.T) {
+	rig := newRig(t, sensors.ActivityWalking, sensors.AudioNoisy)
+	if err := rig.manager.CreateStream(contStream("s1", sensors.ModalityAccelerometer, core.GranularityClassified)); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	for i := 0; i < 3; i++ {
+		rig.clock.Advance(time.Minute)
+		sink.waitFor(t, i+1)
+	}
+	for _, item := range sink.snapshot() {
+		if item.Classified != "walking" {
+			t.Fatalf("classified = %q, want walking", item.Classified)
+		}
+		if item.StreamID != "s1" || item.DeviceID != "dev1" || item.UserID != "alice" {
+			t.Fatalf("identity = %+v", item)
+		}
+		if len(item.Raw) != 0 {
+			t.Fatal("classified item carries raw payload")
+		}
+	}
+}
+
+func TestContinuousRawStreamDelivers(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	if err := rig.manager.CreateStream(contStream("s1", sensors.ModalityLocation, core.GranularityRaw)); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	rig.clock.Advance(time.Minute)
+	items := sink.waitFor(t, 1)
+	if len(items[0].Raw) == 0 {
+		t.Fatal("raw item has no payload")
+	}
+	if items[0].Classified != "" {
+		t.Fatal("raw item carries classified label")
+	}
+	if !strings.Contains(string(items[0].Raw), "lat") {
+		t.Fatalf("raw payload = %s", items[0].Raw)
+	}
+}
+
+func TestFilterGatesDelivery(t *testing.T) {
+	// GPS only when walking — the paper's canonical filter example. The
+	// user is still, so nothing must flow.
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := contStream("s1", sensors.ModalityLocation, core.GranularityRaw)
+	cfg.Filter = core.Filter{Conditions: []core.Condition{
+		{Modality: core.CtxPhysicalActivity, Operator: core.OpEquals, Value: "walking"},
+	}}
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	for i := 0; i < 3; i++ {
+		rig.clock.Advance(time.Minute)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if sink.count() != 0 {
+		t.Fatalf("still user leaked %d GPS items through walking filter", sink.count())
+	}
+	// The orthogonal conditional modality was sensed to evaluate the filter
+	// (paper: "an unrelated stream, the accelerometer stream, has to be
+	// sensed in order to infer the activity").
+	ctx := rig.manager.Context()
+	if ctx[core.CtxPhysicalActivity] != "still" {
+		t.Fatalf("context = %v, want physical_activity=still", ctx)
+	}
+}
+
+func TestFilterPassesWhenConditionHolds(t *testing.T) {
+	rig := newRig(t, sensors.ActivityWalking, sensors.AudioNoisy)
+	cfg := contStream("s1", sensors.ModalityLocation, core.GranularityClassified)
+	cfg.Filter = core.Filter{Conditions: []core.Condition{
+		{Modality: core.CtxPhysicalActivity, Operator: core.OpEquals, Value: "walking"},
+	}}
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	rig.clock.Advance(time.Minute)
+	items := sink.waitFor(t, 1)
+	if items[0].Classified != "Paris" {
+		t.Fatalf("classified location = %q, want Paris", items[0].Classified)
+	}
+	if items[0].Context[core.CtxPhysicalActivity] != "walking" {
+		t.Fatalf("context = %v", items[0].Context)
+	}
+}
+
+func TestTimeOfDayFilter(t *testing.T) {
+	// Clock starts at 09:00; a "before 08:00" filter blocks everything.
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := contStream("s1", sensors.ModalityWiFi, core.GranularityRaw)
+	cfg.Filter = core.Filter{Conditions: []core.Condition{
+		{Modality: core.CtxTimeOfDay, Operator: core.OpLT, Value: "08:00"},
+	}}
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	rig.clock.Advance(time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	if sink.count() != 0 {
+		t.Fatal("time filter leaked")
+	}
+}
+
+func TestStreamLifecycleErrors(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := contStream("s1", sensors.ModalityWiFi, core.GranularityRaw)
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	if err := rig.manager.CreateStream(cfg); err == nil {
+		t.Fatal("duplicate stream accepted")
+	}
+	bad := cfg
+	bad.ID = "s2"
+	bad.Modality = "gyroscope"
+	if err := rig.manager.CreateStream(bad); err == nil {
+		t.Fatal("invalid stream accepted")
+	}
+	other := cfg
+	other.ID = "s3"
+	other.DeviceID = "not-me"
+	if err := rig.manager.CreateStream(other); err == nil {
+		t.Fatal("foreign device stream accepted")
+	}
+	if err := rig.manager.RemoveStream("s1"); err != nil {
+		t.Fatalf("RemoveStream: %v", err)
+	}
+	if err := rig.manager.RemoveStream("s1"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := rig.manager.UpdateStream(cfg); err == nil {
+		t.Fatal("update of removed stream accepted")
+	}
+	if _, err := rig.manager.StreamStatus("s1"); err == nil {
+		t.Fatal("status of removed stream accepted")
+	}
+}
+
+func TestPrivacyPausesAndResumes(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	profile, err := sensors.NewProfile(geo.Stationary{At: geo.Point{Lat: 48.8566, Lon: 2.3522}})
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	dev, err := device.New(device.Config{ID: "dev1", UserID: "alice", Clock: clock, Profile: profile, Seed: 1})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	reg, err := classify.DefaultRegistry(geo.EuropeanCities())
+	if err != nil {
+		t.Fatalf("DefaultRegistry: %v", err)
+	}
+	privacy := core.NewPrivacyDescriptor() // deny all
+	m, err := New(Options{Device: dev, Classifiers: reg, Privacy: privacy})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer m.Close()
+
+	cfg := contStream("s1", sensors.ModalityLocation, core.GranularityRaw)
+	if err := m.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	if st, err := m.StreamStatus("s1"); err != nil || st != StatusPaused {
+		t.Fatalf("status = %v, %v; want paused", st, err)
+	}
+	// Permitting the modality resumes the stream (paper: "moved back to
+	// the working state later when it clears the privacy check").
+	privacy.Set(core.PrivacyPolicy{Modality: sensors.ModalityLocation, AllowRaw: true, AllowClassified: true})
+	if st, err := m.StreamStatus("s1"); err != nil || st != StatusActive {
+		t.Fatalf("status after allow = %v, %v; want active", st, err)
+	}
+	// Revoking pauses it again.
+	privacy.Remove(sensors.ModalityLocation)
+	if st, err := m.StreamStatus("s1"); err != nil || st != StatusPaused {
+		t.Fatalf("status after revoke = %v, %v; want paused", st, err)
+	}
+}
+
+func TestSocialEventStreamIdleWithoutTrigger(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := core.StreamConfig{
+		ID: "se1", Modality: sensors.ModalityMicrophone,
+		Granularity: core.GranularityClassified, Kind: core.KindSocialEvent,
+		Deliver: core.DeliverLocal,
+	}
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("se1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.Advance(time.Hour)
+	time.Sleep(10 * time.Millisecond)
+	if sink.count() != 0 {
+		t.Fatal("social-event stream sampled without a trigger")
+	}
+	// No sampling energy should have been drawn for this stream.
+	if rig.manager.Device().Meter().TotalMicroAh() != 0 {
+		t.Fatalf("idle social-event stream drew %f µAh", rig.manager.Device().Meter().TotalMicroAh())
+	}
+}
+
+func TestDutyCycleReducesSampling(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := contStream("s1", sensors.ModalityWiFi, core.GranularityRaw)
+	cfg.DutyCycle = 0.5
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	for i := 0; i < 10; i++ {
+		rig.clock.Advance(time.Minute)
+		sink.waitFor(t, (i+1)/2)
+	}
+	if sink.count() != 5 {
+		t.Fatalf("duty-cycled deliveries = %d, want 5", sink.count())
+	}
+}
+
+func TestServerBoundItemsDroppedOffline(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := contStream("s1", sensors.ModalityWiFi, core.GranularityRaw)
+	cfg.Deliver = core.DeliverServer
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("s1", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(1)
+	rig.clock.Advance(time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	// Server-bound items do not reach local listeners and offline upload
+	// drops without crashing.
+	if sink.count() != 0 {
+		t.Fatal("server-bound item leaked to local hub")
+	}
+}
+
+func TestStreamConfigsSnapshot(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	if err := rig.manager.CreateStream(contStream("a", sensors.ModalityWiFi, core.GranularityRaw)); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	if err := rig.manager.CreateStream(contStream("b", sensors.ModalityBluetooth, core.GranularityRaw)); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	cfgs := rig.manager.StreamConfigs()
+	if len(cfgs) != 2 {
+		t.Fatalf("StreamConfigs = %d entries", len(cfgs))
+	}
+	if rig.manager.DeviceID() != "dev1" || rig.manager.UserID() != "alice" {
+		t.Fatal("identity accessors wrong")
+	}
+}
+
+func TestCloseIsIdempotentAndFinal(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	if err := rig.manager.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := rig.manager.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := rig.manager.CreateStream(contStream("s", sensors.ModalityWiFi, core.GranularityRaw)); err == nil {
+		t.Fatal("CreateStream after Close accepted")
+	}
+}

@@ -1,0 +1,114 @@
+package mobile
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sensors"
+)
+
+// TestMultipleApplicationsShareOneInstance addresses the paper's main
+// limitation (§7): the original middleware "is imported as a library to
+// each individual application", so two apps could not share one instance.
+// This implementation's publish-subscribe hub supports multiple overlying
+// applications on a single manager: each registers its own streams and
+// listeners, and deliveries stay isolated.
+func TestMultipleApplicationsShareOneInstance(t *testing.T) {
+	rig := newRig(t, sensors.ActivityWalking, sensors.AudioNoisy)
+
+	// Application 1: activity stream.
+	if err := rig.manager.CreateStream(contStream("app1-activity", sensors.ModalityAccelerometer, core.GranularityClassified)); err != nil {
+		t.Fatalf("app1 CreateStream: %v", err)
+	}
+	app1 := &itemSink{}
+	if err := rig.manager.RegisterListener("app1-activity", app1); err != nil {
+		t.Fatalf("app1 RegisterListener: %v", err)
+	}
+
+	// Application 2: audio stream plus a wildcard dashboard.
+	if err := rig.manager.CreateStream(contStream("app2-audio", sensors.ModalityMicrophone, core.GranularityClassified)); err != nil {
+		t.Fatalf("app2 CreateStream: %v", err)
+	}
+	app2 := &itemSink{}
+	if err := rig.manager.RegisterListener("app2-audio", app2); err != nil {
+		t.Fatalf("app2 RegisterListener: %v", err)
+	}
+	dashboard := &itemSink{}
+	if err := rig.manager.RegisterListener(core.Wildcard, dashboard); err != nil {
+		t.Fatalf("dashboard RegisterListener: %v", err)
+	}
+
+	rig.clock.BlockUntilWaiters(2)
+	for i := 0; i < 3; i++ {
+		rig.clock.Advance(time.Minute)
+		app1.waitFor(t, i+1)
+		app2.waitFor(t, i+1)
+	}
+
+	// Isolation: each app sees only its own stream.
+	for _, it := range app1.snapshot() {
+		if it.StreamID != "app1-activity" {
+			t.Fatalf("app1 received foreign item %+v", it)
+		}
+		if it.Classified != "walking" {
+			t.Fatalf("app1 item = %+v", it)
+		}
+	}
+	for _, it := range app2.snapshot() {
+		if it.StreamID != "app2-audio" {
+			t.Fatalf("app2 received foreign item %+v", it)
+		}
+		if it.Classified != "not silent" {
+			t.Fatalf("app2 item = %+v", it)
+		}
+	}
+	// The dashboard sees both.
+	dashboard.waitFor(t, 6)
+
+	// Application 2 shutting down does not disturb application 1.
+	if err := rig.manager.RemoveStream("app2-audio"); err != nil {
+		t.Fatalf("RemoveStream: %v", err)
+	}
+	before := app1.count()
+	rig.clock.Advance(time.Minute)
+	app1.waitFor(t, before+1)
+	after2 := app2.count()
+	rig.clock.Advance(time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	if app2.count() != after2 {
+		t.Fatal("app2 still receiving after stream removal")
+	}
+}
+
+// TestSingleSensorSharedAcrossStreams verifies the flip side of shared
+// instances: two streams over the same modality coexist (each with its own
+// sampling loop and filter).
+func TestSingleSensorSharedAcrossStreams(t *testing.T) {
+	rig := newRig(t, sensors.ActivityWalking, sensors.AudioNoisy)
+	fast := contStream("fast", sensors.ModalityAccelerometer, core.GranularityClassified)
+	fast.SampleInterval = time.Minute
+	slow := contStream("slow", sensors.ModalityAccelerometer, core.GranularityClassified)
+	slow.SampleInterval = 3 * time.Minute
+	for _, cfg := range []core.StreamConfig{fast, slow} {
+		if err := rig.manager.CreateStream(cfg); err != nil {
+			t.Fatalf("CreateStream(%s): %v", cfg.ID, err)
+		}
+	}
+	fastSink, slowSink := &itemSink{}, &itemSink{}
+	if err := rig.manager.RegisterListener("fast", fastSink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	if err := rig.manager.RegisterListener("slow", slowSink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.clock.BlockUntilWaiters(2)
+	for i := 0; i < 6; i++ {
+		rig.clock.Advance(time.Minute)
+		fastSink.waitFor(t, i+1)
+		slowSink.waitFor(t, (i+1)/3)
+	}
+	if fastSink.count() != 6 || slowSink.count() != 2 {
+		t.Fatalf("deliveries: fast %d (want 6), slow %d (want 2)", fastSink.count(), slowSink.count())
+	}
+}

@@ -1,0 +1,153 @@
+package mobile
+
+import (
+	"repro/internal/core"
+	"repro/internal/osn"
+	"repro/internal/sensors"
+)
+
+// handleSample is the Filter Manager path: a fresh reading flows through
+// context refresh, filter evaluation, optional classification, and
+// delivery (local hub or upload to the server). action is non-nil when the
+// sample was taken for a social event-based stream.
+func (m *Manager) handleSample(cfg core.StreamConfig, r sensors.Reading, action *osn.Action) {
+	ctx := m.refreshContext(cfg, r, action != nil)
+
+	// Evaluate only same-user conditions here; cross-user conditions are
+	// the server Filter Manager's job (the mobile cannot see other users).
+	if !localFilter(cfg.Filter).Eval(ctx) {
+		return
+	}
+
+	item := core.Item{
+		StreamID:    cfg.ID,
+		DeviceID:    m.dev.ID(),
+		UserID:      m.dev.UserID(),
+		Modality:    cfg.Modality,
+		Granularity: cfg.Granularity,
+		Time:        r.Time,
+		Context:     ctx,
+		Action:      action,
+	}
+	switch cfg.Granularity {
+	case core.GranularityClassified:
+		label, err := m.dev.Classify(m.reg, r)
+		if err != nil {
+			m.logf("classification failed", "stream", cfg.ID, "err", err)
+			return
+		}
+		item.Classified = label
+	default:
+		raw, err := r.MarshalPayload()
+		if err != nil {
+			m.logf("payload marshal failed", "stream", cfg.ID, "err", err)
+			return
+		}
+		item.Raw = raw
+	}
+
+	switch cfg.Deliver {
+	case core.DeliverServer:
+		m.upload(item)
+	default:
+		m.hub.Publish(item)
+	}
+}
+
+// refreshContext samples and classifies the sensors the stream's filter
+// conditions require, folds in time-of-day and OSN activity, and updates
+// the manager's context cache. The stream's own reading contributes its
+// classified value too, so filters over the stream's own modality work
+// without double sampling.
+func (m *Manager) refreshContext(cfg core.StreamConfig, r sensors.Reading, osnActive bool) core.Context {
+	required, err := cfg.Filter.RequiredSensors()
+	if err != nil {
+		required = nil // validated at creation; defensive only
+	}
+	updates := make(core.Context)
+	for _, sensor := range required {
+		if sensor == r.Modality {
+			continue // the stream's own reading covers it below
+		}
+		reading, err := m.dev.Sample(sensor)
+		if err != nil {
+			continue
+		}
+		label, err := m.dev.Classify(m.reg, reading)
+		if err != nil {
+			continue
+		}
+		if ctxMod, err := core.ContextForSensor(sensor); err == nil {
+			updates[ctxMod] = label
+		}
+	}
+	// The stream's own modality contributes context when any condition
+	// needs it.
+	if ctxMod, err := core.ContextForSensor(r.Modality); err == nil {
+		if filterUses(cfg.Filter, ctxMod) {
+			if label, err := m.dev.Classify(m.reg, r); err == nil {
+				updates[ctxMod] = label
+			}
+		}
+	}
+
+	m.mu.Lock()
+	for k, v := range updates {
+		m.ctx[k] = v
+	}
+	now := m.dev.Clock().Now()
+	m.ctx[core.CtxTimeOfDay] = core.FormatClock(now.Hour(), now.Minute())
+	snapshot := make(core.Context, len(m.ctx)+2)
+	for k, v := range m.ctx {
+		snapshot[k] = v
+	}
+	m.mu.Unlock()
+
+	if osnActive {
+		snapshot[core.CtxFacebookActivity] = core.OSNActive
+		snapshot[core.CtxTwitterActivity] = core.OSNActive
+	}
+	return snapshot
+}
+
+// localFilter strips cross-user conditions, which only the server can
+// evaluate.
+func localFilter(f core.Filter) core.Filter {
+	if !f.HasCrossUser() {
+		return f
+	}
+	out := core.Filter{}
+	for _, c := range f.Conditions {
+		if c.UserID == "" {
+			out.Conditions = append(out.Conditions, c)
+		}
+	}
+	return out
+}
+
+func filterUses(f core.Filter, ctxModality string) bool {
+	for _, c := range f.Conditions {
+		if c.UserID == "" && c.Modality == ctxModality {
+			return true
+		}
+	}
+	return false
+}
+
+// upload transmits an item to the server over MQTT, charging transmission
+// energy. Offline managers drop server-bound items (and log).
+func (m *Manager) upload(item core.Item) {
+	payload, err := item.Encode()
+	if err != nil {
+		m.logf("item encode failed", "stream", item.StreamID, "err", err)
+		return
+	}
+	if m.client == nil {
+		m.logf("dropping server-bound item: offline", "stream", item.StreamID)
+		return
+	}
+	m.dev.ChargeTransmission(item.Modality, len(payload))
+	if err := m.client.Publish(core.StreamDataTopic(m.dev.ID()), payload, 0, false); err != nil {
+		m.logf("upload failed", "stream", item.StreamID, "err", err)
+	}
+}

@@ -1,0 +1,106 @@
+package mobile
+
+import (
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mqtt"
+)
+
+// onTrigger is the MQTTService equivalent: it handles triggers pushed by
+// the server's Trigger Manager. Sense triggers start one-off sampling of
+// social event-based streams; config triggers carry XML stream
+// configurations that are merged with the existing set (FilterMerge);
+// remove triggers destroy streams; notify triggers surface application
+// messages.
+func (m *Manager) onTrigger(msg mqtt.Message) {
+	trig, err := core.DecodeTrigger(msg.Payload)
+	if err != nil {
+		m.logf("bad trigger", "err", err)
+		return
+	}
+	if trig.DeviceID != m.dev.ID() {
+		return // defensive: topic routing should prevent this
+	}
+	switch trig.Kind {
+	case core.TriggerSense:
+		m.handleSenseTrigger(trig)
+	case core.TriggerConfig:
+		m.handleConfigTrigger(trig)
+	case core.TriggerConfigPull:
+		if err := m.downloadConfigs(); err != nil {
+			m.logf("config download failed", "err", err)
+		}
+	case core.TriggerRemove:
+		for _, id := range trig.StreamIDs {
+			if err := m.RemoveStream(id); err != nil {
+				m.logf("remove trigger failed", "stream", id, "err", err)
+			}
+		}
+	case core.TriggerNotify:
+		m.mu.Lock()
+		handlers := append([]func(string){}, m.onNotify...)
+		m.mu.Unlock()
+		for _, h := range handlers {
+			h(trig.Message)
+		}
+	}
+}
+
+// handleSenseTrigger performs one-off sensing for the named social
+// event-based streams (or, when none are named, every active social-event
+// stream) and couples the sampled context with the OSN action data (paper
+// §4: "On receiving such a trigger, the SenSocial Manager (mobile side)
+// initiates the one-off sensing for the social event-based streams. The
+// sampled sensor data is coupled with the OSN action data received with
+// the trigger").
+func (m *Manager) handleSenseTrigger(trig core.Trigger) {
+	m.mu.Lock()
+	var targets []core.StreamConfig
+	want := make(map[string]bool, len(trig.StreamIDs))
+	for _, id := range trig.StreamIDs {
+		want[id] = true
+	}
+	for id, rs := range m.streams {
+		if rs.status != StatusActive || rs.cfg.Kind != core.KindSocialEvent {
+			continue
+		}
+		if len(want) == 0 || want[id] {
+			targets = append(targets, rs.cfg)
+		}
+	}
+	m.mu.Unlock()
+
+	for _, cfg := range targets {
+		r, err := m.sensing.SenseOnce(cfg.Modality)
+		if err != nil {
+			m.logf("one-off sensing failed", "stream", cfg.ID, "err", err)
+			continue
+		}
+		m.handleSample(cfg, r, trig.Action)
+	}
+}
+
+// handleConfigTrigger merges pushed XML stream configurations into the
+// manager's stream set: new ids are created, existing ids updated.
+func (m *Manager) handleConfigTrigger(trig core.Trigger) {
+	configs, err := config.DecodeStreams(trig.ConfigXML)
+	if err != nil {
+		m.logf("bad config trigger", "err", err)
+		return
+	}
+	for _, cfg := range configs {
+		if cfg.DeviceID != m.dev.ID() {
+			continue
+		}
+		m.mu.Lock()
+		_, exists := m.streams[cfg.ID]
+		m.mu.Unlock()
+		if exists {
+			if err := m.UpdateStream(cfg); err != nil {
+				m.logf("remote update failed", "stream", cfg.ID, "err", err)
+			}
+		} else if err := m.CreateStream(cfg); err != nil {
+			m.logf("remote create failed", "stream", cfg.ID, "err", err)
+		}
+	}
+}

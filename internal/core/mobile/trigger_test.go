@@ -1,0 +1,165 @@
+package mobile
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mqtt"
+	"repro/internal/osn"
+	"repro/internal/sensors"
+)
+
+// mustTrigger encodes a trigger into an MQTT message for white-box
+// delivery straight into the manager's handler.
+func mustTrigger(t *testing.T, trig core.Trigger) mqtt.Message {
+	t.Helper()
+	payload, err := trig.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return mqtt.Message{Topic: core.DeviceTriggerTopic(trig.DeviceID), Payload: payload}
+}
+
+func TestSenseTriggerSamplesSocialEventStreams(t *testing.T) {
+	rig := newRig(t, sensors.ActivityWalking, sensors.AudioNoisy)
+	cfg := core.StreamConfig{
+		ID: "se", Modality: sensors.ModalityAccelerometer,
+		Granularity: core.GranularityClassified, Kind: core.KindSocialEvent,
+		Deliver: core.DeliverLocal,
+	}
+	if err := rig.manager.CreateStream(cfg); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener("se", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	action := &osn.Action{ID: "fb-1", Network: "facebook", UserID: "alice",
+		Type: osn.ActionPost, Text: "hi", Time: time.Now()}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerSense, DeviceID: "dev1", Action: action,
+	}))
+	items := sink.snapshot()
+	if len(items) != 1 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Action == nil || items[0].Action.ID != "fb-1" || items[0].Classified != "walking" {
+		t.Fatalf("item = %+v", items[0])
+	}
+	// A named sense trigger for a different stream id samples nothing new.
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerSense, DeviceID: "dev1", StreamIDs: []string{"other"}, Action: action,
+	}))
+	if sink.count() != 1 {
+		t.Fatalf("items after mismatched trigger = %d", sink.count())
+	}
+}
+
+func TestSenseTriggerSkipsContinuousAndPausedStreams(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cont := contStream("cont", sensors.ModalityWiFi, core.GranularityRaw)
+	if err := rig.manager.CreateStream(cont); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := rig.manager.RegisterListener(core.Wildcard, sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerSense, DeviceID: "dev1",
+		Action: &osn.Action{ID: "x", Network: "facebook", UserID: "alice", Type: osn.ActionLike, Time: time.Now()},
+	}))
+	if sink.count() != 0 {
+		t.Fatal("continuous stream sampled by sense trigger")
+	}
+}
+
+func TestConfigTriggerCreatesAndUpdates(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	cfg := core.StreamConfig{
+		ID: "remote", DeviceID: "dev1", Modality: sensors.ModalityBluetooth,
+		Granularity: core.GranularityRaw, Kind: core.KindContinuous,
+		SampleInterval: time.Minute, Deliver: core.DeliverLocal,
+	}
+	xml, err := config.EncodeStreams([]core.StreamConfig{cfg})
+	if err != nil {
+		t.Fatalf("EncodeStreams: %v", err)
+	}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerConfig, DeviceID: "dev1", ConfigXML: xml,
+	}))
+	if got := rig.manager.StreamConfigs(); len(got) != 1 || got[0].ID != "remote" {
+		t.Fatalf("configs = %+v", got)
+	}
+	// Update in place with a new interval.
+	cfg.SampleInterval = 5 * time.Minute
+	xml, err = config.EncodeStreams([]core.StreamConfig{cfg})
+	if err != nil {
+		t.Fatalf("EncodeStreams: %v", err)
+	}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerConfig, DeviceID: "dev1", ConfigXML: xml,
+	}))
+	got := rig.manager.StreamConfigs()
+	if len(got) != 1 || got[0].SampleInterval != 5*time.Minute {
+		t.Fatalf("configs after update = %+v", got)
+	}
+	// Configs for other devices are ignored.
+	foreign := cfg
+	foreign.ID = "foreign"
+	foreign.DeviceID = "other-dev"
+	xml, err = config.EncodeStreams([]core.StreamConfig{foreign})
+	if err != nil {
+		t.Fatalf("EncodeStreams: %v", err)
+	}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerConfig, DeviceID: "dev1", ConfigXML: xml,
+	}))
+	if len(rig.manager.StreamConfigs()) != 1 {
+		t.Fatal("foreign-device config applied")
+	}
+}
+
+func TestRemoveAndNotifyTriggers(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	if err := rig.manager.CreateStream(contStream("s1", sensors.ModalityWiFi, core.GranularityRaw)); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	var msgs []string
+	rig.manager.OnNotify(func(m string) { msgs = append(msgs, m) })
+	rig.manager.OnNotify(nil) // ignored
+
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerRemove, DeviceID: "dev1", StreamIDs: []string{"s1", "missing"},
+	}))
+	if len(rig.manager.StreamConfigs()) != 0 {
+		t.Fatal("remove trigger did not remove stream")
+	}
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerNotify, DeviceID: "dev1", Message: "ping",
+	}))
+	if len(msgs) != 1 || msgs[0] != "ping" {
+		t.Fatalf("notify = %v", msgs)
+	}
+}
+
+func TestTriggerDefenses(t *testing.T) {
+	rig := newRig(t, sensors.ActivityStill, sensors.AudioSilent)
+	var msgs []string
+	rig.manager.OnNotify(func(m string) { msgs = append(msgs, m) })
+	// Garbage payload.
+	rig.manager.onTrigger(mqtt.Message{Topic: "t", Payload: []byte("junk")})
+	// Wrong device.
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerNotify, DeviceID: "not-me", Message: "spoof",
+	}))
+	if len(msgs) != 0 {
+		t.Fatalf("defenses leaked: %v", msgs)
+	}
+	// Config-pull without an HTTP base errors but must not crash.
+	rig.manager.onTrigger(mustTrigger(t, core.Trigger{
+		Kind: core.TriggerConfigPull, DeviceID: "dev1",
+	}))
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// PrivacyPolicy states, for one sensor modality, which granularities may be
+// sampled, stored and shared (paper §3: "only data from pre-approved
+// sensors, and only data of pre-defined granularity (raw or classified) can
+// be delivered to the application").
+type PrivacyPolicy struct {
+	Modality        string `json:"modality"`
+	AllowRaw        bool   `json:"allow_raw"`
+	AllowClassified bool   `json:"allow_classified"`
+}
+
+// PrivacyDescriptor is the PrivacyPolicyDescriptor of §4: the set of
+// policies a stream configuration is screened against. Policies "can be
+// dynamically defined by the developer or exposed as settings to the
+// users"; updates re-screen existing streams (the manager subscribes to
+// changes via OnChange).
+//
+// Modalities without an explicit policy are denied — privacy defaults
+// closed.
+type PrivacyDescriptor struct {
+	mu       sync.Mutex
+	policies map[string]PrivacyPolicy
+	onChange []func()
+}
+
+// NewPrivacyDescriptor builds a descriptor from initial policies.
+func NewPrivacyDescriptor(policies ...PrivacyPolicy) *PrivacyDescriptor {
+	d := &PrivacyDescriptor{policies: make(map[string]PrivacyPolicy)}
+	for _, p := range policies {
+		d.policies[p.Modality] = p
+	}
+	return d
+}
+
+// AllowAll returns a descriptor permitting both granularities of every
+// sensor modality — the configuration the evaluation benchmarks use.
+func AllowAll(modalities []string) *PrivacyDescriptor {
+	d := NewPrivacyDescriptor()
+	for _, m := range modalities {
+		d.policies[m] = PrivacyPolicy{Modality: m, AllowRaw: true, AllowClassified: true}
+	}
+	return d
+}
+
+// Set installs or replaces a policy and notifies change subscribers.
+func (d *PrivacyDescriptor) Set(p PrivacyPolicy) {
+	d.mu.Lock()
+	d.policies[p.Modality] = p
+	subs := append([]func(){}, d.onChange...)
+	d.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+}
+
+// Remove deletes the policy for a modality (denying it) and notifies.
+func (d *PrivacyDescriptor) Remove(modality string) {
+	d.mu.Lock()
+	delete(d.policies, modality)
+	subs := append([]func(){}, d.onChange...)
+	d.mu.Unlock()
+	for _, f := range subs {
+		f()
+	}
+}
+
+// Get returns the policy for a modality.
+func (d *PrivacyDescriptor) Get(modality string) (PrivacyPolicy, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.policies[modality]
+	return p, ok
+}
+
+// OnChange registers a callback invoked after every policy change. The
+// mobile Privacy Policy Manager uses it to re-screen streams ("Whenever a
+// stream is created or modified, or the privacy settings are changed,
+// Privacy Policy Manager is invoked").
+func (d *PrivacyDescriptor) OnChange(f func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onChange = append(d.onChange, f)
+}
+
+// allowsLocked reports whether modality/granularity is permitted.
+func (d *PrivacyDescriptor) allows(modality string, g Granularity) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.policies[modality]
+	if !ok {
+		return false
+	}
+	switch g {
+	case GranularityRaw:
+		return p.AllowRaw
+	case GranularityClassified:
+		return p.AllowClassified
+	default:
+		return false
+	}
+}
+
+// Screen checks a stream configuration against the descriptor: both the
+// stream's own modality/granularity and every sensor its filter conditions
+// require (paper §3.2: "Privacy Policy Manager screens for both the
+// modality required by the stream and its filtering conditions"). Filter
+// sensors are evaluated at classified granularity, since conditions consume
+// class labels.
+func (d *PrivacyDescriptor) Screen(cfg StreamConfig) error {
+	if !d.allows(cfg.Modality, cfg.Granularity) {
+		return fmt.Errorf("core: privacy: stream %q denied: %s/%s not permitted",
+			cfg.ID, cfg.Modality, cfg.Granularity)
+	}
+	required, err := cfg.Filter.RequiredSensors()
+	if err != nil {
+		return fmt.Errorf("core: privacy: stream %q: %w", cfg.ID, err)
+	}
+	for _, s := range required {
+		if !d.allows(s, GranularityClassified) {
+			return fmt.Errorf("core: privacy: stream %q denied: filter requires %s (classified), which is not permitted",
+				cfg.ID, s)
+		}
+	}
+	return nil
+}

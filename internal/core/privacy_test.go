@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sensors"
+)
+
+func TestPrivacyDefaultsClosed(t *testing.T) {
+	d := NewPrivacyDescriptor()
+	cfg := validConfig()
+	if err := d.Screen(cfg); err == nil {
+		t.Fatal("empty descriptor allowed a stream")
+	}
+}
+
+func TestPrivacyAllowAll(t *testing.T) {
+	d := AllowAll(sensors.Modalities())
+	cfg := validConfig()
+	if err := d.Screen(cfg); err != nil {
+		t.Fatalf("AllowAll denied: %v", err)
+	}
+	cfg.Granularity = GranularityRaw
+	if err := d.Screen(cfg); err != nil {
+		t.Fatalf("AllowAll denied raw: %v", err)
+	}
+}
+
+func TestPrivacyGranularitySplit(t *testing.T) {
+	d := NewPrivacyDescriptor(PrivacyPolicy{
+		Modality: "accelerometer", AllowRaw: false, AllowClassified: true,
+	})
+	cfg := validConfig() // classified accelerometer
+	if err := d.Screen(cfg); err != nil {
+		t.Fatalf("classified denied: %v", err)
+	}
+	cfg.Granularity = GranularityRaw
+	if err := d.Screen(cfg); err == nil {
+		t.Fatal("raw allowed despite policy")
+	}
+}
+
+func TestPrivacyScreensFilterConditions(t *testing.T) {
+	// GPS stream allowed, but its filter needs classified accelerometer
+	// (physical_activity), which is denied.
+	d := NewPrivacyDescriptor(
+		PrivacyPolicy{Modality: "location", AllowRaw: true, AllowClassified: true},
+	)
+	cfg := validConfig()
+	cfg.Modality = "location"
+	cfg.Granularity = GranularityRaw
+	cfg.Filter = Filter{Conditions: []Condition{
+		{Modality: CtxPhysicalActivity, Operator: OpEquals, Value: "walking"},
+	}}
+	if err := d.Screen(cfg); err == nil {
+		t.Fatal("filter sensor requirement not screened")
+	}
+	// Permit classified accelerometer and the same config passes.
+	d.Set(PrivacyPolicy{Modality: "accelerometer", AllowClassified: true})
+	if err := d.Screen(cfg); err != nil {
+		t.Fatalf("screen after policy update: %v", err)
+	}
+}
+
+func TestPrivacyTimeAndOSNConditionsNeedNoSensorPolicy(t *testing.T) {
+	d := NewPrivacyDescriptor(
+		PrivacyPolicy{Modality: "location", AllowRaw: true, AllowClassified: true},
+	)
+	cfg := validConfig()
+	cfg.Modality = "location"
+	cfg.Granularity = GranularityClassified
+	cfg.Filter = Filter{Conditions: []Condition{
+		{Modality: CtxTimeOfDay, Operator: OpGTE, Value: "08:00"},
+		{Modality: CtxFacebookActivity, Operator: OpEquals, Value: OSNActive},
+	}}
+	if err := d.Screen(cfg); err != nil {
+		t.Fatalf("sensorless conditions screened out: %v", err)
+	}
+}
+
+func TestPrivacyOnChangeFires(t *testing.T) {
+	d := NewPrivacyDescriptor()
+	fired := 0
+	d.OnChange(func() { fired++ })
+	d.Set(PrivacyPolicy{Modality: "location", AllowRaw: true})
+	d.Remove("location")
+	if fired != 2 {
+		t.Fatalf("OnChange fired %d times, want 2", fired)
+	}
+}
+
+func TestPrivacyGetAndRemove(t *testing.T) {
+	d := NewPrivacyDescriptor(PrivacyPolicy{Modality: "wifi", AllowClassified: true})
+	p, ok := d.Get("wifi")
+	if !ok || !p.AllowClassified || p.AllowRaw {
+		t.Fatalf("Get = %+v, %v", p, ok)
+	}
+	d.Remove("wifi")
+	if _, ok := d.Get("wifi"); ok {
+		t.Fatal("policy survived Remove")
+	}
+}
+
+func TestAggregatorMultiplexes(t *testing.T) {
+	a, err := NewAggregator("join-1", "s1", "s2")
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	var got []Item
+	if err := a.Register(ListenerFunc(func(i Item) { got = append(got, i) })); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	a.OnItem(Item{StreamID: "s1", Time: time.Now()})
+	a.OnItem(Item{StreamID: "s2", Time: time.Now()})
+	a.OnItem(Item{StreamID: "s3", Time: time.Now()}) // not a source: dropped
+	if len(got) != 2 {
+		t.Fatalf("delivered %d items, want 2", len(got))
+	}
+	for _, i := range got {
+		if i.AggregateID != "join-1" {
+			t.Fatalf("item missing aggregate id: %+v", i)
+		}
+	}
+	if a.Count() != 2 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.ID() != "join-1" {
+		t.Fatalf("ID = %q", a.ID())
+	}
+}
+
+func TestAggregatorOpenSources(t *testing.T) {
+	a, err := NewAggregator("join-any")
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	n := 0
+	if err := a.Register(ListenerFunc(func(Item) { n++ })); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	a.OnItem(Item{StreamID: "whatever"})
+	if n != 1 {
+		t.Fatal("open aggregator dropped item")
+	}
+}
+
+func TestAggregatorSourceManagement(t *testing.T) {
+	a, err := NewAggregator("j", "s1")
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	n := 0
+	if err := a.Register(ListenerFunc(func(Item) { n++ })); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	a.AddSource("s2")
+	a.OnItem(Item{StreamID: "s2"})
+	a.RemoveSource("s2")
+	a.OnItem(Item{StreamID: "s2"})
+	if n != 1 {
+		t.Fatalf("delivered = %d, want 1", n)
+	}
+}
+
+func TestAggregatorValidation(t *testing.T) {
+	if _, err := NewAggregator(" "); err == nil {
+		t.Fatal("blank id accepted")
+	}
+	a, err := NewAggregator("j")
+	if err != nil {
+		t.Fatalf("NewAggregator: %v", err)
+	}
+	if err := a.Register(nil); err == nil {
+		t.Fatal("nil listener accepted")
+	}
+}

@@ -1,0 +1,373 @@
+// Package server implements the server-side SenSocial middleware of paper
+// Figure 3: the server SenSocial Manager (stream creation and subscription
+// for remote devices), the Trigger Manager (MQTT push of sense/config
+// triggers), the server Filter Manager (cross-user conditions over
+// incoming streams), aggregators, multicast streams over geographic and
+// OSN queries, and the MongoDB-backed registry of users, devices,
+// friendships and locations.
+package server
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/geo"
+	"repro/internal/mqtt"
+	"repro/internal/osn"
+	"repro/internal/vclock"
+)
+
+// Collection names in the document store.
+const (
+	usersCollection   = "users"
+	devicesCollection = "devices"
+	streamsCollection = "streams"
+	itemsCollection   = "items"
+)
+
+// Options configures the server manager.
+type Options struct {
+	// Clock supplies time; required.
+	Clock vclock.Clock
+	// Broker is the colocated MQTT broker; required.
+	Broker *mqtt.Broker
+	// Store is the document database; nil creates a fresh in-memory store.
+	Store *docstore.Store
+	// Places reverse-geocodes raw location uploads; nil disables geocoding
+	// of raw fixes (classified location items carry the city already).
+	Places *geo.PlaceDB
+	// ProcessingDelay models the original pipeline's OSN-event handling
+	// latency (Facebook app → PHP receiver → Java server → DB queries).
+	// Table 3 measures ~8.9 s between server receipt and mobile sampling;
+	// most of it is this pipeline, so experiments set it accordingly.
+	// Zero means triggers dispatch immediately.
+	ProcessingDelay time.Duration
+	// ProcessingJitter adds a uniform random delay in [0, Jitter).
+	ProcessingJitter time.Duration
+	// PersistItems stores every received item in the document store
+	// (Facebook Sensor Map's multi-user querying needs this).
+	PersistItems bool
+	// Seed makes jitter deterministic.
+	Seed int64
+	// Logger receives diagnostics; nil disables.
+	Logger *slog.Logger
+}
+
+// Manager is the server-side SenSocial Manager.
+type Manager struct {
+	clock  vclock.Clock
+	store  *docstore.Store
+	places *geo.PlaceDB
+	logger *slog.Logger
+
+	procDelay  time.Duration
+	procJitter time.Duration
+	persist    bool
+
+	hub *core.Hub
+
+	mu            sync.Mutex
+	broker        *mqtt.Broker
+	rng           *rand.Rand
+	ctx           core.Context // cross-user context: Key(user, modality) -> value
+	serverFilters map[string]core.Filter
+	multicasts    map[string]*MulticastStream
+	onItem        []func(core.Item)
+	closed        bool
+	wg            sync.WaitGroup
+}
+
+// New builds the server manager and attaches it to the broker's stream
+// data topics.
+func New(opts Options) (*Manager, error) {
+	if opts.Clock == nil {
+		return nil, fmt.Errorf("server: clock required")
+	}
+	if opts.Broker == nil {
+		return nil, fmt.Errorf("server: broker required")
+	}
+	if opts.Store == nil {
+		opts.Store = docstore.NewStore()
+	}
+	m := &Manager{
+		clock:         opts.Clock,
+		store:         opts.Store,
+		places:        opts.Places,
+		logger:        opts.Logger,
+		procDelay:     opts.ProcessingDelay,
+		procJitter:    opts.ProcessingJitter,
+		persist:       opts.PersistItems,
+		hub:           core.NewHub(),
+		rng:           rand.New(rand.NewSource(opts.Seed)),
+		ctx:           make(core.Context),
+		serverFilters: make(map[string]core.Filter),
+		multicasts:    make(map[string]*MulticastStream),
+	}
+	// Index the registry the way §5.5 prescribes for MongoDB: secondary
+	// indexes for common queries plus a geospatial index on user location.
+	users := m.store.Collection(usersCollection)
+	if err := users.CreateGeoIndex("loc"); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if err := users.CreateIndex("city"); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if err := m.store.Collection(devicesCollection).CreateIndex("user"); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	if err := m.AttachBroker(opts.Broker); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	return m, nil
+}
+
+// AttachBroker binds the manager to a broker: stream data subscriptions
+// are installed and triggers publish through it. Call again after a broker
+// restart to re-attach (deployments that restart Mosquitto do exactly
+// this).
+func (m *Manager) AttachBroker(b *mqtt.Broker) error {
+	if b == nil {
+		return fmt.Errorf("server: attach: nil broker")
+	}
+	if err := b.SubscribeLocal(core.StreamDataFilter(), m.onStreamData); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.broker = b
+	m.mu.Unlock()
+	return nil
+}
+
+// currentBroker returns the attached broker.
+func (m *Manager) currentBroker() *mqtt.Broker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.broker
+}
+
+// Store exposes the underlying document store (applications run their own
+// queries against it, as Facebook Sensor Map does).
+func (m *Manager) Store() *docstore.Store { return m.store }
+
+// RegisterUser adds a user to the registry; idempotent.
+func (m *Manager) RegisterUser(userID string) error {
+	if userID == "" {
+		return fmt.Errorf("server: register user: empty id")
+	}
+	users := m.store.Collection(usersCollection)
+	if _, err := users.Get(userID); err == nil {
+		return nil
+	}
+	if _, err := users.Insert(docstore.Doc{docstore.IDField: userID, "friends": []any{}}); err != nil {
+		return fmt.Errorf("server: register user %q: %w", userID, err)
+	}
+	return nil
+}
+
+// RegisterDevice binds a device to a user, registering the user if needed.
+func (m *Manager) RegisterDevice(userID, deviceID string) error {
+	if deviceID == "" {
+		return fmt.Errorf("server: register device: empty id")
+	}
+	if err := m.RegisterUser(userID); err != nil {
+		return err
+	}
+	devices := m.store.Collection(devicesCollection)
+	if _, err := devices.Upsert(
+		docstore.Doc{docstore.IDField: deviceID},
+		docstore.Doc{docstore.IDField: deviceID, "user": userID},
+	); err != nil {
+		return fmt.Errorf("server: register device %q: %w", deviceID, err)
+	}
+	return nil
+}
+
+// DevicesOf returns the device ids registered to a user, sorted by id.
+func (m *Manager) DevicesOf(userID string) ([]string, error) {
+	docs, err := m.store.Collection(devicesCollection).Find(
+		docstore.Doc{"user": userID}, docstore.FindOpts{SortBy: docstore.IDField})
+	if err != nil {
+		return nil, fmt.Errorf("server: devices of %q: %w", userID, err)
+	}
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		id, ok := d[docstore.IDField].(string)
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// SyncFriendships mirrors an OSN graph's friendship edges into the user
+// registry ("the server component uses a MongoDB database to store ...
+// user's OSN friendship"). Unknown users are registered.
+func (m *Manager) SyncFriendships(g *osn.Graph) error {
+	if g == nil {
+		return fmt.Errorf("server: sync friendships: nil graph")
+	}
+	users := m.store.Collection(usersCollection)
+	for _, u := range g.Users() {
+		if err := m.RegisterUser(u); err != nil {
+			return err
+		}
+		friends := g.Friends(u)
+		arr := make([]any, len(friends))
+		for i, f := range friends {
+			arr[i] = f
+		}
+		if _, err := users.Update(
+			docstore.Doc{docstore.IDField: u},
+			docstore.Doc{"$set": docstore.Doc{"friends": arr}},
+		); err != nil {
+			return fmt.Errorf("server: sync friendships of %q: %w", u, err)
+		}
+	}
+	return nil
+}
+
+// FriendsOf returns a user's friends from the registry.
+func (m *Manager) FriendsOf(userID string) ([]string, error) {
+	doc, err := m.store.Collection(usersCollection).Get(userID)
+	if err != nil {
+		return nil, fmt.Errorf("server: friends of %q: %w", userID, err)
+	}
+	arr, _ := doc["friends"].([]any)
+	out := make([]string, 0, len(arr))
+	for _, f := range arr {
+		if s, ok := f.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// UpdateUserLocation stores a user's latest position and city.
+func (m *Manager) UpdateUserLocation(userID string, pt geo.Point, city string) error {
+	update := docstore.Doc{"$set": docstore.Doc{
+		"loc":  docstore.Doc{"lat": pt.Lat, "lon": pt.Lon},
+		"city": city,
+	}}
+	n, err := m.store.Collection(usersCollection).Update(
+		docstore.Doc{docstore.IDField: userID}, update)
+	if err != nil {
+		return fmt.Errorf("server: update location of %q: %w", userID, err)
+	}
+	if n == 0 {
+		return fmt.Errorf("server: update location of %q: unknown user", userID)
+	}
+	return nil
+}
+
+// UserLocation returns a user's last known position and city.
+func (m *Manager) UserLocation(userID string) (geo.Point, string, error) {
+	doc, err := m.store.Collection(usersCollection).Get(userID)
+	if err != nil {
+		return geo.Point{}, "", fmt.Errorf("server: location of %q: %w", userID, err)
+	}
+	city, _ := doc["city"].(string)
+	loc, ok := doc["loc"].(map[string]any)
+	if !ok {
+		return geo.Point{}, city, nil
+	}
+	lat, _ := loc["lat"].(float64)
+	lon, _ := loc["lon"].(float64)
+	return geo.Point{Lat: lat, Lon: lon}, city, nil
+}
+
+// UsersInCity returns users whose latest classified location is the city.
+func (m *Manager) UsersInCity(city string) ([]string, error) {
+	docs, err := m.store.Collection(usersCollection).Find(
+		docstore.Doc{"city": city}, docstore.FindOpts{SortBy: docstore.IDField})
+	if err != nil {
+		return nil, fmt.Errorf("server: users in %q: %w", city, err)
+	}
+	return docIDs(docs), nil
+}
+
+// UsersNear returns users within radiusMeters of a point (MongoDB-style
+// geospatial query over the geo-indexed registry).
+func (m *Manager) UsersNear(center geo.Point, radiusMeters float64) ([]string, error) {
+	docs, err := m.store.Collection(usersCollection).Find(docstore.Doc{
+		"loc": docstore.Doc{"$near": docstore.Doc{
+			"lat": center.Lat, "lon": center.Lon, "$maxDistance": radiusMeters,
+		}},
+	}, docstore.FindOpts{SortBy: docstore.IDField})
+	if err != nil {
+		return nil, fmt.Errorf("server: users near %v: %w", center, err)
+	}
+	return docIDs(docs), nil
+}
+
+func docIDs(docs []docstore.Doc) []string {
+	out := make([]string, 0, len(docs))
+	for _, d := range docs {
+		if id, ok := d[docstore.IDField].(string); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Context returns a copy of the server's cross-user context cache.
+func (m *Manager) Context() core.Context {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(core.Context, len(m.ctx))
+	for k, v := range m.ctx {
+		out[k] = v
+	}
+	return out
+}
+
+// RegisterListener subscribes an application listener to a stream id (or
+// core.Wildcard). Items arrive after server-side filtering.
+func (m *Manager) RegisterListener(streamID string, l core.Listener) error {
+	return m.hub.Register(streamID, l)
+}
+
+// OnItem registers a coarse hook invoked for every accepted item
+// (experiments use it for timing).
+func (m *Manager) OnItem(f func(core.Item)) {
+	if f == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onItem = append(m.onItem, f)
+}
+
+// CreateAggregator wires an aggregator over source streams and registers
+// it on the hub.
+func (m *Manager) CreateAggregator(id string, sourceStreamIDs ...string) (*core.Aggregator, error) {
+	agg, err := core.NewAggregator(id, sourceStreamIDs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sourceStreamIDs {
+		if err := m.hub.Register(s, agg); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}
+
+// Close stops background work. The broker is owned by the caller.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+	return nil
+}
+
+func (m *Manager) logf(msg string, args ...any) {
+	if m.logger != nil {
+		m.logger.Debug(msg, args...)
+	}
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/docstore"
+	"repro/internal/mqtt"
+	"repro/internal/osn"
+	"repro/internal/sensors"
+)
+
+// CreateRemoteStream creates (or reconfigures) a stream on a remote device:
+// the configuration is recorded in the registry and pushed to the device as
+// an XML config trigger (paper §4, Remote Stream Management).
+func (m *Manager) CreateRemoteStream(cfg core.StreamConfig) error {
+	if cfg.Deliver == "" {
+		cfg.Deliver = core.DeliverServer
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if cfg.DeviceID == "" {
+		return fmt.Errorf("server: remote stream %q needs a device id", cfg.ID)
+	}
+	// Record (replacing any previous version of the stream).
+	streams := m.store.Collection(streamsCollection)
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("server: encode stream %q: %w", cfg.ID, err)
+	}
+	if _, err := streams.Upsert(
+		docstore.Doc{docstore.IDField: cfg.ID},
+		docstore.Doc{docstore.IDField: cfg.ID, "device": cfg.DeviceID, "config": string(cfgJSON)},
+	); err != nil {
+		return fmt.Errorf("server: record stream %q: %w", cfg.ID, err)
+	}
+	m.mu.Lock()
+	m.serverFilters[cfg.ID] = cfg.Filter
+	m.mu.Unlock()
+
+	xml, err := config.EncodeStreams([]core.StreamConfig{cfg})
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return m.sendTrigger(core.Trigger{
+		Kind:      core.TriggerConfig,
+		DeviceID:  cfg.DeviceID,
+		ConfigXML: xml,
+	})
+}
+
+// CreateRemoteStreamViaDownload records the stream like CreateRemoteStream
+// but, instead of pushing the XML inline, sends a config-pull trigger so
+// the device fetches its configuration document from the HTTP endpoint —
+// the paper's FilterDownloader flow.
+func (m *Manager) CreateRemoteStreamViaDownload(cfg core.StreamConfig) error {
+	if cfg.Deliver == "" {
+		cfg.Deliver = core.DeliverServer
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	if cfg.DeviceID == "" {
+		return fmt.Errorf("server: remote stream %q needs a device id", cfg.ID)
+	}
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return fmt.Errorf("server: encode stream %q: %w", cfg.ID, err)
+	}
+	if _, err := m.store.Collection(streamsCollection).Upsert(
+		docstore.Doc{docstore.IDField: cfg.ID},
+		docstore.Doc{docstore.IDField: cfg.ID, "device": cfg.DeviceID, "config": string(cfgJSON)},
+	); err != nil {
+		return fmt.Errorf("server: record stream %q: %w", cfg.ID, err)
+	}
+	m.mu.Lock()
+	m.serverFilters[cfg.ID] = cfg.Filter
+	m.mu.Unlock()
+	return m.sendTrigger(core.Trigger{
+		Kind:     core.TriggerConfigPull,
+		DeviceID: cfg.DeviceID,
+	})
+}
+
+// DestroyRemoteStream removes a server-created stream from its device and
+// the registry.
+func (m *Manager) DestroyRemoteStream(streamID string) error {
+	streams := m.store.Collection(streamsCollection)
+	doc, err := streams.Get(streamID)
+	if err != nil {
+		return fmt.Errorf("server: destroy stream %q: %w", streamID, err)
+	}
+	deviceID, _ := doc["device"].(string)
+	if _, err := streams.Delete(docstore.Doc{docstore.IDField: streamID}); err != nil {
+		return fmt.Errorf("server: destroy stream %q: %w", streamID, err)
+	}
+	m.mu.Lock()
+	delete(m.serverFilters, streamID)
+	m.mu.Unlock()
+	m.hub.Unregister(streamID)
+	return m.sendTrigger(core.Trigger{
+		Kind:      core.TriggerRemove,
+		DeviceID:  deviceID,
+		StreamIDs: []string{streamID},
+	})
+}
+
+// StreamConfigsForDevice returns the server-created stream configurations
+// targeting a device (the FilterDownloader HTTP endpoint serves these).
+func (m *Manager) StreamConfigsForDevice(deviceID string) ([]core.StreamConfig, error) {
+	docs, err := m.store.Collection(streamsCollection).Find(
+		docstore.Doc{"device": deviceID}, docstore.FindOpts{SortBy: docstore.IDField})
+	if err != nil {
+		return nil, fmt.Errorf("server: stream configs for %q: %w", deviceID, err)
+	}
+	out := make([]core.StreamConfig, 0, len(docs))
+	for _, d := range docs {
+		s, ok := d["config"].(string)
+		if !ok {
+			continue
+		}
+		var cfg core.StreamConfig
+		if err := json.Unmarshal([]byte(s), &cfg); err != nil {
+			return nil, fmt.Errorf("server: decode stream config %v: %w", d[docstore.IDField], err)
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
+}
+
+// NotifyDevice pushes an application-level message to a device.
+func (m *Manager) NotifyDevice(deviceID, message string) error {
+	return m.sendTrigger(core.Trigger{
+		Kind:     core.TriggerNotify,
+		DeviceID: deviceID,
+		Message:  message,
+	})
+}
+
+// OnOSNAction is the entry point for OSN plug-in deliveries (the PHP
+// FacebookReceiver / Twitter poller equivalent). After the configured
+// processing delay it sends a sense trigger — carrying the action JSON — to
+// every device of the acting user (paper §4: "The relevant client(s) are
+// selected and the Trigger Manager compiles the OSN action and the relevant
+// device information in a JSON-formatted string passed to the Mosquitto
+// broker").
+func (m *Manager) OnOSNAction(a osn.Action) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	delay := m.procDelay
+	if m.procJitter > 0 {
+		delay += time.Duration(m.rng.Float64() * float64(m.procJitter))
+	}
+	// OSN activity is context for cross-user filters too.
+	ctxMod := core.CtxFacebookActivity
+	if a.Network == "twitter" {
+		ctxMod = core.CtxTwitterActivity
+	}
+	m.ctx[core.Key(a.UserID, ctxMod)] = core.OSNActive
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		if delay > 0 {
+			m.clock.Sleep(delay)
+		}
+		devices, err := m.DevicesOf(a.UserID)
+		if err != nil {
+			m.logf("osn action: device lookup failed", "user", a.UserID, "err", err)
+			return
+		}
+		action := a
+		for _, dev := range devices {
+			if err := m.sendTrigger(core.Trigger{
+				Kind:     core.TriggerSense,
+				DeviceID: dev,
+				Action:   &action,
+			}); err != nil {
+				m.logf("sense trigger failed", "device", dev, "err", err)
+			}
+		}
+	}()
+}
+
+// sendTrigger hands a trigger to the colocated broker.
+func (m *Manager) sendTrigger(t core.Trigger) error {
+	payload, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return m.currentBroker().PublishLocal(mqtt.Message{
+		Topic:   core.DeviceTriggerTopic(t.DeviceID),
+		Payload: payload,
+		QoS:     1,
+	})
+}
+
+// onStreamData is the server Filter Manager's intake: every item uploaded
+// by any device arrives here via the broker.
+func (m *Manager) onStreamData(msg mqtt.Message) {
+	item, err := core.DecodeItem(msg.Payload)
+	if err != nil {
+		m.logf("bad stream item", "err", err)
+		return
+	}
+	m.ingest(item)
+}
+
+// ingest runs registry updates, cross-user filtering and delivery for one
+// item. Exposed for in-process pipelines (tests, single-binary sims).
+func (m *Manager) ingest(item core.Item) {
+	m.updateRegistryFromItem(item)
+	m.updateContextFromItem(item)
+
+	// Cross-user conditions: the mobile already enforced same-user
+	// conditions; the server filter manager enforces the rest ("streams
+	// coming from one user can be conditioned on data coming from another
+	// user").
+	m.mu.Lock()
+	filter, known := m.serverFilters[item.StreamID]
+	var snapshot core.Context
+	if known && filter.HasCrossUser() {
+		snapshot = make(core.Context, len(m.ctx))
+		for k, v := range m.ctx {
+			snapshot[k] = v
+		}
+	}
+	hooks := append([]func(core.Item){}, m.onItem...)
+	m.mu.Unlock()
+
+	if snapshot != nil {
+		for _, c := range filter.Conditions {
+			if c.UserID == "" {
+				continue
+			}
+			if !c.Eval(snapshot) {
+				return
+			}
+		}
+	}
+
+	if m.persist {
+		m.persistItem(item)
+	}
+	for _, h := range hooks {
+		h(item)
+	}
+	m.hub.Publish(item)
+	m.refreshMulticastsFor(item)
+}
+
+// updateRegistryFromItem keeps the user location registry current from
+// location streams ("the user's geographic location is updated
+// periodically").
+func (m *Manager) updateRegistryFromItem(item core.Item) {
+	if item.Modality != sensors.ModalityLocation || item.UserID == "" {
+		return
+	}
+	switch item.Granularity {
+	case core.GranularityRaw:
+		var fix sensors.LocationReading
+		if err := json.Unmarshal(item.Raw, &fix); err != nil {
+			return
+		}
+		city := ""
+		if m.places != nil {
+			city = m.places.ReverseGeocode(fix.Point())
+		}
+		if err := m.UpdateUserLocation(item.UserID, fix.Point(), city); err != nil {
+			m.logf("location update failed", "user", item.UserID, "err", err)
+		}
+	case core.GranularityClassified:
+		// Classified location is a city name; keep the previous raw point.
+		pt, _, err := m.UserLocation(item.UserID)
+		if err != nil {
+			return
+		}
+		if err := m.UpdateUserLocation(item.UserID, pt, item.Classified); err != nil {
+			m.logf("location update failed", "user", item.UserID, "err", err)
+		}
+	}
+}
+
+// updateContextFromItem maintains the cross-user context cache from
+// classified items and their carried context snapshots.
+func (m *Manager) updateContextFromItem(item core.Item) {
+	if item.UserID == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if item.Granularity == core.GranularityClassified && item.Classified != "" {
+		if ctxMod, err := core.ContextForSensor(item.Modality); err == nil {
+			m.ctx[core.Key(item.UserID, ctxMod)] = item.Classified
+		}
+	}
+	for k, v := range item.Context {
+		// Only same-user context entries (plain modality keys) are
+		// re-keyed under the item's user.
+		if core.ValidContextModality(k) {
+			m.ctx[core.Key(item.UserID, k)] = v
+		}
+	}
+}
+
+func (m *Manager) persistItem(item core.Item) {
+	doc := docstore.Doc{
+		"stream":      item.StreamID,
+		"device":      item.DeviceID,
+		"user":        item.UserID,
+		"modality":    item.Modality,
+		"granularity": string(item.Granularity),
+		"time":        item.Time.UnixMilli(),
+		"classified":  item.Classified,
+	}
+	if item.Action != nil {
+		doc["action"] = docstore.Doc{
+			"id": item.Action.ID, "type": string(item.Action.Type),
+			"text": item.Action.Text, "network": item.Action.Network,
+		}
+	}
+	if len(item.Raw) > 0 {
+		doc["raw"] = string(item.Raw)
+	}
+	if _, err := m.store.Collection(itemsCollection).Insert(doc); err != nil {
+		m.logf("persist item failed", "stream", item.StreamID, "err", err)
+	}
+}
+
+// textClassifiers are shared across calls; both are immutable after
+// construction.
+var textClassifiers = struct {
+	sentiment *classify.SentimentClassifier
+	topics    *classify.TopicClassifier
+}{classify.NewSentimentClassifier(), classify.NewTopicClassifier(nil)}
+
+// ClassifyActionText runs the server-side OSN text classifiers (topic and
+// sentiment — the paper's future-work components) over an action.
+func (m *Manager) ClassifyActionText(a osn.Action) (sentiment string, topics []string) {
+	return textClassifiers.sentiment.Classify(a.Text), textClassifiers.topics.Classify(a.Text)
+}

@@ -1,0 +1,409 @@
+// Package docstore is an in-memory document database standing in for the
+// MongoDB instance the SenSocial server uses to store user registrations,
+// OSN friendship graphs and latest geographic locations (paper §4, "Data
+// Storage and Querying").
+//
+// It supports a Mongo-like query language (see Match in query.go), update
+// operators, secondary hash indexes, and geospatial queries backed by a grid
+// index — the paper specifically calls out MongoDB's native geospatial
+// querying ("fast return of nearby users or those located within a certain
+// area") as the feature SenSocial multicast streams rely on.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// IDField is the reserved document identity field.
+const IDField = "_id"
+
+// Doc is a JSON-like document: values are nil, bool, numbers, strings,
+// []any, or nested map[string]any.
+type Doc = map[string]any
+
+// ErrNotFound is returned by operations targeting a document that does not
+// exist.
+var ErrNotFound = errors.New("docstore: document not found")
+
+// ErrDuplicateID is returned when inserting a document whose _id already
+// exists in the collection.
+var ErrDuplicateID = errors.New("docstore: duplicate _id")
+
+// Store is a set of named collections.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it if needed.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[name]
+	if !ok {
+		c = newCollection(name)
+		s.collections[name] = c
+	}
+	return c
+}
+
+// CollectionNames returns the names of all collections, sorted.
+func (s *Store) CollectionNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a collection and all its documents.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.collections, name)
+}
+
+// Collection is an ordered set of documents keyed by _id.
+type Collection struct {
+	name string
+
+	mu     sync.RWMutex
+	docs   map[string]Doc
+	order  []string // insertion order of live ids
+	seq    uint64
+	hashIx map[string]*hashIndex
+	geoIx  map[string]*geoIndex
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:   name,
+		docs:   make(map[string]Doc),
+		hashIx: make(map[string]*hashIndex),
+		geoIx:  make(map[string]*geoIndex),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Insert stores a deep copy of doc. If doc lacks an _id a fresh one is
+// assigned. The (possibly generated) id is returned.
+func (c *Collection) Insert(doc Doc) (string, error) {
+	if doc == nil {
+		return "", fmt.Errorf("docstore: insert into %q: nil document", c.name)
+	}
+	cp := deepCopyDoc(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, err := c.idForLocked(cp)
+	if err != nil {
+		return "", err
+	}
+	cp[IDField] = id
+	c.docs[id] = cp
+	c.order = append(c.order, id)
+	c.indexAddLocked(id, cp)
+	return id, nil
+}
+
+func (c *Collection) idForLocked(doc Doc) (string, error) {
+	if v, ok := doc[IDField]; ok {
+		id, ok := v.(string)
+		if !ok || id == "" {
+			return "", fmt.Errorf("docstore: insert into %q: _id must be a non-empty string, got %T", c.name, v)
+		}
+		if _, exists := c.docs[id]; exists {
+			return "", fmt.Errorf("docstore: insert into %q: id %q: %w", c.name, id, ErrDuplicateID)
+		}
+		return id, nil
+	}
+	c.seq++
+	return c.name + "-" + strconv.FormatUint(c.seq, 10), nil
+}
+
+// Get returns a deep copy of the document with the given id.
+func (c *Collection) Get(id string) (Doc, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.docs[id]
+	if !ok {
+		return nil, fmt.Errorf("docstore: get %q from %q: %w", id, c.name, ErrNotFound)
+	}
+	return deepCopyDoc(d), nil
+}
+
+// FindOpts controls Find result shaping.
+type FindOpts struct {
+	// SortBy is a field path to order results by; empty keeps insertion order.
+	SortBy string
+	// Desc reverses the sort order.
+	Desc bool
+	// Limit caps the number of results; 0 means unlimited.
+	Limit int
+}
+
+// Find returns deep copies of all documents matching query, shaped by opts.
+func (c *Collection) Find(query Doc, opts FindOpts) ([]Doc, error) {
+	m, err := compileQuery(query)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: find in %q: %w", c.name, err)
+	}
+	c.mu.RLock()
+	candidates := c.planLocked(query)
+	var out []Doc
+	for _, id := range candidates {
+		d, ok := c.docs[id]
+		if !ok {
+			continue
+		}
+		if m.match(d) {
+			out = append(out, deepCopyDoc(d))
+		}
+	}
+	c.mu.RUnlock()
+
+	if opts.SortBy != "" {
+		sort.SliceStable(out, func(i, j int) bool {
+			vi, _ := lookupPath(out[i], opts.SortBy)
+			vj, _ := lookupPath(out[j], opts.SortBy)
+			less := compareValues(vi, vj) < 0
+			if opts.Desc {
+				return !less && compareValues(vi, vj) != 0
+			}
+			return less
+		})
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out, nil
+}
+
+// FindOne returns a deep copy of the first matching document.
+func (c *Collection) FindOne(query Doc) (Doc, error) {
+	docs, err := c.Find(query, FindOpts{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("docstore: find one in %q: %w", c.name, ErrNotFound)
+	}
+	return docs[0], nil
+}
+
+// Count returns the number of documents matching query.
+func (c *Collection) Count(query Doc) (int, error) {
+	docs, err := c.Find(query, FindOpts{})
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// Update applies the update spec to every document matching query and
+// returns the number of documents modified. The update spec must use update
+// operators ($set, $unset, $inc, $push); see ApplyUpdate.
+func (c *Collection) Update(query, update Doc) (int, error) {
+	m, err := compileQuery(query)
+	if err != nil {
+		return 0, fmt.Errorf("docstore: update in %q: %w", c.name, err)
+	}
+	up, err := compileUpdate(update)
+	if err != nil {
+		return 0, fmt.Errorf("docstore: update in %q: %w", c.name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, id := range c.planLocked(query) {
+		d, ok := c.docs[id]
+		if !ok || !m.match(d) {
+			continue
+		}
+		c.indexRemoveLocked(id, d)
+		if err := up.apply(d); err != nil {
+			c.indexAddLocked(id, d)
+			return n, fmt.Errorf("docstore: update %q in %q: %w", id, c.name, err)
+		}
+		d[IDField] = id // updates may not change identity
+		c.indexAddLocked(id, d)
+		n++
+	}
+	return n, nil
+}
+
+// Upsert replaces the document matching query with doc, or inserts doc when
+// nothing matches. Returns the id of the stored document.
+func (c *Collection) Upsert(query Doc, doc Doc) (string, error) {
+	m, err := compileQuery(query)
+	if err != nil {
+		return "", fmt.Errorf("docstore: upsert in %q: %w", c.name, err)
+	}
+	cp := deepCopyDoc(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range c.planLocked(query) {
+		d, ok := c.docs[id]
+		if !ok || !m.match(d) {
+			continue
+		}
+		c.indexRemoveLocked(id, d)
+		cp[IDField] = id
+		c.docs[id] = cp
+		c.indexAddLocked(id, cp)
+		return id, nil
+	}
+	id, err := c.idForLocked(cp)
+	if err != nil {
+		return "", err
+	}
+	cp[IDField] = id
+	c.docs[id] = cp
+	c.order = append(c.order, id)
+	c.indexAddLocked(id, cp)
+	return id, nil
+}
+
+// Delete removes every document matching query and returns how many were
+// removed.
+func (c *Collection) Delete(query Doc) (int, error) {
+	m, err := compileQuery(query)
+	if err != nil {
+		return 0, fmt.Errorf("docstore: delete in %q: %w", c.name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, id := range c.planLocked(query) {
+		d, ok := c.docs[id]
+		if !ok || !m.match(d) {
+			continue
+		}
+		c.indexRemoveLocked(id, d)
+		delete(c.docs, id)
+		n++
+	}
+	if n > 0 {
+		live := c.order[:0]
+		for _, id := range c.order {
+			if _, ok := c.docs[id]; ok {
+				live = append(live, id)
+			}
+		}
+		c.order = live
+	}
+	return n, nil
+}
+
+// planLocked chooses candidate ids for a query: an index scan when the
+// query (or any conjunct of a top-level $and) has an equality on an indexed
+// field or a $near on a geo-indexed field, otherwise the full collection in
+// insertion order. The exact matcher always runs afterwards, so the plan
+// only needs to be a superset of the true result.
+func (c *Collection) planLocked(query Doc) []string {
+	if ids, ok := c.indexCandidatesLocked(query); ok {
+		return ids
+	}
+	// A top-level $and can be served by an index on any of its conjuncts.
+	if andRaw, ok := query["$and"]; ok {
+		if subs, ok := andRaw.([]any); ok {
+			for _, s := range subs {
+				if sd, ok := s.(map[string]any); ok {
+					if ids, ok := c.indexCandidatesLocked(sd); ok {
+						return ids
+					}
+				}
+			}
+		}
+	}
+	return append([]string(nil), c.order...)
+}
+
+// indexCandidatesLocked tries to serve one conjunction's fields from an
+// index.
+func (c *Collection) indexCandidatesLocked(query Doc) ([]string, bool) {
+	for field, cond := range query {
+		if strings.HasPrefix(field, "$") {
+			continue
+		}
+		if ix, ok := c.hashIx[field]; ok {
+			if isPlainValue(cond) {
+				return append([]string(nil), ix.get(hashKey(cond))...), true
+			}
+		}
+		if ix, ok := c.geoIx[field]; ok {
+			if m, ok := cond.(map[string]any); ok {
+				if nearSpec, ok := m["$near"]; ok {
+					if center, radius, err := parseNear(nearSpec); err == nil {
+						return ix.candidates(center, radius), true
+					}
+				}
+			}
+		}
+	}
+	return nil, false
+}
+
+// isPlainValue reports whether v is a literal (implicit $eq) rather than an
+// operator object.
+func isPlainValue(v any) bool {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return true
+	}
+	for k := range m {
+		if strings.HasPrefix(k, "$") {
+			return false
+		}
+	}
+	return true
+}
+
+// deepCopyDoc copies a document and all nested containers. Scalars are
+// shared (they are immutable).
+func deepCopyDoc(d Doc) Doc {
+	if d == nil {
+		return nil
+	}
+	out := make(Doc, len(d))
+	for k, v := range d {
+		out[k] = deepCopyValue(v)
+	}
+	return out
+}
+
+func deepCopyValue(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		return deepCopyDoc(t)
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = deepCopyValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,317 @@
+package docstore
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestInsertAssignsID(t *testing.T) {
+	c := NewStore().Collection("users")
+	id, err := c.Insert(Doc{"name": "alice"})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id == "" {
+		t.Fatal("empty id")
+	}
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got["name"] != "alice" || got[IDField] != id {
+		t.Fatalf("Get = %v", got)
+	}
+}
+
+func TestInsertExplicitID(t *testing.T) {
+	c := NewStore().Collection("users")
+	id, err := c.Insert(Doc{IDField: "u1", "name": "alice"})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if id != "u1" {
+		t.Fatalf("id = %q, want u1", id)
+	}
+	if _, err := c.Insert(Doc{IDField: "u1"}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate insert err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestInsertRejectsBadID(t *testing.T) {
+	c := NewStore().Collection("users")
+	if _, err := c.Insert(Doc{IDField: 42}); err == nil {
+		t.Fatal("accepted numeric _id")
+	}
+	if _, err := c.Insert(Doc{IDField: ""}); err == nil {
+		t.Fatal("accepted empty _id")
+	}
+	if _, err := c.Insert(nil); err == nil {
+		t.Fatal("accepted nil doc")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	c := NewStore().Collection("users")
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestInsertIsolation(t *testing.T) {
+	// Mutating the caller's doc after Insert must not affect the store.
+	c := NewStore().Collection("users")
+	doc := Doc{"name": "alice", "tags": []any{"a"}}
+	id, err := c.Insert(doc)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	doc["name"] = "mallory"
+	doc["tags"].([]any)[0] = "evil"
+	got, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got["name"] != "alice" || got["tags"].([]any)[0] != "a" {
+		t.Fatalf("store saw caller mutation: %v", got)
+	}
+	// Mutating a returned doc must not affect the store either.
+	got["name"] = "eve"
+	again, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if again["name"] != "alice" {
+		t.Fatalf("store saw reader mutation: %v", again)
+	}
+}
+
+func TestFindInsertionOrderAndLimit(t *testing.T) {
+	c := NewStore().Collection("events")
+	for i := 0; i < 5; i++ {
+		if _, err := c.Insert(Doc{"n": i}); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	docs, err := c.Find(Doc{}, FindOpts{})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("len = %d, want 5", len(docs))
+	}
+	for i, d := range docs {
+		if n, _ := toFloat(d["n"]); int(n) != i {
+			t.Fatalf("insertion order broken at %d: %v", i, d)
+		}
+	}
+	limited, err := c.Find(Doc{}, FindOpts{Limit: 2})
+	if err != nil {
+		t.Fatalf("Find limited: %v", err)
+	}
+	if len(limited) != 2 {
+		t.Fatalf("limited len = %d, want 2", len(limited))
+	}
+}
+
+func TestFindSort(t *testing.T) {
+	c := NewStore().Collection("scores")
+	for _, v := range []int{3, 1, 2} {
+		if _, err := c.Insert(Doc{"v": v}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	asc, err := c.Find(Doc{}, FindOpts{SortBy: "v"})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if f, _ := toFloat(asc[i]["v"]); int(f) != want {
+			t.Fatalf("asc[%d] = %v, want %d", i, asc[i]["v"], want)
+		}
+	}
+	desc, err := c.Find(Doc{}, FindOpts{SortBy: "v", Desc: true})
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	for i, want := range []int{3, 2, 1} {
+		if f, _ := toFloat(desc[i]["v"]); int(f) != want {
+			t.Fatalf("desc[%d] = %v, want %d", i, desc[i]["v"], want)
+		}
+	}
+}
+
+func TestFindOneNotFound(t *testing.T) {
+	c := NewStore().Collection("x")
+	if _, err := c.FindOne(Doc{"a": 1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateSetIncPush(t *testing.T) {
+	c := NewStore().Collection("users")
+	id, err := c.Insert(Doc{"name": "alice", "visits": 1, "tags": []any{"a"}})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	n, err := c.Update(Doc{"name": "alice"}, Doc{
+		"$set":  Doc{"city": "Paris", "profile.lang": "fr"},
+		"$inc":  Doc{"visits": 2},
+		"$push": Doc{"tags": "b"},
+	})
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("updated %d, want 1", n)
+	}
+	d, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if d["city"] != "Paris" {
+		t.Fatalf("city = %v", d["city"])
+	}
+	if lang, _ := lookupPath(d, "profile.lang"); lang != "fr" {
+		t.Fatalf("profile.lang = %v", lang)
+	}
+	if v, _ := toFloat(d["visits"]); v != 3 {
+		t.Fatalf("visits = %v, want 3", d["visits"])
+	}
+	tags := d["tags"].([]any)
+	if len(tags) != 2 || tags[1] != "b" {
+		t.Fatalf("tags = %v", tags)
+	}
+}
+
+func TestUpdateUnset(t *testing.T) {
+	c := NewStore().Collection("users")
+	id, err := c.Insert(Doc{"a": 1, "b": Doc{"c": 2}})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.Update(Doc{}, Doc{"$unset": Doc{"b.c": true, "missing.path": true}}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	d, err := c.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, ok := lookupPath(d, "b.c"); ok {
+		t.Fatal("b.c still present after $unset")
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	c := NewStore().Collection("users")
+	if _, err := c.Insert(Doc{"a": "str"}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.Update(Doc{}, Doc{}); err == nil {
+		t.Fatal("accepted empty update")
+	}
+	if _, err := c.Update(Doc{}, Doc{"$set": Doc{IDField: "x"}}); err == nil {
+		t.Fatal("accepted $set of _id")
+	}
+	if _, err := c.Update(Doc{}, Doc{"$inc": Doc{"a": 1}}); err == nil {
+		t.Fatal("accepted $inc of string field")
+	}
+	if _, err := c.Update(Doc{}, Doc{"$push": Doc{"a": 1}}); err == nil {
+		t.Fatal("accepted $push to string field")
+	}
+	if _, err := c.Update(Doc{}, Doc{"$frobnicate": Doc{"a": 1}}); err == nil {
+		t.Fatal("accepted unknown operator")
+	}
+}
+
+func TestUpsertInsertsThenReplaces(t *testing.T) {
+	c := NewStore().Collection("loc")
+	id1, err := c.Upsert(Doc{"user": "alice"}, Doc{"user": "alice", "city": "Bordeaux"})
+	if err != nil {
+		t.Fatalf("Upsert insert: %v", err)
+	}
+	id2, err := c.Upsert(Doc{"user": "alice"}, Doc{"user": "alice", "city": "Paris"})
+	if err != nil {
+		t.Fatalf("Upsert replace: %v", err)
+	}
+	if id1 != id2 {
+		t.Fatalf("upsert changed identity: %q vs %q", id1, id2)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	d, err := c.Get(id1)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if d["city"] != "Paris" {
+		t.Fatalf("city = %v, want Paris", d["city"])
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := NewStore().Collection("users")
+	for _, city := range []string{"Paris", "Paris", "Bordeaux"} {
+		if _, err := c.Insert(Doc{"city": city}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	n, err := c.Delete(Doc{"city": "Paris"})
+	if err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	count, err := c.Count(Doc{"city": "Bordeaux"})
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("Count = %d, want 1", count)
+	}
+}
+
+func TestStoreCollections(t *testing.T) {
+	s := NewStore()
+	a := s.Collection("a")
+	if got := s.Collection("a"); got != a {
+		t.Fatal("Collection not idempotent")
+	}
+	s.Collection("b")
+	names := s.CollectionNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	s.Drop("a")
+	if names := s.CollectionNames(); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("names after drop = %v", names)
+	}
+	if s.Collection("a").Len() != 0 {
+		t.Fatal("dropped collection retained documents")
+	}
+}
+
+func TestUpdateCannotChangeID(t *testing.T) {
+	c := NewStore().Collection("users")
+	id, err := c.Insert(Doc{"name": "alice"})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.Update(Doc{}, Doc{"$set": Doc{"_id": "hacked"}}); err == nil {
+		t.Fatal("update targeting _id accepted")
+	}
+	if _, err := c.Get(id); err != nil {
+		t.Fatalf("document lost: %v", err)
+	}
+}
+
+func TestFindInvalidQuery(t *testing.T) {
+	c := NewStore().Collection("x")
+	if _, err := c.Find(Doc{"$bogus": 1}, FindOpts{}); err == nil || !strings.Contains(err.Error(), "unknown top-level operator") {
+		t.Fatalf("err = %v", err)
+	}
+}

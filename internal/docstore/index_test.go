@@ -1,0 +1,220 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestHashIndexEquivalence(t *testing.T) {
+	// Indexed and unindexed collections must return identical results.
+	plain := NewStore().Collection("plain")
+	indexed := NewStore().Collection("indexed")
+	if err := indexed.CreateIndex("city"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	cities := []string{"Paris", "Bordeaux", "Lyon", "Toulouse"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		d := Doc{IDField: fmt.Sprintf("u%03d", i), "city": cities[rng.Intn(len(cities))], "n": i}
+		if _, err := plain.Insert(d); err != nil {
+			t.Fatalf("insert plain: %v", err)
+		}
+		if _, err := indexed.Insert(d); err != nil {
+			t.Fatalf("insert indexed: %v", err)
+		}
+	}
+	for _, city := range cities {
+		q := Doc{"city": city}
+		a := mustFind(t, plain, q)
+		b := mustFind(t, indexed, q)
+		if len(a) != len(b) {
+			t.Fatalf("city %s: plain %d vs indexed %d", city, len(a), len(b))
+		}
+		seen := map[string]bool{}
+		for _, d := range b {
+			seen[d[IDField].(string)] = true
+		}
+		for _, d := range a {
+			if !seen[d[IDField].(string)] {
+				t.Fatalf("indexed missing %v", d[IDField])
+			}
+		}
+	}
+}
+
+func TestHashIndexTracksUpdatesAndDeletes(t *testing.T) {
+	c := NewStore().Collection("users")
+	if err := c.CreateIndex("city"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	id, err := c.Insert(Doc{"name": "carol", "city": "Bordeaux"})
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if _, err := c.Update(Doc{IDField: id}, Doc{"$set": Doc{"city": "Paris"}}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	wantIDs(t, mustFind(t, c, Doc{"city": "Paris"}), id)
+	wantIDs(t, mustFind(t, c, Doc{"city": "Bordeaux"}))
+	if _, err := c.Delete(Doc{IDField: id}); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	wantIDs(t, mustFind(t, c, Doc{"city": "Paris"}))
+}
+
+func TestCreateIndexOnPopulatedCollection(t *testing.T) {
+	c := NewStore().Collection("users")
+	for i := 0; i < 10; i++ {
+		city := "Paris"
+		if i%2 == 0 {
+			city = "Lyon"
+		}
+		if _, err := c.Insert(Doc{"city": city}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if err := c.CreateIndex("city"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if err := c.CreateIndex("city"); err != nil {
+		t.Fatalf("CreateIndex twice: %v", err)
+	}
+	if got := len(mustFind(t, c, Doc{"city": "Paris"})); got != 5 {
+		t.Fatalf("found %d, want 5", got)
+	}
+	hash, _ := c.Indexes()
+	if len(hash) != 1 || hash[0] != "city" {
+		t.Fatalf("Indexes = %v", hash)
+	}
+}
+
+func TestCreateIndexValidation(t *testing.T) {
+	c := NewStore().Collection("x")
+	if err := c.CreateIndex(""); err == nil {
+		t.Fatal("accepted empty index path")
+	}
+	if err := c.CreateGeoIndex(""); err == nil {
+		t.Fatal("accepted empty geo index path")
+	}
+}
+
+func TestGeoIndexEquivalence(t *testing.T) {
+	// Geo-indexed $near must agree with a full scan.
+	plain := NewStore().Collection("plain")
+	indexed := NewStore().Collection("indexed")
+	if err := indexed.CreateGeoIndex("loc"); err != nil {
+		t.Fatalf("CreateGeoIndex: %v", err)
+	}
+	paris := geo.Point{Lat: 48.8566, Lon: 2.3522}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		pt := paris.Offset(rng.Float64()*40000, rng.Float64()*360)
+		d := Doc{IDField: fmt.Sprintf("u%03d", i), "loc": Doc{"lat": pt.Lat, "lon": pt.Lon}}
+		if _, err := plain.Insert(d); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if _, err := indexed.Insert(d); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	for _, radius := range []float64{500, 5000, 15000, 50000} {
+		q := Doc{"loc": Doc{"$near": Doc{"lat": paris.Lat, "lon": paris.Lon, "$maxDistance": radius}}}
+		a, b := mustFind(t, plain, q), mustFind(t, indexed, q)
+		if len(a) != len(b) {
+			t.Fatalf("radius %.0f: plain %d vs indexed %d", radius, len(a), len(b))
+		}
+	}
+}
+
+func TestGeoIndexTracksMovement(t *testing.T) {
+	// The server updates user locations continuously; the geo index must
+	// follow. This is the Figure 2 scenario at the storage layer.
+	c := NewStore().Collection("users")
+	if err := c.CreateGeoIndex("loc"); err != nil {
+		t.Fatalf("CreateGeoIndex: %v", err)
+	}
+	id, err := c.Insert(Doc{"name": "carol", "loc": Doc{"lat": 44.8378, "lon": -0.5792}}) // Bordeaux
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	nearParis := Doc{"loc": Doc{"$near": Doc{"lat": 48.8566, "lon": 2.3522, "$maxDistance": 15000.0}}}
+	wantIDs(t, mustFind(t, c, nearParis))
+	// Carol travels to Paris.
+	if _, err := c.Update(Doc{IDField: id}, Doc{"$set": Doc{"loc": Doc{"lat": 48.8566, "lon": 2.3522}}}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	wantIDs(t, mustFind(t, c, nearParis), id)
+}
+
+func TestGeoIndexHugeRadiusFallback(t *testing.T) {
+	c := NewStore().Collection("users")
+	if err := c.CreateGeoIndex("loc"); err != nil {
+		t.Fatalf("CreateGeoIndex: %v", err)
+	}
+	if _, err := c.Insert(Doc{"loc": Doc{"lat": 48.85, "lon": 2.35}}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// A planetary radius triggers the full-walk fallback and still matches.
+	q := Doc{"loc": Doc{"$near": Doc{"lat": 0.0, "lon": 0.0, "$maxDistance": 2.1e7}}}
+	if got := len(mustFind(t, c, q)); got != 1 {
+		t.Fatalf("matched %d, want 1", got)
+	}
+}
+
+func TestHashIndexNumericKeyNormalization(t *testing.T) {
+	c := NewStore().Collection("n")
+	if err := c.CreateIndex("v"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	if _, err := c.Insert(Doc{"v": int64(7)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	// Query with a different numeric type must still hit the index path
+	// and match.
+	if got := len(mustFind(t, c, Doc{"v": 7.0})); got != 1 {
+		t.Fatalf("matched %d, want 1", got)
+	}
+}
+
+func TestIndexServesAndConjuncts(t *testing.T) {
+	// The planner must use an index found inside a top-level $and, and the
+	// result must match a plain scan.
+	plain := NewStore().Collection("plain")
+	indexed := NewStore().Collection("indexed")
+	if err := indexed.CreateIndex("city"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		city := "Paris"
+		if i%3 == 0 {
+			city = "Lyon"
+		}
+		d := Doc{IDField: fmt.Sprintf("u%03d", i), "city": city, "age": i % 50}
+		if _, err := plain.Insert(d); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if _, err := indexed.Insert(d); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	q := Doc{"$and": []any{
+		Doc{"city": "Paris"},
+		Doc{"age": Doc{"$lt": 10}},
+	}}
+	a, b := mustFind(t, plain, q), mustFind(t, indexed, q)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("plain %d vs indexed %d", len(a), len(b))
+	}
+	set := map[any]bool{}
+	for _, d := range b {
+		set[d[IDField]] = true
+	}
+	for _, d := range a {
+		if !set[d[IDField]] {
+			t.Fatalf("indexed missing %v", d[IDField])
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func seedUsers(t *testing.T) *Collection {
+	t.Helper()
+	c := NewStore().Collection("users")
+	users := []Doc{
+		{IDField: "a", "name": "alice", "age": 30, "city": "Paris", "tags": []any{"osn", "mobile"},
+			"loc": Doc{"lat": 48.8566, "lon": 2.3522}},
+		{IDField: "b", "name": "bob", "age": 25, "city": "Paris",
+			"loc": Doc{"lat": 48.86, "lon": 2.36}},
+		{IDField: "c", "name": "carol", "age": 35, "city": "Bordeaux", "tags": []any{"osn"},
+			"loc": Doc{"lat": 44.8378, "lon": -0.5792}},
+		{IDField: "d", "name": "dave", "age": 40, "city": "Bordeaux", "active": true,
+			"profile": Doc{"lang": "fr", "bio": "Plays Football on weekends"}},
+		{IDField: "e", "name": "eve", "age": 28, "city": "Lyon",
+			"loc": Doc{"lat": 45.7640, "lon": 4.8357}},
+	}
+	for _, u := range users {
+		if _, err := c.Insert(u); err != nil {
+			t.Fatalf("seed insert: %v", err)
+		}
+	}
+	return c
+}
+
+func ids(docs []Doc) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d[IDField].(string)
+	}
+	return out
+}
+
+func wantIDs(t *testing.T, docs []Doc, want ...string) {
+	t.Helper()
+	got := ids(docs)
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	set := map[string]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	for _, id := range want {
+		if !set[id] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+}
+
+func mustFind(t *testing.T, c *Collection, q Doc) []Doc {
+	t.Helper()
+	docs, err := c.Find(q, FindOpts{})
+	if err != nil {
+		t.Fatalf("Find(%v): %v", q, err)
+	}
+	return docs
+}
+
+func TestQueryImplicitEq(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{"city": "Paris"}), "a", "b")
+}
+
+func TestQueryComparisons(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$gt": 30}}), "c", "d")
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$gte": 30}}), "a", "c", "d")
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$lt": 28}}), "b")
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$lte": 28}}), "b", "e")
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$gt": 25, "$lt": 35}}), "a", "e")
+	wantIDs(t, mustFind(t, c, Doc{"age": Doc{"$ne": 30}}), "b", "c", "d", "e")
+}
+
+func TestQueryComparisonTypeMismatchNeverMatches(t *testing.T) {
+	c := seedUsers(t)
+	// name is a string; $gt against a number must not match anything.
+	wantIDs(t, mustFind(t, c, Doc{"name": Doc{"$gt": 5}}))
+}
+
+func TestQueryInNin(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{"city": Doc{"$in": []any{"Paris", "Lyon"}}}), "a", "b", "e")
+	wantIDs(t, mustFind(t, c, Doc{"city": Doc{"$nin": []any{"Paris", "Lyon"}}}), "c", "d")
+}
+
+func TestQueryExists(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{"active": Doc{"$exists": true}}), "d")
+	wantIDs(t, mustFind(t, c, Doc{"active": Doc{"$exists": false}}), "a", "b", "c", "e")
+}
+
+func TestQueryContains(t *testing.T) {
+	c := seedUsers(t)
+	// Case-insensitive substring, like the paper's "posts about football".
+	wantIDs(t, mustFind(t, c, Doc{"profile.bio": Doc{"$contains": "football"}}), "d")
+}
+
+func TestQueryNestedPath(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{"profile.lang": "fr"}), "d")
+	wantIDs(t, mustFind(t, c, Doc{"profile.lang.deeper": "x"}))
+}
+
+func TestQueryArrayElementMatch(t *testing.T) {
+	c := seedUsers(t)
+	// Scalar condition against array field matches any element.
+	wantIDs(t, mustFind(t, c, Doc{"tags": "osn"}), "a", "c")
+	wantIDs(t, mustFind(t, c, Doc{"tags": Doc{"$in": []any{"mobile"}}}), "a")
+}
+
+func TestQueryAndOrNot(t *testing.T) {
+	c := seedUsers(t)
+	wantIDs(t, mustFind(t, c, Doc{
+		"$and": []any{Doc{"city": "Paris"}, Doc{"age": Doc{"$gte": 30}}},
+	}), "a")
+	wantIDs(t, mustFind(t, c, Doc{
+		"$or": []any{Doc{"city": "Lyon"}, Doc{"name": "dave"}},
+	}), "d", "e")
+	wantIDs(t, mustFind(t, c, Doc{
+		"$not": Doc{"city": "Paris"},
+	}), "c", "d", "e")
+	// Mixed top-level: implicit AND of field and $or.
+	wantIDs(t, mustFind(t, c, Doc{
+		"city": "Bordeaux",
+		"$or":  []any{Doc{"age": 35}, Doc{"age": 99}},
+	}), "c")
+}
+
+func TestQueryNear(t *testing.T) {
+	c := seedUsers(t)
+	// Within 15 km of central Paris: alice and bob.
+	near := Doc{"loc": Doc{"$near": Doc{"lat": 48.8566, "lon": 2.3522, "$maxDistance": 15000.0}}}
+	wantIDs(t, mustFind(t, c, near), "a", "b")
+	// dave has no loc field at all; must simply not match.
+}
+
+func TestQueryNearInvalid(t *testing.T) {
+	c := seedUsers(t)
+	if _, err := c.Find(Doc{"loc": Doc{"$near": "paris"}}, FindOpts{}); err == nil {
+		t.Fatal("accepted non-object $near")
+	}
+	if _, err := c.Find(Doc{"loc": Doc{"$near": Doc{"lat": 1.0}}}, FindOpts{}); err == nil {
+		t.Fatal("accepted $near without lon")
+	}
+	if _, err := c.Find(Doc{"loc": Doc{"$near": Doc{"lat": 1.0, "lon": 2.0, "$maxDistance": -5.0}}}, FindOpts{}); err == nil {
+		t.Fatal("accepted negative radius")
+	}
+}
+
+func TestQueryOperatorValidation(t *testing.T) {
+	c := seedUsers(t)
+	bad := []Doc{
+		{"age": Doc{"$frob": 1}},
+		{"age": Doc{"$in": "notarray"}},
+		{"age": Doc{"$exists": "yes"}},
+		{"bio": Doc{"$contains": 42}},
+		{"$and": "notarray"},
+		{"$not": "notobject"},
+		{"$and": []any{"notobject"}},
+	}
+	for _, q := range bad {
+		if _, err := c.Find(q, FindOpts{}); err == nil {
+			t.Errorf("query %v accepted", q)
+		}
+	}
+}
+
+func TestQueryEmptyMatchesAll(t *testing.T) {
+	c := seedUsers(t)
+	if got := len(mustFind(t, c, Doc{})); got != 5 {
+		t.Fatalf("empty query matched %d, want 5", got)
+	}
+	if got := len(mustFind(t, c, nil)); got != 5 {
+		t.Fatalf("nil query matched %d, want 5", got)
+	}
+}
+
+func TestQueryNumericCrossTypes(t *testing.T) {
+	c := NewStore().Collection("n")
+	if _, err := c.Insert(Doc{"v": int64(5)}); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	for _, q := range []Doc{
+		{"v": 5},
+		{"v": 5.0},
+		{"v": int32(5)},
+		{"v": Doc{"$gte": uint(5)}},
+	} {
+		if got := len(mustFind(t, c, q)); got != 1 {
+			t.Errorf("query %v matched %d, want 1", q, got)
+		}
+	}
+}
+
+// Property: compareValues is a total order — antisymmetric and transitive
+// over a generated value domain.
+func TestPropertyCompareValuesAntisymmetric(t *testing.T) {
+	f := func(a, b int, sa, sb string, ba, bb bool, pick uint8) bool {
+		va := pickValue(pick%6, a, sa, ba)
+		vb := pickValue((pick/6)%6, b, sb, bb)
+		return compareValues(va, vb) == -compareValues(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCompareValuesReflexive(t *testing.T) {
+	f := func(a int, s string, b bool, pick uint8) bool {
+		v := pickValue(pick%6, a, s, b)
+		return compareValues(v, v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pickValue(kind uint8, n int, s string, b bool) any {
+	switch kind {
+	case 0:
+		return nil
+	case 1:
+		return b
+	case 2:
+		return n
+	case 3:
+		return float64(n) / 3
+	case 4:
+		return s
+	default:
+		return []any{n, s}
+	}
+}
+
+// Property: a document inserted with field v matches {"field": v} for any
+// scalar v.
+func TestPropertyInsertThenEqualityFind(t *testing.T) {
+	f := func(n int, s string, b bool, pick uint8) bool {
+		v := pickValue(pick%5, n, s, b)
+		if v == nil {
+			return true // nil values do not round-trip through $eq presence semantics
+		}
+		c := NewStore().Collection("p")
+		if _, err := c.Insert(Doc{"field": v}); err != nil {
+			return false
+		}
+		docs, err := c.Find(Doc{"field": v}, FindOpts{})
+		return err == nil && len(docs) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: updates never change a document's identity and Len is invariant
+// under update.
+func TestPropertyUpdatePreservesIdentity(t *testing.T) {
+	f := func(vals []int16) bool {
+		c := NewStore().Collection("p")
+		ids := make([]string, 0, len(vals))
+		for i, v := range vals {
+			id, err := c.Insert(Doc{IDField: fmt.Sprintf("d%03d", i), "v": int(v)})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		if _, err := c.Update(Doc{}, Doc{"$set": Doc{"touched": true}}); err != nil && len(vals) > 0 {
+			return false
+		}
+		if c.Len() != len(vals) {
+			return false
+		}
+		for _, id := range ids {
+			d, err := c.Get(id)
+			if err != nil || d[IDField] != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Delete(q) removes exactly Count(q) documents and leaves the
+// rest untouched.
+func TestPropertyDeleteCountConsistency(t *testing.T) {
+	f := func(vals []uint8) bool {
+		c := NewStore().Collection("p")
+		for _, v := range vals {
+			if _, err := c.Insert(Doc{"v": int(v % 4)}); err != nil {
+				return false
+			}
+		}
+		q := Doc{"v": 1}
+		want, err := c.Count(q)
+		if err != nil {
+			return false
+		}
+		total := c.Len()
+		n, err := c.Delete(q)
+		if err != nil || n != want {
+			return false
+		}
+		left, err := c.Count(q)
+		if err != nil || left != 0 {
+			return false
+		}
+		return c.Len() == total-n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

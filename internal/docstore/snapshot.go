@@ -1,0 +1,117 @@
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Snapshots give the in-memory store MongoDB-style durability: the whole
+// store serializes to a JSON document (collections, documents, and index
+// definitions, which are rebuilt on load). The server can checkpoint its
+// registry across restarts.
+
+// snapshotFile is the serialized store shape.
+type snapshotFile struct {
+	Version     int                  `json:"version"`
+	Collections []snapshotCollection `json:"collections"`
+}
+
+type snapshotCollection struct {
+	Name        string   `json:"name"`
+	HashIndexes []string `json:"hash_indexes,omitempty"`
+	GeoIndexes  []string `json:"geo_indexes,omitempty"`
+	Docs        []Doc    `json:"docs"`
+}
+
+const snapshotVersion = 1
+
+// WriteSnapshot serializes the store to w.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	file := snapshotFile{Version: snapshotVersion}
+	for _, name := range s.CollectionNames() {
+		c := s.Collection(name)
+		sc := snapshotCollection{Name: name}
+		sc.HashIndexes, sc.GeoIndexes = c.Indexes()
+		sort.Strings(sc.HashIndexes)
+		sort.Strings(sc.GeoIndexes)
+		docs, err := c.Find(nil, FindOpts{})
+		if err != nil {
+			return fmt.Errorf("docstore: snapshot %q: %w", name, err)
+		}
+		sc.Docs = docs
+		file.Collections = append(file.Collections, sc)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(file); err != nil {
+		return fmt.Errorf("docstore: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot into a fresh store.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	var file snapshotFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("docstore: read snapshot: %w", err)
+	}
+	if file.Version != snapshotVersion {
+		return nil, fmt.Errorf("docstore: snapshot version %d unsupported", file.Version)
+	}
+	s := NewStore()
+	for _, sc := range file.Collections {
+		c := s.Collection(sc.Name)
+		for _, p := range sc.HashIndexes {
+			if err := c.CreateIndex(p); err != nil {
+				return nil, fmt.Errorf("docstore: restore %q: %w", sc.Name, err)
+			}
+		}
+		for _, p := range sc.GeoIndexes {
+			if err := c.CreateGeoIndex(p); err != nil {
+				return nil, fmt.Errorf("docstore: restore %q: %w", sc.Name, err)
+			}
+		}
+		for _, d := range sc.Docs {
+			if _, err := c.Insert(d); err != nil {
+				return nil, fmt.Errorf("docstore: restore %q: %w", sc.Name, err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// SaveFile checkpoints the store to a file (atomically via rename).
+func (s *Store) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	if err := s.WriteSnapshot(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("docstore: save: %w", err)
+	}
+	return nil
+}
+
+// LoadFile restores a store from a checkpoint file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("docstore: load: %w", err)
+	}
+	defer f.Close()
+	return ReadSnapshot(f)
+}

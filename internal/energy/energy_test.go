@@ -1,0 +1,208 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.Add(TaskSampling, ModAccelerometer, 3)
+	m.Add(TaskTransmission, ModAccelerometer, 13)
+	m.Add(TaskSampling, ModLocation, 10)
+	if got := m.TotalMicroAh(); got != 26 {
+		t.Fatalf("total = %f, want 26", got)
+	}
+	byTask := m.ByTask()
+	if byTask[TaskSampling] != 13 || byTask[TaskTransmission] != 13 {
+		t.Fatalf("byTask = %v", byTask)
+	}
+	byLabel := m.ByLabel()
+	if byLabel[ModAccelerometer] != 16 || byLabel[ModLocation] != 10 {
+		t.Fatalf("byLabel = %v", byLabel)
+	}
+	if got := m.TaskLabel(TaskSampling, ModAccelerometer); got != 3 {
+		t.Fatalf("TaskLabel = %f, want 3", got)
+	}
+}
+
+func TestMeterIgnoresNonPositive(t *testing.T) {
+	m := NewMeter()
+	m.Add(TaskSampling, "x", 0)
+	m.Add(TaskSampling, "x", -5)
+	if m.TotalMicroAh() != 0 {
+		t.Fatalf("total = %f, want 0", m.TotalMicroAh())
+	}
+}
+
+func TestMeterResetAndLabels(t *testing.T) {
+	m := NewMeter()
+	m.Add(TaskIdle, "b", 1)
+	m.Add(TaskIdle, "a", 1)
+	labels := m.Labels()
+	if len(labels) != 2 || labels[0] != "a" || labels[1] != "b" {
+		t.Fatalf("labels = %v", labels)
+	}
+	m.Reset()
+	if m.TotalMicroAh() != 0 || len(m.Labels()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	cases := map[Task]string{
+		TaskSampling:       "sampling",
+		TaskClassification: "classification",
+		TaskTransmission:   "transmission",
+		TaskIdle:           "idle",
+		Task(99):           "task(99)",
+	}
+	for task, want := range cases {
+		if got := task.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(task), got, want)
+		}
+	}
+	if len(Tasks()) != 4 {
+		t.Fatalf("Tasks() = %v", Tasks())
+	}
+}
+
+func TestBattery(t *testing.T) {
+	b, err := NewBattery(2500) // Galaxy N7000
+	if err != nil {
+		t.Fatalf("NewBattery: %v", err)
+	}
+	if b.LevelFraction() != 1 {
+		t.Fatalf("initial level = %f", b.LevelFraction())
+	}
+	b.Drain(1250 * 1000) // half
+	if got := b.LevelFraction(); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("level = %f, want 0.5", got)
+	}
+	b.Drain(1e12) // overdrain floors at 0
+	if got := b.LevelFraction(); got != 0 {
+		t.Fatalf("level = %f, want 0", got)
+	}
+	b.Drain(-5)
+	if got := b.DrainedMicroAh(); got != 2500*1000 {
+		t.Fatalf("drained = %f", got)
+	}
+}
+
+func TestBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0); err == nil {
+		t.Fatal("accepted zero capacity")
+	}
+	if _, err := NewBattery(-1); err == nil {
+		t.Fatal("accepted negative capacity")
+	}
+}
+
+func TestDefaultCostModelCalibration(t *testing.T) {
+	cm := DefaultCostModel()
+	// Payload sizes approximating the real streams (see sensors package:
+	// the accelerometer window uses a fixed-point wire encoding of ~7.3 kB).
+	payload := map[string]struct{ raw, classified int }{
+		ModAccelerometer: {7300, 30},
+		ModMicrophone:    {1600, 30},
+		ModLocation:      {120, 30},
+		ModBluetooth:     {80, 30},
+		ModWiFi:          {150, 30},
+	}
+	cycleCost := func(mod string, classified bool) float64 {
+		s, err := cm.SamplingCost(mod)
+		if err != nil {
+			t.Fatalf("SamplingCost(%s): %v", mod, err)
+		}
+		total := s
+		if classified {
+			c, err := cm.ClassificationCost(mod)
+			if err != nil {
+				t.Fatalf("ClassificationCost(%s): %v", mod, err)
+			}
+			total += c + cm.TransmissionCost(payload[mod].classified)
+		} else {
+			total += cm.TransmissionCost(payload[mod].raw)
+		}
+		return total
+	}
+
+	accRaw := cycleCost(ModAccelerometer, false)
+	accCls := cycleCost(ModAccelerometer, true)
+	// Paper: classification halves the accelerometer stream's energy.
+	if ratio := accCls / accRaw; ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("classified/raw accel ratio = %f, want ~0.5", ratio)
+	}
+	// Accelerometer raw must be transmission-dominated.
+	if tx := cm.TransmissionCost(payload[ModAccelerometer].raw); tx < accRaw/2 {
+		t.Fatalf("accel raw tx %f not dominant of %f", tx, accRaw)
+	}
+	// Location must be sampling-dominated (GPS).
+	locSampling, err := cm.SamplingCost(ModLocation)
+	if err != nil {
+		t.Fatalf("SamplingCost: %v", err)
+	}
+	if locRaw := cycleCost(ModLocation, false); locSampling < locRaw/2 {
+		t.Fatalf("GPS sampling %f not dominant of %f", locSampling, locRaw)
+	}
+	// One full five-modality raw cycle ≈ 45.4 µAh (Table 4 slope).
+	sum := 0.0
+	for _, mod := range Modalities() {
+		sum += cycleCost(mod, false)
+	}
+	if sum < 40 || sum > 51 {
+		t.Fatalf("five-modality cycle = %f µAh, want ≈ 45.4", sum)
+	}
+}
+
+func TestCostModelUnknownModality(t *testing.T) {
+	cm := DefaultCostModel()
+	if _, err := cm.SamplingCost("thermometer"); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+	if _, err := cm.ClassificationCost("thermometer"); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}
+
+func TestTransmissionAndIdleCosts(t *testing.T) {
+	cm := DefaultCostModel()
+	if got := cm.TransmissionCost(0); got != cm.TxPerMessage {
+		t.Fatalf("zero-byte tx = %f", got)
+	}
+	if got := cm.TransmissionCost(-10); got != cm.TxPerMessage {
+		t.Fatalf("negative bytes tx = %f", got)
+	}
+	if got := cm.TransmissionCost(8000); got <= cm.TxPerMessage {
+		t.Fatal("per-byte cost not applied")
+	}
+	if got := cm.IdleCost(20); math.Abs(got-6.3) > 0.5 {
+		t.Fatalf("20-min idle = %f, want ≈ 6.3 (Table 4 intercept)", got)
+	}
+	if cm.IdleCost(-1) != 0 {
+		t.Fatal("negative idle minutes not clamped")
+	}
+}
+
+// Property: meter total always equals the sum of per-task totals.
+func TestPropertyMeterConsistency(t *testing.T) {
+	f := func(amounts []float64) bool {
+		m := NewMeter()
+		tasks := Tasks()
+		for i, a := range amounts {
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				continue
+			}
+			m.Add(tasks[i%len(tasks)], "mod", math.Mod(math.Abs(a), 1000))
+		}
+		sum := 0.0
+		for _, v := range m.ByTask() {
+			sum += v
+		}
+		return math.Abs(sum-m.TotalMicroAh()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// Figure5Point is one point of the CPU-load curves.
+type Figure5Point struct {
+	Streams   int
+	LocalCPU  float64 // [0,1]
+	ServerCPU float64 // [0,1]
+}
+
+// Figure5Result reproduces "CPU load with increasing number of sensor data
+// streams", with the paper's two series: streams consumed locally vs
+// streams transmitted to the server.
+type Figure5Result struct {
+	Points []Figure5Point
+	// CycleSeconds is the sampling period against which utilization is
+	// computed (60 s in the paper's configuration).
+	CycleSeconds float64
+}
+
+// RunFigure5 measures the CPU cost of one 60-second sampling cycle with n
+// classified streams, for n in 0..50, locally consumed and
+// server-transmitted.
+func RunFigure5() (*Figure5Result, error) {
+	res := &Figure5Result{CycleSeconds: 60}
+	for n := 0; n <= 50; n += 5 {
+		local, err := figure5CPU(n, false)
+		if err != nil {
+			return nil, err
+		}
+		remote, err := figure5CPU(n, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Figure5Point{Streams: n, LocalCPU: local, ServerCPU: remote})
+	}
+	return res, nil
+}
+
+// figure5CPU runs one full sampling cycle with n streams and returns CPU
+// utilization over the 60 s cycle window.
+func figure5CPU(n int, toServer bool) (float64, error) {
+	clock := vclock.NewManual(epoch)
+	dev, reg, err := benchDevice(clock, int64(200+n))
+	if err != nil {
+		return 0, err
+	}
+	dev.CPU().Reset()
+	for i := 0; i < n; i++ {
+		r, err := dev.Sample(sensors.ModalityAccelerometer)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: figure5: %w", err)
+		}
+		label, err := dev.Classify(reg, r)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: figure5: %w", err)
+		}
+		if toServer {
+			payload, err := json.Marshal(map[string]string{"classified": label})
+			if err != nil {
+				return 0, fmt.Errorf("experiments: figure5: %w", err)
+			}
+			dev.ChargeTransmission(sensors.ModalityAccelerometer, len(payload))
+		}
+	}
+	return dev.CPU().Utilization(60 * time.Second), nil
+}
+
+// CheckShape verifies the paper's findings: "the CPU load grows
+// significantly only for streams transmitted to the server. Still, the CPU
+// load is less than 10% even with five streams".
+func (r *Figure5Result) CheckShape() error {
+	var last Figure5Point
+	for _, p := range r.Points {
+		if p.Streams == 50 {
+			last = p
+		}
+	}
+	if last.Streams != 50 {
+		return fmt.Errorf("figure5: missing 50-stream point")
+	}
+	// Server streams must load the CPU several times more than local ones.
+	if last.ServerCPU < 3*last.LocalCPU {
+		return fmt.Errorf("figure5: server/local ratio at 50 streams = %.1f, want >= 3",
+			last.ServerCPU/last.LocalCPU)
+	}
+	// Local streams stay light (paper: ~8% at 50).
+	if last.LocalCPU > 0.15 {
+		return fmt.Errorf("figure5: local CPU at 50 streams = %.0f%%, want light", last.LocalCPU*100)
+	}
+	// Server streams approach the paper's ~55% at 50.
+	if last.ServerCPU < 0.3 || last.ServerCPU > 0.8 {
+		return fmt.Errorf("figure5: server CPU at 50 streams = %.0f%%, paper ~55%%", last.ServerCPU*100)
+	}
+	// Five streams of either kind stay under 10% (paper's headline claim).
+	for _, p := range r.Points {
+		if p.Streams == 5 && (p.LocalCPU > 0.10 || p.ServerCPU > 0.10) {
+			return fmt.Errorf("figure5: 5 streams exceed 10%% CPU (local %.1f%%, server %.1f%%)",
+				p.LocalCPU*100, p.ServerCPU*100)
+		}
+	}
+	// Monotone non-decreasing curves.
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].ServerCPU < r.Points[i-1].ServerCPU || r.Points[i].LocalCPU < r.Points[i-1].LocalCPU {
+			return fmt.Errorf("figure5: non-monotone curve at %d streams", r.Points[i].Streams)
+		}
+	}
+	return nil
+}
+
+// Report renders both series.
+func (r *Figure5Result) Report() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — CPU load vs number of streams (60 s sampling cycle)\n")
+	b.WriteString("paper: local ≈ 8% and server ≈ 55% at 50 streams; <10% at 5 streams\n\n")
+	tb := &tableBuilder{}
+	tb.add("streams", "local CPU %", "server CPU %")
+	for _, p := range r.Points {
+		tb.add(fmt.Sprintf("%d", p.Streams), f1(p.LocalCPU*100), f1(p.ServerCPU*100))
+	}
+	b.WriteString(tb.String())
+	if err := r.CheckShape(); err != nil {
+		fmt.Fprintf(&b, "\nSHAPE CHECK FAILED: %v\n", err)
+	} else {
+		b.WriteString("\nshape check: OK (server streams dominate CPU; local streams stay light)\n")
+	}
+	return b.String()
+}

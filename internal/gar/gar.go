@@ -1,0 +1,147 @@
+// Package gar simulates the Google Activity Recognition (GAR) service the
+// paper benchmarks against (§5.2, §5.3): an application links against a
+// platform service that delivers high-level physical-activity updates.
+// Because the heavy lifting happens inside "Google Play Services" — outside
+// the application's user space — the application-side footprint is small
+// and the energy cost is opaque: the paper measures it at roughly 25% below
+// a classified SenSocial accelerometer stream.
+//
+// The simulated service samples the device's accelerometer suite directly
+// (bypassing the middleware) and charges a single flat per-cycle cost to
+// the battery under the "acc-gar" label.
+package gar
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/sensors"
+)
+
+// CycleCostMicroAh is the flat per-cycle platform cost, calibrated to 75%
+// of the classified SenSocial accelerometer stream (≈8 µAh/cycle → 6).
+const CycleCostMicroAh = 6.0
+
+// ActivityUpdate is one high-level activity report.
+type ActivityUpdate struct {
+	Activity   string    `json:"activity"`
+	Time       time.Time `json:"time"`
+	Confidence int       `json:"confidence"`
+}
+
+// Options configures the client.
+type Options struct {
+	// Device hosts the service.
+	Device *device.Device
+	// Interval between activity updates (default 60 s, matching the
+	// SenSocial evaluation's sensing cycle).
+	Interval time.Duration
+}
+
+// Client is the application-side handle to the activity recognition
+// service.
+type Client struct {
+	dev        *device.Device
+	interval   time.Duration
+	classifier classify.ActivityClassifier
+
+	mu        sync.Mutex
+	listeners []func(ActivityUpdate)
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New connects to the platform service and starts update delivery.
+func New(opts Options) (*Client, error) {
+	if opts.Device == nil {
+		return nil, fmt.Errorf("gar: device required")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = time.Minute
+	}
+	c := &Client{
+		dev:        opts.Device,
+		interval:   opts.Interval,
+		classifier: classify.NewActivityClassifier(),
+		done:       make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.loop()
+	}()
+	return c, nil
+}
+
+// RegisterActivityListener subscribes to activity updates.
+func (c *Client) RegisterActivityListener(fn func(ActivityUpdate)) error {
+	if fn == nil {
+		return fmt.Errorf("gar: nil listener")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("gar: client closed")
+	}
+	c.listeners = append(c.listeners, fn)
+	return nil
+}
+
+func (c *Client) loop() {
+	t := c.dev.Clock().NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C():
+			c.cycle()
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// cycle performs one platform-side recognition pass: sample, classify,
+// deliver, charge the flat opaque cost.
+func (c *Client) cycle() {
+	now := c.dev.Clock().Now()
+	reading, err := c.dev.Suite().Sample(sensors.ModalityAccelerometer, now)
+	if err != nil {
+		return
+	}
+	label, err := c.classifier.Classify(reading.Payload)
+	if err != nil {
+		return
+	}
+	// Flat platform cost: drawn from the battery but not decomposable by
+	// DDMS/PowerTutor task attribution, hence a single sampling-task entry
+	// under a dedicated label.
+	c.dev.Meter().Add(energy.TaskSampling, "acc-gar", CycleCostMicroAh)
+	c.dev.Battery().Drain(CycleCostMicroAh)
+
+	update := ActivityUpdate{Activity: label, Time: now, Confidence: 85}
+	c.mu.Lock()
+	ls := append([]func(ActivityUpdate){}, c.listeners...)
+	c.mu.Unlock()
+	for _, fn := range ls {
+		fn(update)
+	}
+}
+
+// Close stops update delivery.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	c.mu.Unlock()
+	c.wg.Wait()
+}

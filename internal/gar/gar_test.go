@@ -1,0 +1,105 @@
+package gar
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+var epoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+func newClient(t *testing.T, clock vclock.Clock, act sensors.Activity) (*Client, *device.Device) {
+	t.Helper()
+	p, err := sensors.NewProfile(geo.Stationary{At: geo.Point{Lat: 48.8566, Lon: 2.3522}},
+		sensors.WithPhases(false, sensors.Phase{Activity: act, Audio: sensors.AudioSilent, Duration: 100 * time.Hour}))
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	dev, err := device.New(device.Config{ID: "d", Clock: clock, Profile: p, Seed: 1})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	c, err := New(Options{Device: dev, Interval: time.Minute})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c, dev
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing device accepted")
+	}
+	clock := vclock.NewManual(epoch)
+	c, _ := newClient(t, clock, sensors.ActivityStill)
+	if err := c.RegisterActivityListener(nil); err == nil {
+		t.Fatal("nil listener accepted")
+	}
+}
+
+func TestDeliversClassifiedActivity(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	c, dev := newClient(t, clock, sensors.ActivityRunning)
+	var mu sync.Mutex
+	var got []ActivityUpdate
+	if err := c.RegisterActivityListener(func(u ActivityUpdate) {
+		mu.Lock()
+		got = append(got, u)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("RegisterActivityListener: %v", err)
+	}
+	clock.BlockUntilWaiters(1)
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Minute)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			n := len(got)
+			mu.Unlock()
+			if n >= i+1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("update %d missing", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, u := range got {
+		if u.Activity != "running" {
+			t.Fatalf("activity = %q, want running", u.Activity)
+		}
+	}
+	// Flat cost: 3 cycles x 6 µAh.
+	want := 3 * CycleCostMicroAh
+	if drained := dev.Battery().DrainedMicroAh(); drained != want {
+		t.Fatalf("drained = %f, want %f", drained, want)
+	}
+	if byLabel := dev.Meter().ByLabel(); byLabel["acc-gar"] != want {
+		t.Fatalf("meter = %v", byLabel)
+	}
+}
+
+func TestCloseStopsUpdates(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	c, dev := newClient(t, clock, sensors.ActivityStill)
+	c.Close()
+	c.Close() // idempotent
+	clock.Advance(10 * time.Minute)
+	time.Sleep(5 * time.Millisecond)
+	if dev.Battery().DrainedMicroAh() != 0 {
+		t.Fatal("closed client still charging")
+	}
+	if err := c.RegisterActivityListener(func(ActivityUpdate) {}); err == nil {
+		t.Fatal("listener accepted after close")
+	}
+}

@@ -1,0 +1,104 @@
+// Package geo provides the geodesy substrate used by the sensor simulator
+// and the server-side multicast stream queries: points, haversine distances,
+// bounding circles, a synthetic place database with reverse geocoding, and
+// waypoint movement models for simulated users.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used by haversine computations.
+const EarthRadiusMeters = 6371000.0
+
+// Point is a WGS84 coordinate.
+type Point struct {
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// Valid reports whether the point lies within legal latitude/longitude bounds.
+func (p Point) Valid() bool {
+	return p.Lat >= -90 && p.Lat <= 90 && p.Lon >= -180 && p.Lon <= 180 &&
+		!math.IsNaN(p.Lat) && !math.IsNaN(p.Lon)
+}
+
+// String formats the point with five decimal places (~1 m resolution).
+func (p Point) String() string {
+	return fmt.Sprintf("(%.5f, %.5f)", p.Lat, p.Lon)
+}
+
+// DistanceMeters returns the haversine great-circle distance to q in meters.
+func (p Point) DistanceMeters(q Point) float64 {
+	lat1 := p.Lat * math.Pi / 180
+	lat2 := q.Lat * math.Pi / 180
+	dLat := (q.Lat - p.Lat) * math.Pi / 180
+	dLon := (q.Lon - p.Lon) * math.Pi / 180
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	c := 2 * math.Atan2(math.Sqrt(a), math.Sqrt(1-a))
+	return EarthRadiusMeters * c
+}
+
+// BearingTo returns the initial bearing from p to q in degrees [0, 360).
+func (p Point) BearingTo(q Point) float64 {
+	lat1 := p.Lat * math.Pi / 180
+	lat2 := q.Lat * math.Pi / 180
+	dLon := (q.Lon - p.Lon) * math.Pi / 180
+	y := math.Sin(dLon) * math.Cos(lat2)
+	x := math.Cos(lat1)*math.Sin(lat2) - math.Sin(lat1)*math.Cos(lat2)*math.Cos(dLon)
+	deg := math.Atan2(y, x) * 180 / math.Pi
+	return math.Mod(deg+360, 360)
+}
+
+// Offset returns the point reached by travelling distanceMeters from p along
+// the given bearing (degrees clockwise from north).
+func (p Point) Offset(distanceMeters, bearingDeg float64) Point {
+	ang := distanceMeters / EarthRadiusMeters
+	brg := bearingDeg * math.Pi / 180
+	lat1 := p.Lat * math.Pi / 180
+	lon1 := p.Lon * math.Pi / 180
+	lat2 := math.Asin(math.Sin(lat1)*math.Cos(ang) + math.Cos(lat1)*math.Sin(ang)*math.Cos(brg))
+	lon2 := lon1 + math.Atan2(
+		math.Sin(brg)*math.Sin(ang)*math.Cos(lat1),
+		math.Cos(ang)-math.Sin(lat1)*math.Sin(lat2),
+	)
+	// Normalize longitude to [-180, 180].
+	lonDeg := math.Mod(lon2*180/math.Pi+540, 360) - 180
+	return Point{Lat: lat2 * 180 / math.Pi, Lon: lonDeg}
+}
+
+// MoveToward advances from p toward target by at most stepMeters, returning
+// the new position and whether the target was reached.
+func (p Point) MoveToward(target Point, stepMeters float64) (Point, bool) {
+	d := p.DistanceMeters(target)
+	if d <= stepMeters || d == 0 {
+		return target, true
+	}
+	return p.Offset(stepMeters, p.BearingTo(target)), false
+}
+
+// Circle is a geographic region defined by a center and a radius.
+type Circle struct {
+	Center Point   `json:"center"`
+	Radius float64 `json:"radius_m"`
+}
+
+// Contains reports whether pt lies within the circle.
+func (c Circle) Contains(pt Point) bool {
+	return c.Center.DistanceMeters(pt) <= c.Radius
+}
+
+// BoundingBox returns a latitude/longitude box that encloses the circle.
+// Used by grid-based geo indexes to prune candidates before the exact
+// haversine check.
+func (c Circle) BoundingBox() (minLat, minLon, maxLat, maxLon float64) {
+	dLat := c.Radius / EarthRadiusMeters * 180 / math.Pi
+	cosLat := math.Cos(c.Center.Lat * math.Pi / 180)
+	if cosLat < 1e-9 {
+		cosLat = 1e-9
+	}
+	dLon := dLat / cosLat
+	return c.Center.Lat - dLat, c.Center.Lon - dLon, c.Center.Lat + dLat, c.Center.Lon + dLon
+}

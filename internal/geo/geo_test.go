@@ -1,0 +1,171 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	paris    = Point{48.8566, 2.3522}
+	bordeaux = Point{44.8378, -0.5792}
+)
+
+func TestDistanceKnownCities(t *testing.T) {
+	// Paris-Bordeaux great-circle distance is ~499 km.
+	d := paris.DistanceMeters(bordeaux)
+	if d < 480000 || d > 520000 {
+		t.Fatalf("Paris-Bordeaux distance = %.0f m, want ~499 km", d)
+	}
+}
+
+func TestDistanceZero(t *testing.T) {
+	if d := paris.DistanceMeters(paris); d != 0 {
+		t.Fatalf("self distance = %f, want 0", d)
+	}
+}
+
+func TestPointValid(t *testing.T) {
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0, 0}, true},
+		{Point{90, 180}, true},
+		{Point{-90, -180}, true},
+		{Point{91, 0}, false},
+		{Point{0, 181}, false},
+		{Point{math.NaN(), 0}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Valid(); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := paris.String(); s != "(48.85660, 2.35220)" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// clampPoint maps arbitrary quick-generated floats into valid coordinates.
+func clampPoint(lat, lon float64) Point {
+	if math.IsNaN(lat) || math.IsInf(lat, 0) {
+		lat = 0
+	}
+	if math.IsNaN(lon) || math.IsInf(lon, 0) {
+		lon = 0
+	}
+	lat = math.Mod(math.Abs(lat), 160) - 80 // stay away from poles
+	lon = math.Mod(math.Abs(lon), 360) - 180
+	return Point{lat, lon}
+}
+
+func TestPropertyDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p, q := clampPoint(lat1, lon1), clampPoint(lat2, lon2)
+		d1, d2 := p.DistanceMeters(q), q.DistanceMeters(p)
+		return math.Abs(d1-d2) < 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDistanceNonNegativeAndBounded(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		p, q := clampPoint(lat1, lon1), clampPoint(lat2, lon2)
+		d := p.DistanceMeters(q)
+		return d >= 0 && d <= math.Pi*EarthRadiusMeters+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3 float64) bool {
+		p, q, r := clampPoint(a1, o1), clampPoint(a2, o2), clampPoint(a3, o3)
+		// Allow a small slack for floating point error.
+		return p.DistanceMeters(r) <= p.DistanceMeters(q)+q.DistanceMeters(r)+1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyOffsetRoundTrip(t *testing.T) {
+	// Travelling d meters at any bearing lands d meters away (within 0.1%).
+	f := func(lat, lon float64, distRaw, brgRaw float64) bool {
+		p := clampPoint(lat, lon)
+		dist := math.Mod(math.Abs(distRaw), 100000) // up to 100 km
+		brg := math.Mod(math.Abs(brgRaw), 360)
+		q := p.Offset(dist, brg)
+		got := p.DistanceMeters(q)
+		return math.Abs(got-dist) <= 0.001*dist+0.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	north := paris.Offset(1000, 0)
+	if b := paris.BearingTo(north); b > 1 && b < 359 {
+		t.Fatalf("bearing to northern point = %f, want ~0", b)
+	}
+	east := paris.Offset(1000, 90)
+	if b := paris.BearingTo(east); math.Abs(b-90) > 1 {
+		t.Fatalf("bearing to eastern point = %f, want ~90", b)
+	}
+}
+
+func TestMoveToward(t *testing.T) {
+	pos := bordeaux
+	steps := 0
+	for {
+		var arrived bool
+		pos, arrived = pos.MoveToward(paris, 50000)
+		steps++
+		if arrived {
+			break
+		}
+		if steps > 100 {
+			t.Fatal("MoveToward never arrived")
+		}
+	}
+	// ~499 km at 50 km per step: 10 steps (last one partial).
+	if steps < 9 || steps > 11 {
+		t.Fatalf("steps = %d, want ~10", steps)
+	}
+	if pos != paris {
+		t.Fatalf("final position %v, want %v", pos, paris)
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := Circle{Center: paris, Radius: 15000}
+	if !c.Contains(paris) {
+		t.Fatal("circle does not contain its center")
+	}
+	if !c.Contains(paris.Offset(14000, 45)) {
+		t.Fatal("circle does not contain interior point")
+	}
+	if c.Contains(bordeaux) {
+		t.Fatal("Paris circle contains Bordeaux")
+	}
+}
+
+func TestCircleBoundingBoxEnclosesCircle(t *testing.T) {
+	c := Circle{Center: paris, Radius: 10000}
+	minLat, minLon, maxLat, maxLon := c.BoundingBox()
+	for brg := 0.0; brg < 360; brg += 30 {
+		edge := c.Center.Offset(c.Radius*0.999, brg)
+		if edge.Lat < minLat || edge.Lat > maxLat || edge.Lon < minLon || edge.Lon > maxLon {
+			t.Fatalf("edge point %v at bearing %f outside bbox [%f,%f,%f,%f]",
+				edge, brg, minLat, minLon, maxLat, maxLon)
+		}
+	}
+}

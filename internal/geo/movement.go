@@ -1,0 +1,149 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Mover produces a position as a function of elapsed simulation time. The
+// sensor simulator samples a device's Mover to synthesize GPS fixes.
+type Mover interface {
+	// Position returns the location after the given elapsed time since the
+	// mover was created.
+	Position(elapsed time.Duration) Point
+}
+
+// Stationary is a Mover that never moves (a user sitting at home).
+type Stationary struct {
+	At Point
+}
+
+var _ Mover = Stationary{}
+
+// Position implements Mover.
+func (s Stationary) Position(time.Duration) Point { return s.At }
+
+// Waypoint is one leg of a scripted journey.
+type Waypoint struct {
+	To Point
+	// SpeedMPS is the travel speed for this leg in meters/second.
+	SpeedMPS float64
+	// Dwell is how long to stay at To after arriving.
+	Dwell time.Duration
+}
+
+// Route is a scripted journey through an ordered list of waypoints, e.g.
+// "user C travels from Bordeaux to Paris" in the paper's Figure 2. The route
+// is deterministic: the same elapsed time always yields the same position.
+type Route struct {
+	start Point
+	legs  []Waypoint
+}
+
+var _ Mover = (*Route)(nil)
+
+// NewRoute builds a route beginning at start. Legs with non-positive speed
+// are rejected.
+func NewRoute(start Point, legs ...Waypoint) (*Route, error) {
+	for i, l := range legs {
+		if l.SpeedMPS <= 0 {
+			return nil, fmt.Errorf("geo: route leg %d has non-positive speed %f", i, l.SpeedMPS)
+		}
+		if !l.To.Valid() {
+			return nil, fmt.Errorf("geo: route leg %d has invalid destination %v", i, l.To)
+		}
+	}
+	return &Route{start: start, legs: legs}, nil
+}
+
+// Position implements Mover by walking the legs until the elapsed budget is
+// consumed.
+func (r *Route) Position(elapsed time.Duration) Point {
+	pos := r.start
+	remaining := elapsed.Seconds()
+	for _, leg := range r.legs {
+		dist := pos.DistanceMeters(leg.To)
+		travelSec := dist / leg.SpeedMPS
+		if remaining < travelSec {
+			frac := remaining / travelSec
+			return pos.Offset(dist*frac, pos.BearingTo(leg.To))
+		}
+		remaining -= travelSec
+		pos = leg.To
+		dwellSec := leg.Dwell.Seconds()
+		if remaining < dwellSec {
+			return pos
+		}
+		remaining -= dwellSec
+	}
+	return pos
+}
+
+// RandomWalk wanders within a circle, picking a fresh random target whenever
+// the current one is reached. It models a user moving around their home
+// city. Positions are generated lazily but deterministically for a given
+// seed and query sequence; queries must use non-decreasing elapsed times.
+type RandomWalk struct {
+	mu       sync.Mutex
+	region   Circle
+	speedMPS float64
+	rng      *rand.Rand
+
+	pos       Point
+	target    Point
+	lastQuery time.Duration
+}
+
+var _ Mover = (*RandomWalk)(nil)
+
+// NewRandomWalk returns a walker confined to region moving at speedMPS,
+// seeded deterministically.
+func NewRandomWalk(region Circle, speedMPS float64, seed int64) (*RandomWalk, error) {
+	if speedMPS <= 0 {
+		return nil, fmt.Errorf("geo: random walk speed must be positive, got %f", speedMPS)
+	}
+	if region.Radius <= 0 {
+		return nil, fmt.Errorf("geo: random walk region radius must be positive, got %f", region.Radius)
+	}
+	w := &RandomWalk{
+		region:   region,
+		speedMPS: speedMPS,
+		rng:      rand.New(rand.NewSource(seed)),
+		pos:      region.Center,
+	}
+	w.target = w.randomTarget()
+	return w, nil
+}
+
+// Position implements Mover. Elapsed times must be non-decreasing across
+// calls; earlier times return the current position unchanged.
+func (w *RandomWalk) Position(elapsed time.Duration) Point {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if elapsed <= w.lastQuery {
+		return w.pos
+	}
+	step := (elapsed - w.lastQuery).Seconds() * w.speedMPS
+	w.lastQuery = elapsed
+	for step > 0 {
+		next, arrived := w.pos.MoveToward(w.target, step)
+		step -= w.pos.DistanceMeters(next)
+		w.pos = next
+		if arrived {
+			w.target = w.randomTarget()
+		} else {
+			break
+		}
+	}
+	return w.pos
+}
+
+func (w *RandomWalk) randomTarget() Point {
+	// Uniform over the disk: r = R*sqrt(u) to avoid clustering at center.
+	r := w.region.Radius * math.Sqrt(w.rng.Float64())
+	theta := w.rng.Float64() * 360
+	return w.region.Center.Offset(r, theta)
+}

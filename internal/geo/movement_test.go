@@ -1,0 +1,143 @@
+package geo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStationary(t *testing.T) {
+	m := Stationary{At: paris}
+	for _, d := range []time.Duration{0, time.Hour, 24 * time.Hour} {
+		if got := m.Position(d); got != paris {
+			t.Fatalf("Position(%v) = %v, want %v", d, got, paris)
+		}
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	if _, err := NewRoute(paris, Waypoint{To: bordeaux, SpeedMPS: 0}); err == nil {
+		t.Fatal("NewRoute accepted zero speed")
+	}
+	if _, err := NewRoute(paris, Waypoint{To: Point{200, 0}, SpeedMPS: 10}); err == nil {
+		t.Fatal("NewRoute accepted invalid destination")
+	}
+}
+
+func TestRouteBordeauxToParis(t *testing.T) {
+	// The paper's Figure 2: user C travels Bordeaux -> Paris. TGV-ish speed.
+	r, err := NewRoute(bordeaux, Waypoint{To: paris, SpeedMPS: 70})
+	if err != nil {
+		t.Fatalf("NewRoute: %v", err)
+	}
+	dist := bordeaux.DistanceMeters(paris)
+	travel := time.Duration(dist/70) * time.Second
+
+	if got := r.Position(0); got.DistanceMeters(bordeaux) > 1 {
+		t.Fatalf("start position %v, want Bordeaux", got)
+	}
+	mid := r.Position(travel / 2)
+	if d := mid.DistanceMeters(bordeaux); d < dist*0.4 || d > dist*0.6 {
+		t.Fatalf("midpoint %.0f m from Bordeaux, want ~%.0f", d, dist/2)
+	}
+	end := r.Position(travel + time.Minute)
+	if end.DistanceMeters(paris) > 100 {
+		t.Fatalf("end position %v, want Paris", end)
+	}
+	// Long after arrival the user stays in Paris.
+	if later := r.Position(100 * time.Hour); later.DistanceMeters(paris) > 100 {
+		t.Fatalf("position after arrival drifted to %v", later)
+	}
+}
+
+func TestRouteDwell(t *testing.T) {
+	lyon := Point{45.7640, 4.8357}
+	r, err := NewRoute(bordeaux,
+		Waypoint{To: paris, SpeedMPS: 100, Dwell: time.Hour},
+		Waypoint{To: lyon, SpeedMPS: 100},
+	)
+	if err != nil {
+		t.Fatalf("NewRoute: %v", err)
+	}
+	travel1 := time.Duration(bordeaux.DistanceMeters(paris)/100) * time.Second
+	// During the dwell the user stays in Paris.
+	during := r.Position(travel1 + 30*time.Minute)
+	if during.DistanceMeters(paris) > 100 {
+		t.Fatalf("during dwell at %v, want Paris", during)
+	}
+	// After dwell + second leg, user is in Lyon.
+	travel2 := time.Duration(paris.DistanceMeters(lyon)/100) * time.Second
+	final := r.Position(travel1 + time.Hour + travel2 + time.Minute)
+	if final.DistanceMeters(lyon) > 100 {
+		t.Fatalf("final at %v, want Lyon", final)
+	}
+}
+
+func TestRandomWalkStaysInRegion(t *testing.T) {
+	region := Circle{Center: paris, Radius: 5000}
+	w, err := NewRandomWalk(region, 1.4, 42)
+	if err != nil {
+		t.Fatalf("NewRandomWalk: %v", err)
+	}
+	for i := 0; i <= 600; i++ {
+		pos := w.Position(time.Duration(i) * 10 * time.Second)
+		if d := region.Center.DistanceMeters(pos); d > region.Radius*1.01 {
+			t.Fatalf("walker escaped region: %.0f m at step %d", d, i)
+		}
+	}
+}
+
+func TestRandomWalkDeterministic(t *testing.T) {
+	region := Circle{Center: paris, Radius: 5000}
+	w1, err := NewRandomWalk(region, 1.4, 7)
+	if err != nil {
+		t.Fatalf("NewRandomWalk: %v", err)
+	}
+	w2, err := NewRandomWalk(region, 1.4, 7)
+	if err != nil {
+		t.Fatalf("NewRandomWalk: %v", err)
+	}
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * 30 * time.Second
+		p1, p2 := w1.Position(d), w2.Position(d)
+		if p1 != p2 {
+			t.Fatalf("same seed diverged at %v: %v vs %v", d, p1, p2)
+		}
+	}
+}
+
+func TestRandomWalkActuallyMoves(t *testing.T) {
+	region := Circle{Center: paris, Radius: 5000}
+	w, err := NewRandomWalk(region, 1.4, 3)
+	if err != nil {
+		t.Fatalf("NewRandomWalk: %v", err)
+	}
+	p0 := w.Position(time.Second)
+	p1 := w.Position(time.Hour)
+	if p0.DistanceMeters(p1) < 100 {
+		t.Fatalf("walker barely moved in an hour: %v -> %v", p0, p1)
+	}
+}
+
+func TestRandomWalkMonotonicQueries(t *testing.T) {
+	region := Circle{Center: paris, Radius: 5000}
+	w, err := NewRandomWalk(region, 1.4, 3)
+	if err != nil {
+		t.Fatalf("NewRandomWalk: %v", err)
+	}
+	p1 := w.Position(time.Minute)
+	// Earlier query returns current position without rewinding.
+	p2 := w.Position(time.Second)
+	if p1 != p2 {
+		t.Fatalf("earlier query changed position: %v vs %v", p1, p2)
+	}
+}
+
+func TestRandomWalkValidation(t *testing.T) {
+	region := Circle{Center: paris, Radius: 5000}
+	if _, err := NewRandomWalk(region, 0, 1); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+	if _, err := NewRandomWalk(Circle{Center: paris}, 1, 1); err == nil {
+		t.Fatal("accepted zero radius")
+	}
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Place is a named geographic region (a city in the paper's Figure 2
+// scenario, but any named circle works: a campus, a neighbourhood, a venue).
+type Place struct {
+	Name   string `json:"name"`
+	Region Circle `json:"region"`
+}
+
+// PlaceDB is a reverse-geocoding database mapping coordinates to named
+// places. It stands in for the geocoding service the paper uses to classify
+// raw GPS coordinates into a descriptive address ("the name of the city that
+// the user is in").
+type PlaceDB struct {
+	mu     sync.RWMutex
+	places []Place
+	byName map[string]int
+}
+
+// NewPlaceDB returns an empty place database.
+func NewPlaceDB() *PlaceDB {
+	return &PlaceDB{byName: make(map[string]int)}
+}
+
+// EuropeanCities returns a PlaceDB preloaded with the cities that appear in
+// the paper's running example (Paris, Bordeaux) plus enough neighbours to
+// make multicast-stream membership queries interesting.
+func EuropeanCities() *PlaceDB {
+	db := NewPlaceDB()
+	seed := []Place{
+		{Name: "Paris", Region: Circle{Center: Point{48.8566, 2.3522}, Radius: 15000}},
+		{Name: "Bordeaux", Region: Circle{Center: Point{44.8378, -0.5792}, Radius: 10000}},
+		{Name: "Lyon", Region: Circle{Center: Point{45.7640, 4.8357}, Radius: 10000}},
+		{Name: "Toulouse", Region: Circle{Center: Point{43.6047, 1.4442}, Radius: 10000}},
+		{Name: "Birmingham", Region: Circle{Center: Point{52.4862, -1.8904}, Radius: 12000}},
+		{Name: "London", Region: Circle{Center: Point{51.5074, -0.1278}, Radius: 20000}},
+		{Name: "Ljubljana", Region: Circle{Center: Point{46.0569, 14.5058}, Radius: 8000}},
+		{Name: "Barcelona", Region: Circle{Center: Point{41.3851, 2.1734}, Radius: 12000}},
+	}
+	for _, p := range seed {
+		// Seed data is static and valid; Add can only fail on duplicates.
+		if err := db.Add(p); err != nil {
+			// Unreachable by construction; surface loudly in tests if broken.
+			panic(fmt.Sprintf("geo: seeding EuropeanCities: %v", err))
+		}
+	}
+	return db
+}
+
+// Add registers a place. The name must be unique and non-empty.
+func (db *PlaceDB) Add(p Place) error {
+	if strings.TrimSpace(p.Name) == "" {
+		return fmt.Errorf("geo: place name must be non-empty")
+	}
+	if !p.Region.Center.Valid() {
+		return fmt.Errorf("geo: place %q has invalid center %v", p.Name, p.Region.Center)
+	}
+	if p.Region.Radius <= 0 {
+		return fmt.Errorf("geo: place %q has non-positive radius %f", p.Name, p.Region.Radius)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.byName[p.Name]; ok {
+		return fmt.Errorf("geo: duplicate place %q", p.Name)
+	}
+	db.byName[p.Name] = len(db.places)
+	db.places = append(db.places, p)
+	return nil
+}
+
+// Lookup returns the place with the given name.
+func (db *PlaceDB) Lookup(name string) (Place, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	i, ok := db.byName[name]
+	if !ok {
+		return Place{}, false
+	}
+	return db.places[i], true
+}
+
+// ReverseGeocode returns the name of the place containing pt. When several
+// regions contain the point the nearest center wins. Returns "" when the
+// point is outside every known place.
+func (db *PlaceDB) ReverseGeocode(pt Point) string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	best := ""
+	bestDist := 0.0
+	for _, p := range db.places {
+		if !p.Region.Contains(pt) {
+			continue
+		}
+		d := p.Region.Center.DistanceMeters(pt)
+		if best == "" || d < bestDist {
+			best, bestDist = p.Name, d
+		}
+	}
+	return best
+}
+
+// Names returns all registered place names, sorted.
+func (db *PlaceDB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.places))
+	for _, p := range db.places {
+		out = append(out, p.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered places.
+func (db *PlaceDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.places)
+}

@@ -1,0 +1,94 @@
+package geo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlaceDBAddLookup(t *testing.T) {
+	db := NewPlaceDB()
+	p := Place{Name: "Campus", Region: Circle{Center: paris, Radius: 500}}
+	if err := db.Add(p); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, ok := db.Lookup("Campus")
+	if !ok || got.Name != "Campus" {
+		t.Fatalf("Lookup = %v, %v", got, ok)
+	}
+	if _, ok := db.Lookup("Nowhere"); ok {
+		t.Fatal("Lookup of missing place succeeded")
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", db.Len())
+	}
+}
+
+func TestPlaceDBRejectsInvalid(t *testing.T) {
+	db := NewPlaceDB()
+	cases := []struct {
+		name  string
+		place Place
+		want  string
+	}{
+		{"empty name", Place{Name: "  ", Region: Circle{Center: paris, Radius: 10}}, "non-empty"},
+		{"bad center", Place{Name: "X", Region: Circle{Center: Point{999, 0}, Radius: 10}}, "invalid center"},
+		{"bad radius", Place{Name: "Y", Region: Circle{Center: paris, Radius: 0}}, "radius"},
+	}
+	for _, c := range cases {
+		if err := db.Add(c.place); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Add err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPlaceDBRejectsDuplicate(t *testing.T) {
+	db := NewPlaceDB()
+	p := Place{Name: "Campus", Region: Circle{Center: paris, Radius: 500}}
+	if err := db.Add(p); err != nil {
+		t.Fatalf("first Add: %v", err)
+	}
+	if err := db.Add(p); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate Add err = %v", err)
+	}
+}
+
+func TestEuropeanCitiesReverseGeocode(t *testing.T) {
+	db := EuropeanCities()
+	if got := db.ReverseGeocode(paris); got != "Paris" {
+		t.Fatalf("ReverseGeocode(paris center) = %q, want Paris", got)
+	}
+	if got := db.ReverseGeocode(bordeaux); got != "Bordeaux" {
+		t.Fatalf("ReverseGeocode(bordeaux center) = %q, want Bordeaux", got)
+	}
+	// Mid-Atlantic point belongs to no city.
+	if got := db.ReverseGeocode(Point{40, -40}); got != "" {
+		t.Fatalf("ReverseGeocode(mid-atlantic) = %q, want empty", got)
+	}
+}
+
+func TestReverseGeocodeNearestWinsOnOverlap(t *testing.T) {
+	db := NewPlaceDB()
+	inner := Place{Name: "Inner", Region: Circle{Center: paris, Radius: 2000}}
+	outer := Place{Name: "Outer", Region: Circle{Center: paris.Offset(1000, 90), Radius: 50000}}
+	for _, p := range []Place{outer, inner} {
+		if err := db.Add(p); err != nil {
+			t.Fatalf("Add(%s): %v", p.Name, err)
+		}
+	}
+	if got := db.ReverseGeocode(paris); got != "Inner" {
+		t.Fatalf("overlap winner = %q, want Inner (nearest center)", got)
+	}
+}
+
+func TestPlaceDBNamesSorted(t *testing.T) {
+	db := EuropeanCities()
+	names := db.Names()
+	if len(names) != db.Len() {
+		t.Fatalf("Names len = %d, want %d", len(names), db.Len())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package loccount
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+}
+
+func TestCountFileSkipsBlanksAndComments(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+// a comment
+/* block
+   comment */
+func F() int { // trailing comment counts as code
+	return 1 /* inline */ + 2
+}
+`
+	writeFile(t, dir, "a.go", src)
+	s, err := CountFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatalf("CountFile: %v", err)
+	}
+	// package x; func F...; return...; } = 4 code lines.
+	if s.Lines != 4 {
+		t.Fatalf("Lines = %d, want 4", s.Lines)
+	}
+}
+
+func TestBlockCommentSpanningLines(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+/*
+many
+lines
+*/ var V = 1
+`
+	writeFile(t, dir, "b.go", src)
+	s, err := CountFile(filepath.Join(dir, "b.go"))
+	if err != nil {
+		t.Fatalf("CountFile: %v", err)
+	}
+	// package x; var V = 1 (after comment close) = 2.
+	if s.Lines != 2 {
+		t.Fatalf("Lines = %d, want 2", s.Lines)
+	}
+}
+
+func TestCountDirExcludesTestsByDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", "package x\nvar A = 1\n")
+	writeFile(t, dir, "a_test.go", "package x\nvar T = 1\nvar U = 2\n")
+	writeFile(t, dir, "note.txt", "not go\n")
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	writeFile(t, sub, "b.go", "package y\nvar B = 1\n")
+
+	s, err := CountDir(dir, Options{})
+	if err != nil {
+		t.Fatalf("CountDir: %v", err)
+	}
+	if s.Files != 2 || s.Lines != 4 {
+		t.Fatalf("stats = %+v, want 2 files / 4 lines", s)
+	}
+	withTests, err := CountDir(dir, Options{IncludeTests: true})
+	if err != nil {
+		t.Fatalf("CountDir: %v", err)
+	}
+	if withTests.Files != 3 || withTests.Lines != 7 {
+		t.Fatalf("with tests = %+v", withTests)
+	}
+}
+
+func TestCountDirs(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	writeFile(t, d1, "a.go", "package a\nvar A = 1\n")
+	writeFile(t, d2, "b.go", "package b\nvar B = 1\n")
+	s, err := CountDirs([]string{d1, d2}, Options{})
+	if err != nil {
+		t.Fatalf("CountDirs: %v", err)
+	}
+	if s.Files != 2 || s.Lines != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestCountDirMissing(t *testing.T) {
+	if _, err := CountDir("/nonexistent/path/zz", Options{}); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}

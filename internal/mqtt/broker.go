@@ -1,0 +1,451 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Message is an application-level MQTT message.
+type Message struct {
+	Topic   string
+	Payload []byte
+	QoS     byte
+	Retain  bool
+}
+
+// BrokerStats is a snapshot of broker counters.
+type BrokerStats struct {
+	// Connections is the number of currently connected clients.
+	Connections int
+	// TotalConnections counts every CONNECT ever accepted.
+	TotalConnections int
+	// Published counts PUBLISH packets received from clients.
+	Published int
+	// Delivered counts PUBLISH packets sent to subscribers.
+	Delivered int
+	// Retained is the number of retained messages held.
+	Retained int
+}
+
+// BrokerOptions configures a Broker.
+type BrokerOptions struct {
+	// Clock supplies time (defaults to the real clock).
+	Clock vclock.Clock
+	// Logger receives connection lifecycle diagnostics; nil disables logging.
+	Logger *slog.Logger
+	// KeepaliveGrace multiplies the client keepalive to obtain the read
+	// deadline (default 1.5, per MQTT 3.1.1).
+	KeepaliveGrace float64
+}
+
+// Broker is a Mosquitto-equivalent MQTT broker. It can serve any number of
+// listeners concurrently and routes PUBLISH packets among sessions with
+// retained-message and wildcard support.
+type Broker struct {
+	clock  vclock.Clock
+	logger *slog.Logger
+	grace  float64
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	retained  map[string]Message
+	localSubs []localSub
+	stats     BrokerStats
+	closed    bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// NewBroker returns a running broker with no listeners attached.
+func NewBroker(opts BrokerOptions) *Broker {
+	clock := opts.Clock
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	grace := opts.KeepaliveGrace
+	if grace <= 0 {
+		grace = 1.5
+	}
+	return &Broker{
+		clock:    clock,
+		logger:   opts.Logger,
+		grace:    grace,
+		sessions: make(map[string]*session),
+		retained: make(map[string]Message),
+		done:     make(chan struct{}),
+	}
+}
+
+// Serve accepts connections from l until l fails or the broker closes.
+// It returns the listener error that terminated the loop; when the broker
+// was closed it returns nil. Call it from a goroutine per listener.
+func (b *Broker) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-b.done:
+				return nil
+			default:
+				return fmt.Errorf("mqtt: accept: %w", err)
+			}
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.handleConn(conn)
+		}()
+	}
+}
+
+// Close disconnects every client and waits for session goroutines to exit.
+// Listeners passed to Serve must be closed by the caller (Serve observes the
+// broker closing and returns nil).
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	close(b.done)
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	for _, s := range sessions {
+		s.close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() BrokerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stats
+	st.Connections = len(b.sessions)
+	st.Retained = len(b.retained)
+	return st
+}
+
+// localSub is an in-process subscription for a component colocated with the
+// broker (the SenSocial server runs in the same process as Mosquitto's
+// stand-in, so it skips the loopback TCP connection).
+type localSub struct {
+	filter  string
+	handler Handler
+}
+
+// SubscribeLocal registers an in-process handler for a topic filter.
+// Handlers run synchronously on the publishing goroutine and must be quick.
+func (b *Broker) SubscribeLocal(filter string, h Handler) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if h == nil {
+		return fmt.Errorf("mqtt: subscribe local %q: nil handler", filter)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.localSubs = append(b.localSubs, localSub{filter: filter, handler: h})
+	return nil
+}
+
+// PublishLocal injects a message as if a connected client had published it.
+// The server-side TriggerManager uses this to avoid a loopback connection
+// when it is colocated with the broker.
+func (b *Broker) PublishLocal(m Message) error {
+	if err := ValidateTopicName(m.Topic); err != nil {
+		return err
+	}
+	if m.QoS > 1 {
+		return fmt.Errorf("mqtt: publish local: QoS %d unsupported", m.QoS)
+	}
+	b.route(m)
+	return nil
+}
+
+// session is one connected client.
+type session struct {
+	broker   *Broker
+	conn     net.Conn
+	clientID string
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	subs    map[string]byte // filter -> max qos
+	nextID  uint16
+	closed  bool
+	timeout time.Duration // read deadline window; 0 disables
+}
+
+func (b *Broker) handleConn(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+
+	pkt, err := readPacket(conn)
+	if err != nil {
+		b.logf("connect read failed", "err", err)
+		return
+	}
+	if pkt.ptype != packetConnect {
+		b.logf("first packet not CONNECT", "type", pkt.ptype)
+		return
+	}
+	c, err := decodeConnect(pkt.body)
+	if err != nil || c.clientID == "" {
+		_ = writePacket(conn, packetConnack, 0, []byte{0, connRefusedBadClient})
+		return
+	}
+
+	s := &session{
+		broker:   b,
+		conn:     conn,
+		clientID: c.clientID,
+		subs:     make(map[string]byte),
+	}
+	if c.keepAliveSec > 0 {
+		s.timeout = time.Duration(float64(c.keepAliveSec) * b.grace * float64(time.Second))
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	// A reconnect with the same client id evicts the old session (MQTT
+	// clean-session takeover semantics).
+	old := b.sessions[c.clientID]
+	b.sessions[c.clientID] = s
+	b.stats.TotalConnections++
+	b.mu.Unlock()
+	if old != nil {
+		old.close()
+	}
+
+	if err := writePacket(conn, packetConnack, 0, []byte{0, connAccepted}); err != nil {
+		b.removeSession(s)
+		return
+	}
+	b.logf("client connected", "client", c.clientID)
+	s.readLoop()
+	b.removeSession(s)
+	b.logf("client disconnected", "client", c.clientID)
+}
+
+func (b *Broker) removeSession(s *session) {
+	b.mu.Lock()
+	if b.sessions[s.clientID] == s {
+		delete(b.sessions, s.clientID)
+	}
+	b.mu.Unlock()
+	s.close()
+}
+
+func (s *session) readLoop() {
+	for {
+		if s.timeout > 0 {
+			_ = s.conn.SetReadDeadline(time.Now().Add(s.timeout))
+		}
+		pkt, err := readPacket(s.conn)
+		if err != nil {
+			return
+		}
+		switch pkt.ptype {
+		case packetPublish:
+			p, err := decodePublish(pkt.flags, pkt.body)
+			if err != nil {
+				s.broker.logf("bad publish", "client", s.clientID, "err", err)
+				return
+			}
+			if err := ValidateTopicName(p.topic); err != nil {
+				s.broker.logf("bad topic", "client", s.clientID, "err", err)
+				return
+			}
+			if p.qos == 1 {
+				if err := s.write(packetPuback, 0, encodeUint16Body(p.packetID)); err != nil {
+					return
+				}
+			}
+			s.broker.mu.Lock()
+			s.broker.stats.Published++
+			s.broker.mu.Unlock()
+			s.broker.route(Message{Topic: p.topic, Payload: p.payload, QoS: p.qos, Retain: p.retain})
+		case packetSubscribe:
+			p, err := decodeSubscribe(pkt.body, true)
+			if err != nil {
+				return
+			}
+			codes := make([]byte, len(p.filters))
+			for i, f := range p.filters {
+				if err := ValidateTopicFilter(f); err != nil {
+					codes[i] = 0x80 // failure
+					continue
+				}
+				q := p.qoss[i]
+				if q > 1 {
+					q = 1
+				}
+				s.mu.Lock()
+				s.subs[f] = q
+				s.mu.Unlock()
+				codes[i] = q
+			}
+			body := append(encodeUint16Body(p.packetID), codes...)
+			if err := s.write(packetSuback, 0, body); err != nil {
+				return
+			}
+			// Deliver retained messages matching the new filters.
+			for i, f := range p.filters {
+				if codes[i] == 0x80 {
+					continue
+				}
+				for _, m := range s.broker.retainedMatching(f) {
+					s.deliver(m, p.qoss[i])
+				}
+			}
+		case packetUnsubscribe:
+			p, err := decodeSubscribe(pkt.body, false)
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			for _, f := range p.filters {
+				delete(s.subs, f)
+			}
+			s.mu.Unlock()
+			if err := s.write(packetUnsuback, 0, encodeUint16Body(p.packetID)); err != nil {
+				return
+			}
+		case packetPingreq:
+			if err := s.write(packetPingresp, 0, nil); err != nil {
+				return
+			}
+		case packetPuback:
+			// QoS 1 delivery acknowledged. This implementation does not
+			// retransmit, so the ack is informational.
+		case packetDisconnect:
+			return
+		default:
+			s.broker.logf("unexpected packet", "client", s.clientID, "type", pkt.ptype)
+			return
+		}
+	}
+}
+
+// route fans a published message out to matching sessions and updates the
+// retained store.
+func (b *Broker) route(m Message) {
+	if m.Retain {
+		b.mu.Lock()
+		if len(m.Payload) == 0 {
+			delete(b.retained, m.Topic) // empty retained payload clears
+		} else {
+			b.retained[m.Topic] = m
+		}
+		b.mu.Unlock()
+	}
+	b.mu.Lock()
+	type target struct {
+		s      *session
+		subQoS byte
+	}
+	var targets []target
+	for _, s := range b.sessions {
+		s.mu.Lock()
+		best := byte(0xff)
+		for f, q := range s.subs {
+			if TopicMatches(f, m.Topic) {
+				if best == 0xff || q > best {
+					best = q
+				}
+			}
+		}
+		s.mu.Unlock()
+		if best != 0xff {
+			targets = append(targets, target{s: s, subQoS: best})
+		}
+	}
+	var locals []Handler
+	for _, ls := range b.localSubs {
+		if TopicMatches(ls.filter, m.Topic) {
+			locals = append(locals, ls.handler)
+		}
+	}
+	b.stats.Delivered += len(targets) + len(locals)
+	b.mu.Unlock()
+
+	for _, t := range targets {
+		t.s.deliver(m, t.subQoS)
+	}
+	for _, h := range locals {
+		h(m)
+	}
+}
+
+// deliver sends m to this session at min(m.QoS, subQoS).
+func (s *session) deliver(m Message, subQoS byte) {
+	qos := m.QoS
+	if subQoS < qos {
+		qos = subQoS
+	}
+	p := publishPacket{topic: m.Topic, payload: m.Payload, qos: qos, retain: m.Retain}
+	if qos == 1 {
+		s.mu.Lock()
+		s.nextID++
+		if s.nextID == 0 {
+			s.nextID = 1
+		}
+		p.packetID = s.nextID
+		s.mu.Unlock()
+	}
+	flags, body := encodePublish(p)
+	_ = s.write(packetPublish, flags, body) // failed deliveries surface as the session dying
+}
+
+func (s *session) write(ptype, flags byte, body []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return writePacket(s.conn, ptype, flags, body)
+}
+
+func (s *session) close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		_ = s.conn.Close()
+	}
+}
+
+func (b *Broker) retainedMatching(filter string) []Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Message
+	for topic, m := range b.retained {
+		if TopicMatches(filter, topic) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (b *Broker) logf(msg string, args ...any) {
+	if b.logger != nil {
+		b.logger.Debug(msg, args...)
+	}
+}
+
+// ErrBrokerClosed is returned by operations on a closed broker.
+var ErrBrokerClosed = errors.New("mqtt: broker closed")

@@ -1,0 +1,413 @@
+package mqtt
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Handler consumes messages delivered on a subscription. Handlers run on a
+// dedicated dispatcher goroutine (never the reader), so they may freely call
+// back into the client, including blocking QoS 1 publishes. Messages are
+// delivered to handlers in arrival order, one at a time.
+type Handler func(Message)
+
+// ErrClientClosed is returned by operations on a closed client.
+var ErrClientClosed = errors.New("mqtt: client closed")
+
+// ErrAckTimeout is returned when the broker does not acknowledge a QoS 1
+// publish or a subscribe in time.
+var ErrAckTimeout = errors.New("mqtt: acknowledgement timeout")
+
+// ClientOptions configures Connect.
+type ClientOptions struct {
+	// ClientID identifies the session to the broker; required.
+	ClientID string
+	// KeepAlive is the ping interval; 0 disables pinging.
+	KeepAlive time.Duration
+	// Clock supplies time for pings and ack timeouts (default real clock).
+	Clock vclock.Clock
+	// AckTimeout bounds waits for SUBACK/PUBACK (default 30s).
+	AckTimeout time.Duration
+}
+
+// Client is an MQTT client bound to a single connection.
+type Client struct {
+	conn  net.Conn
+	clock vclock.Clock
+	opts  ClientOptions
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	subs     map[string]Handler
+	pending  map[uint16]chan struct{}
+	nextID   uint16
+	closed   bool
+	closeErr error
+	inbox    []Message
+
+	inboxWake chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Connect performs the MQTT handshake over conn and starts the reader (and,
+// when keepalive is enabled, pinger) goroutines. The client owns conn.
+func Connect(conn net.Conn, opts ClientOptions) (*Client, error) {
+	if opts.ClientID == "" {
+		return nil, fmt.Errorf("mqtt: connect: ClientID is required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = vclock.NewReal()
+	}
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = 30 * time.Second
+	}
+	kaSec := uint16(0)
+	if opts.KeepAlive > 0 {
+		s := int(opts.KeepAlive / time.Second)
+		if s < 1 {
+			s = 1
+		}
+		if s > 0xffff {
+			s = 0xffff
+		}
+		kaSec = uint16(s)
+	}
+	if err := writePacket(conn, packetConnect, 0, encodeConnect(connectPacket{
+		clientID:     opts.ClientID,
+		keepAliveSec: kaSec,
+	})); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("mqtt: connect %q: %w", opts.ClientID, err)
+	}
+	pkt, err := readPacket(conn)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("mqtt: connect %q: read connack: %w", opts.ClientID, err)
+	}
+	if pkt.ptype != packetConnack || len(pkt.body) != 2 {
+		_ = conn.Close()
+		return nil, fmt.Errorf("mqtt: connect %q: unexpected reply type %d: %w", opts.ClientID, pkt.ptype, ErrMalformedPacket)
+	}
+	if code := pkt.body[1]; code != connAccepted {
+		_ = conn.Close()
+		return nil, fmt.Errorf("mqtt: connect %q: refused with code %d", opts.ClientID, code)
+	}
+
+	c := &Client{
+		conn:      conn,
+		clock:     opts.Clock,
+		opts:      opts,
+		subs:      make(map[string]Handler),
+		pending:   make(map[uint16]chan struct{}),
+		inboxWake: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.dispatchLoop()
+	}()
+	if opts.KeepAlive > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.pingLoop()
+		}()
+	}
+	return c, nil
+}
+
+// ID returns the client identifier.
+func (c *Client) ID() string { return c.opts.ClientID }
+
+// Publish sends a message. For QoS 1 it blocks until the broker's PUBACK or
+// the ack timeout.
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	if qos > 1 {
+		return fmt.Errorf("mqtt: publish to %q: QoS %d unsupported", topic, qos)
+	}
+	p := publishPacket{topic: topic, payload: payload, qos: qos, retain: retain}
+	var ack chan struct{}
+	if qos == 1 {
+		var err error
+		p.packetID, ack, err = c.registerPending()
+		if err != nil {
+			return err
+		}
+		defer c.unregisterPending(p.packetID)
+	}
+	flags, body := encodePublish(p)
+	if err := c.write(packetPublish, flags, body); err != nil {
+		return fmt.Errorf("mqtt: publish to %q: %w", topic, err)
+	}
+	if qos == 1 {
+		if err := c.waitAck(ack); err != nil {
+			return fmt.Errorf("mqtt: publish to %q: %w", topic, err)
+		}
+	}
+	return nil
+}
+
+// Subscribe registers a handler for a topic filter and blocks until SUBACK.
+// Subscribing the same filter again replaces the handler.
+func (c *Client) Subscribe(filter string, qos byte, h Handler) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if h == nil {
+		return fmt.Errorf("mqtt: subscribe %q: nil handler", filter)
+	}
+	if qos > 1 {
+		qos = 1
+	}
+	id, ack, err := c.registerPending()
+	if err != nil {
+		return err
+	}
+	defer c.unregisterPending(id)
+
+	c.mu.Lock()
+	c.subs[filter] = h
+	c.mu.Unlock()
+
+	body := encodeSubscribe(subscribePacket{packetID: id, filters: []string{filter}, qoss: []byte{qos}}, true)
+	if err := c.write(packetSubscribe, 2, body); err != nil {
+		c.removeSub(filter)
+		return fmt.Errorf("mqtt: subscribe %q: %w", filter, err)
+	}
+	if err := c.waitAck(ack); err != nil {
+		c.removeSub(filter)
+		return fmt.Errorf("mqtt: subscribe %q: %w", filter, err)
+	}
+	return nil
+}
+
+// Unsubscribe removes a subscription and blocks until UNSUBACK.
+func (c *Client) Unsubscribe(filter string) error {
+	id, ack, err := c.registerPending()
+	if err != nil {
+		return err
+	}
+	defer c.unregisterPending(id)
+	c.removeSub(filter)
+	body := encodeSubscribe(subscribePacket{packetID: id, filters: []string{filter}}, false)
+	if err := c.write(packetUnsubscribe, 2, body); err != nil {
+		return fmt.Errorf("mqtt: unsubscribe %q: %w", filter, err)
+	}
+	if err := c.waitAck(ack); err != nil {
+		return fmt.Errorf("mqtt: unsubscribe %q: %w", filter, err)
+	}
+	return nil
+}
+
+// Close sends DISCONNECT, closes the connection and joins the client
+// goroutines. Safe to call multiple times.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	for _, ch := range c.pending {
+		close(ch)
+	}
+	c.pending = make(map[uint16]chan struct{})
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	_ = writePacket(c.conn, packetDisconnect, 0, nil)
+	c.writeMu.Unlock()
+	_ = c.conn.Close()
+	c.wg.Wait()
+	return nil
+}
+
+// Err reports why the client stopped, if it stopped due to a transport
+// error rather than Close.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeErr
+}
+
+// Done returns a channel closed when the client stops — by Close or by a
+// transport failure (check Err to distinguish). Reconnecting wrappers wait
+// on it.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) readLoop() {
+	for {
+		pkt, err := readPacket(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			if !c.closed {
+				c.closeErr = err
+				c.closed = true
+				close(c.done)
+				for _, ch := range c.pending {
+					close(ch)
+				}
+				c.pending = make(map[uint16]chan struct{})
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch pkt.ptype {
+		case packetPublish:
+			p, err := decodePublish(pkt.flags, pkt.body)
+			if err != nil {
+				continue
+			}
+			if p.qos == 1 {
+				_ = c.write(packetPuback, 0, encodeUint16Body(p.packetID))
+			}
+			c.enqueue(Message{Topic: p.topic, Payload: p.payload, QoS: p.qos, Retain: p.retain})
+		case packetPuback, packetSuback, packetUnsuback:
+			if len(pkt.body) >= 2 {
+				id, err := decodeUint16Body(pkt.body[:2])
+				if err != nil {
+					continue
+				}
+				c.mu.Lock()
+				if ch, ok := c.pending[id]; ok {
+					close(ch)
+					delete(c.pending, id)
+				}
+				c.mu.Unlock()
+			}
+		case packetPingresp:
+			// keepalive satisfied
+		default:
+			// Ignore unexpected packets; the broker is trusted.
+		}
+	}
+}
+
+func (c *Client) enqueue(m Message) {
+	c.mu.Lock()
+	c.inbox = append(c.inbox, m)
+	c.mu.Unlock()
+	select {
+	case c.inboxWake <- struct{}{}:
+	default:
+	}
+}
+
+func (c *Client) dispatchLoop() {
+	for {
+		c.mu.Lock()
+		if len(c.inbox) == 0 {
+			c.mu.Unlock()
+			select {
+			case <-c.inboxWake:
+				continue
+			case <-c.done:
+				return
+			}
+		}
+		m := c.inbox[0]
+		c.inbox = c.inbox[1:]
+		var hs []Handler
+		for f, h := range c.subs {
+			if TopicMatches(f, m.Topic) {
+				hs = append(hs, h)
+			}
+		}
+		c.mu.Unlock()
+		for _, h := range hs {
+			h(m)
+		}
+	}
+}
+
+func (c *Client) pingLoop() {
+	t := c.clock.NewTicker(c.opts.KeepAlive)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C():
+			if err := c.write(packetPingreq, 0, nil); err != nil {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) registerPending() (uint16, chan struct{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClientClosed
+	}
+	for {
+		c.nextID++
+		if c.nextID == 0 {
+			c.nextID = 1
+		}
+		if _, taken := c.pending[c.nextID]; !taken {
+			break
+		}
+	}
+	ch := make(chan struct{})
+	c.pending[c.nextID] = ch
+	return c.nextID, ch, nil
+}
+
+func (c *Client) unregisterPending(id uint16) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}
+
+func (c *Client) waitAck(ack chan struct{}) error {
+	t := c.clock.NewTimer(c.opts.AckTimeout)
+	defer t.Stop()
+	select {
+	case <-ack:
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClientClosed
+		}
+		return nil
+	case <-t.C():
+		return ErrAckTimeout
+	}
+}
+
+func (c *Client) removeSub(filter string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.subs, filter)
+}
+
+func (c *Client) write(ptype, flags byte, body []byte) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	c.mu.Unlock()
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writePacket(c.conn, ptype, flags, body)
+}

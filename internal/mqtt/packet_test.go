@@ -1,0 +1,173 @@
+package mqtt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, ptype, flags byte, body []byte) packet {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writePacket(&buf, ptype, flags, body); err != nil {
+		t.Fatalf("writePacket: %v", err)
+	}
+	pkt, err := readPacket(&buf)
+	if err != nil {
+		t.Fatalf("readPacket: %v", err)
+	}
+	return pkt
+}
+
+func TestPacketRoundTripSmall(t *testing.T) {
+	pkt := roundTrip(t, packetPublish, 0x3, []byte("hello"))
+	if pkt.ptype != packetPublish || pkt.flags != 0x3 || string(pkt.body) != "hello" {
+		t.Fatalf("round trip = %+v", pkt)
+	}
+}
+
+func TestPacketRoundTripMultiByteLength(t *testing.T) {
+	// Bodies longer than 127 bytes exercise the varint continuation bit.
+	for _, n := range []int{0, 1, 127, 128, 300, 16384, 100000} {
+		body := bytes.Repeat([]byte{0xAB}, n)
+		pkt := roundTrip(t, packetPublish, 0, body)
+		if len(pkt.body) != n {
+			t.Fatalf("n=%d: body length %d", n, len(pkt.body))
+		}
+	}
+}
+
+func TestPacketRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writePacket(&buf, packetPublish, 0, make([]byte, maxRemainingLength+1)); !errors.Is(err, ErrMalformedPacket) {
+		t.Fatalf("oversize write err = %v", err)
+	}
+	// Hand-craft an oversize remaining length: 0xFF 0xFF 0xFF 0x7F = ~268M.
+	r := bytes.NewReader([]byte{packetPublish << 4, 0xFF, 0xFF, 0xFF, 0x7F})
+	if _, err := readPacket(r); !errors.Is(err, ErrMalformedPacket) {
+		t.Fatalf("oversize read err = %v", err)
+	}
+}
+
+func TestPacketTruncatedBody(t *testing.T) {
+	r := bytes.NewReader([]byte{packetPublish << 4, 10, 1, 2, 3})
+	if _, err := readPacket(r); err == nil {
+		t.Fatal("truncated packet accepted")
+	}
+}
+
+func TestPacketEOFOnEmpty(t *testing.T) {
+	if _, err := readPacket(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestConnectRoundTrip(t *testing.T) {
+	body := encodeConnect(connectPacket{clientID: "device-42", keepAliveSec: 60})
+	c, err := decodeConnect(body)
+	if err != nil {
+		t.Fatalf("decodeConnect: %v", err)
+	}
+	if c.clientID != "device-42" || c.keepAliveSec != 60 {
+		t.Fatalf("decoded %+v", c)
+	}
+}
+
+func TestConnectRejectsWrongProtocol(t *testing.T) {
+	var w bodyWriter
+	w.writeString("HTTP")
+	if _, err := decodeConnect(w.buf); !errors.Is(err, ErrMalformedPacket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPublishRoundTripQoS0(t *testing.T) {
+	flags, body := encodePublish(publishPacket{topic: "a/b", payload: []byte("data"), qos: 0, retain: true})
+	p, err := decodePublish(flags, body)
+	if err != nil {
+		t.Fatalf("decodePublish: %v", err)
+	}
+	if p.topic != "a/b" || string(p.payload) != "data" || p.qos != 0 || !p.retain {
+		t.Fatalf("decoded %+v", p)
+	}
+}
+
+func TestPublishRoundTripQoS1(t *testing.T) {
+	flags, body := encodePublish(publishPacket{topic: "t", payload: []byte("x"), qos: 1, packetID: 777})
+	p, err := decodePublish(flags, body)
+	if err != nil {
+		t.Fatalf("decodePublish: %v", err)
+	}
+	if p.qos != 1 || p.packetID != 777 {
+		t.Fatalf("decoded %+v", p)
+	}
+}
+
+func TestPublishRejectsQoS2(t *testing.T) {
+	if _, err := decodePublish(2<<1, []byte{0, 1, 'a'}); !errors.Is(err, ErrMalformedPacket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	in := subscribePacket{packetID: 9, filters: []string{"a/+", "b/#"}, qoss: []byte{0, 1}}
+	out, err := decodeSubscribe(encodeSubscribe(in, true), true)
+	if err != nil {
+		t.Fatalf("decodeSubscribe: %v", err)
+	}
+	if out.packetID != 9 || len(out.filters) != 2 || out.filters[1] != "b/#" || out.qoss[1] != 1 {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestUnsubscribeRoundTrip(t *testing.T) {
+	in := subscribePacket{packetID: 4, filters: []string{"x"}}
+	out, err := decodeSubscribe(encodeSubscribe(in, false), false)
+	if err != nil {
+		t.Fatalf("decodeSubscribe: %v", err)
+	}
+	if out.packetID != 4 || len(out.filters) != 1 || out.filters[0] != "x" {
+		t.Fatalf("decoded %+v", out)
+	}
+}
+
+func TestSubscribeRejectsEmpty(t *testing.T) {
+	if _, err := decodeSubscribe(encodeUint16Body(5), true); !errors.Is(err, ErrMalformedPacket) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: publish packets of arbitrary topic/payload round-trip intact.
+func TestPropertyPublishRoundTrip(t *testing.T) {
+	f := func(topicRaw string, payload []byte, qosRaw uint8, retain bool) bool {
+		topic := topicRaw
+		if topic == "" {
+			topic = "t"
+		}
+		if len(topic) > 60000 {
+			topic = topic[:60000]
+		}
+		qos := qosRaw % 2
+		in := publishPacket{topic: topic, payload: payload, qos: qos, retain: retain, packetID: 1}
+		flags, body := encodePublish(in)
+		var buf bytes.Buffer
+		if err := writePacket(&buf, packetPublish, flags, body); err != nil {
+			return len(body) > maxRemainingLength // oversize is allowed to fail
+		}
+		pkt, err := readPacket(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := decodePublish(pkt.flags, pkt.body)
+		if err != nil {
+			return false
+		}
+		return out.topic == topic && bytes.Equal(out.payload, payload) &&
+			out.qos == qos && out.retain == retain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package mqtt
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// ErrNotConnected is returned by Redialer operations while the link is
+// down; the caller decides whether to drop or retry (SenSocial drops sensor
+// uploads, matching the original's best-effort semantics).
+var ErrNotConnected = fmt.Errorf("mqtt: not connected")
+
+// RedialerOptions configures a Redialer.
+type RedialerOptions struct {
+	// Client carries the MQTT session parameters.
+	Client ClientOptions
+	// InitialBackoff before the first reconnect attempt (default 250 ms on
+	// the configured clock).
+	InitialBackoff time.Duration
+	// MaxBackoff caps exponential growth (default 30 s).
+	MaxBackoff time.Duration
+	// OnStateChange, when set, observes connectivity transitions.
+	OnStateChange func(connected bool)
+}
+
+// Redialer maintains an MQTT session across broker restarts and transport
+// failures: it reconnects with exponential backoff and replays every
+// subscription on the fresh session. Publishes while disconnected fail
+// fast with ErrNotConnected.
+type Redialer struct {
+	dial  func() (net.Conn, error)
+	opts  RedialerOptions
+	clock vclock.Clock
+
+	mu      sync.Mutex
+	client  *Client
+	subs    map[string]redialSub
+	closed  bool
+	current *Client // client whose Done the loop is watching
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type redialSub struct {
+	qos     byte
+	handler Handler
+}
+
+// NewRedialer starts the connection maintenance loop. dial must produce a
+// fresh transport connection per call.
+func NewRedialer(dial func() (net.Conn, error), opts RedialerOptions) (*Redialer, error) {
+	if dial == nil {
+		return nil, fmt.Errorf("mqtt: redialer requires a dial func")
+	}
+	if opts.Client.ClientID == "" {
+		return nil, fmt.Errorf("mqtt: redialer requires a client id")
+	}
+	if opts.Client.Clock == nil {
+		opts.Client.Clock = vclock.NewReal()
+	}
+	if opts.InitialBackoff <= 0 {
+		opts.InitialBackoff = 250 * time.Millisecond
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = 30 * time.Second
+	}
+	r := &Redialer{
+		dial:  dial,
+		opts:  opts,
+		clock: opts.Client.Clock,
+		subs:  make(map[string]redialSub),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.loop()
+	}()
+	return r, nil
+}
+
+// loop connects, replays subscriptions, then waits for the session to die
+// and starts over with backoff.
+func (r *Redialer) loop() {
+	backoff := r.opts.InitialBackoff
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		client, err := r.connectOnce()
+		if err != nil {
+			t := r.clock.NewTimer(backoff)
+			select {
+			case <-t.C():
+			case <-r.done:
+				t.Stop()
+				return
+			}
+			backoff *= 2
+			if backoff > r.opts.MaxBackoff {
+				backoff = r.opts.MaxBackoff
+			}
+			continue
+		}
+		backoff = r.opts.InitialBackoff
+		r.setClient(client)
+		if r.opts.OnStateChange != nil {
+			r.opts.OnStateChange(true)
+		}
+		select {
+		case <-client.Done():
+			// Session died (or Close raced); fall through to reconnect.
+		case <-r.done:
+			return
+		}
+		r.setClient(nil)
+		if r.opts.OnStateChange != nil {
+			r.opts.OnStateChange(false)
+		}
+	}
+}
+
+// connectOnce dials and replays subscriptions.
+func (r *Redialer) connectOnce() (*Client, error) {
+	conn, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	client, err := Connect(conn, r.opts.Client)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	subs := make(map[string]redialSub, len(r.subs))
+	for f, s := range r.subs {
+		subs[f] = s
+	}
+	r.mu.Unlock()
+	for filter, s := range subs {
+		if err := client.Subscribe(filter, s.qos, s.handler); err != nil {
+			_ = client.Close()
+			return nil, fmt.Errorf("mqtt: redial resubscribe %q: %w", filter, err)
+		}
+	}
+	return client, nil
+}
+
+func (r *Redialer) setClient(c *Client) {
+	r.mu.Lock()
+	r.client = c
+	r.mu.Unlock()
+}
+
+func (r *Redialer) currentClient() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClientClosed
+	}
+	if r.client == nil {
+		return nil, ErrNotConnected
+	}
+	return r.client, nil
+}
+
+// Connected reports whether a live session exists right now.
+func (r *Redialer) Connected() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.client != nil && !r.closed
+}
+
+// Publish sends on the current session; fails fast while disconnected.
+func (r *Redialer) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	c, err := r.currentClient()
+	if err != nil {
+		return err
+	}
+	return c.Publish(topic, payload, qos, retain)
+}
+
+// Subscribe registers the subscription durably: it is applied to the
+// current session (if any) and replayed on every reconnect.
+func (r *Redialer) Subscribe(filter string, qos byte, h Handler) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if h == nil {
+		return fmt.Errorf("mqtt: subscribe %q: nil handler", filter)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	r.subs[filter] = redialSub{qos: qos, handler: h}
+	c := r.client
+	r.mu.Unlock()
+	if c != nil {
+		return c.Subscribe(filter, qos, h)
+	}
+	return nil // applied on next connect
+}
+
+// Unsubscribe removes the durable subscription.
+func (r *Redialer) Unsubscribe(filter string) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClientClosed
+	}
+	delete(r.subs, filter)
+	c := r.client
+	r.mu.Unlock()
+	if c != nil {
+		return c.Unsubscribe(filter)
+	}
+	return nil
+}
+
+// Close stops reconnection and closes any live session.
+func (r *Redialer) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	close(r.done)
+	c := r.client
+	r.client = nil
+	r.mu.Unlock()
+	if c != nil {
+		_ = c.Close()
+	}
+	r.wg.Wait()
+	return nil
+}

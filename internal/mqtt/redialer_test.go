@@ -1,0 +1,201 @@
+package mqtt
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+// redialRig hosts a broker whose listener can be torn down and rebuilt to
+// simulate broker restarts.
+type redialRig struct {
+	t      *testing.T
+	fabric *netsim.Network
+
+	mu       sync.Mutex
+	broker   *Broker
+	listener net.Listener
+}
+
+func newRedialRig(t *testing.T) *redialRig {
+	t.Helper()
+	r := &redialRig{t: t, fabric: netsim.NewNetwork(vclock.NewReal(), 9)}
+	t.Cleanup(func() { _ = r.fabric.Close() })
+	r.startBroker()
+	t.Cleanup(r.stopBroker)
+	return r
+}
+
+func (r *redialRig) startBroker() {
+	r.t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := NewBroker(BrokerOptions{})
+	l, err := r.fabric.Listen("broker:1883")
+	if err != nil {
+		r.t.Fatalf("Listen: %v", err)
+	}
+	go func() { _ = b.Serve(l) }()
+	r.broker, r.listener = b, l
+}
+
+func (r *redialRig) stopBroker() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.listener != nil {
+		_ = r.listener.Close()
+		r.listener = nil
+	}
+	if r.broker != nil {
+		_ = r.broker.Close()
+		r.broker = nil
+	}
+}
+
+func (r *redialRig) currentBroker() *Broker {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.broker
+}
+
+func (r *redialRig) dial() (net.Conn, error) {
+	return r.fabric.Dial("mobile", "broker:1883")
+}
+
+func TestRedialerValidation(t *testing.T) {
+	if _, err := NewRedialer(nil, RedialerOptions{Client: ClientOptions{ClientID: "x"}}); err == nil {
+		t.Fatal("nil dial accepted")
+	}
+	if _, err := NewRedialer(func() (net.Conn, error) { return nil, ErrNotConnected },
+		RedialerOptions{}); err == nil {
+		t.Fatal("missing client id accepted")
+	}
+}
+
+func TestRedialerSurvivesBrokerRestart(t *testing.T) {
+	rig := newRedialRig(t)
+	var states []bool
+	var stateMu sync.Mutex
+	rd, err := NewRedialer(rig.dial, RedialerOptions{
+		Client:         ClientOptions{ClientID: "dev1", AckTimeout: 5 * time.Second},
+		InitialBackoff: 5 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+		OnStateChange: func(c bool) {
+			stateMu.Lock()
+			states = append(states, c)
+			stateMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewRedialer: %v", err)
+	}
+	defer rd.Close()
+
+	var col collector
+	if err := rd.Subscribe("t/#", 1, col.handler); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	waitUntil(t, rd.Connected)
+	if err := rd.Publish("t/1", []byte("before"), 1, false); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	col.waitFor(t, 1)
+
+	// Broker restarts.
+	rig.stopBroker()
+	waitUntil(t, func() bool { return !rd.Connected() })
+	if err := rd.Publish("t/2", []byte("down"), 0, false); err == nil {
+		t.Fatal("publish while down succeeded")
+	}
+	rig.startBroker()
+	waitUntil(t, rd.Connected)
+
+	// The durable subscription was replayed: traffic flows again.
+	if err := rd.Publish("t/3", []byte("after"), 1, false); err != nil {
+		t.Fatalf("Publish after restart: %v", err)
+	}
+	msgs := col.waitFor(t, 2)
+	if string(msgs[len(msgs)-1].Payload) != "after" {
+		t.Fatalf("messages = %+v", msgs)
+	}
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	if len(states) < 3 || states[0] != true || states[1] != false || states[2] != true {
+		t.Fatalf("state transitions = %v", states)
+	}
+}
+
+func TestRedialerSubscribeWhileDisconnected(t *testing.T) {
+	rig := newRedialRig(t)
+	rig.stopBroker() // start life disconnected
+	rd, err := NewRedialer(rig.dial, RedialerOptions{
+		Client:         ClientOptions{ClientID: "dev1", AckTimeout: 5 * time.Second},
+		InitialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRedialer: %v", err)
+	}
+	defer rd.Close()
+	var col collector
+	// Subscribing while down records the intent.
+	if err := rd.Subscribe("later", 0, col.handler); err != nil {
+		t.Fatalf("Subscribe while down: %v", err)
+	}
+	if err := rd.Subscribe("bad/#/x", 0, col.handler); err == nil {
+		t.Fatal("invalid filter accepted")
+	}
+	if err := rd.Subscribe("ok", 0, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	rig.startBroker()
+	waitUntil(t, rd.Connected)
+	if err := rig.currentBroker().PublishLocal(Message{Topic: "later", Payload: []byte("hi")}); err != nil {
+		t.Fatalf("PublishLocal: %v", err)
+	}
+	col.waitFor(t, 1)
+	// Unsubscribe drops the durable record.
+	if err := rd.Unsubscribe("later"); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if err := rig.currentBroker().PublishLocal(Message{Topic: "later", Payload: []byte("again")}); err != nil {
+		t.Fatalf("PublishLocal: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if col.count() != 1 {
+		t.Fatalf("messages after unsubscribe = %d", col.count())
+	}
+}
+
+func TestRedialerCloseIsFinal(t *testing.T) {
+	rig := newRedialRig(t)
+	rd, err := NewRedialer(rig.dial, RedialerOptions{
+		Client:         ClientOptions{ClientID: "dev1"},
+		InitialBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRedialer: %v", err)
+	}
+	waitUntil(t, rd.Connected)
+	if err := rd.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := rd.Publish("t", nil, 0, false); err != ErrClientClosed {
+		t.Fatalf("Publish after Close = %v", err)
+	}
+	if err := rd.Subscribe("t", 0, func(Message) {}); err != ErrClientClosed {
+		t.Fatalf("Subscribe after Close = %v", err)
+	}
+	if err := rd.Unsubscribe("t"); err != ErrClientClosed {
+		t.Fatalf("Unsubscribe after Close = %v", err)
+	}
+	if rd.Connected() {
+		t.Fatal("Connected after Close")
+	}
+}

@@ -1,0 +1,64 @@
+package mqtt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Topic names and filters (MQTT 3.1.1 §4.7): levels separated by '/',
+// filters may use '+' to match exactly one level and a trailing '#' to
+// match any number of remaining levels.
+
+// ValidateTopicName checks a concrete topic used in PUBLISH: non-empty, no
+// wildcards.
+func ValidateTopicName(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("mqtt: empty topic")
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("mqtt: topic %q must not contain wildcards", topic)
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a subscription filter: '+' must occupy a whole
+// level, '#' must be the final level.
+func ValidateTopicFilter(filter string) error {
+	if filter == "" {
+		return fmt.Errorf("mqtt: empty topic filter")
+	}
+	levels := strings.Split(filter, "/")
+	for i, l := range levels {
+		switch {
+		case l == "#":
+			if i != len(levels)-1 {
+				return fmt.Errorf("mqtt: filter %q: '#' must be the last level", filter)
+			}
+		case strings.Contains(l, "#"):
+			return fmt.Errorf("mqtt: filter %q: '#' must occupy a whole level", filter)
+		case l == "+":
+			// ok
+		case strings.Contains(l, "+"):
+			return fmt.Errorf("mqtt: filter %q: '+' must occupy a whole level", filter)
+		}
+	}
+	return nil
+}
+
+// TopicMatches reports whether a concrete topic name matches a filter.
+func TopicMatches(filter, topic string) bool {
+	fl := strings.Split(filter, "/")
+	tl := strings.Split(topic, "/")
+	for i, f := range fl {
+		if f == "#" {
+			return true
+		}
+		if i >= len(tl) {
+			return false
+		}
+		if f != "+" && f != tl[i] {
+			return false
+		}
+	}
+	return len(fl) == len(tl)
+}

@@ -1,0 +1,100 @@
+package mqtt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopicMatchesTable(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b/c", "a/b/c", true},
+		{"a/b/c", "a/b", false},
+		{"a/b", "a/b/c", false},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"a/+/+", "a/b/c", true},
+		{"+", "a", true},
+		{"+", "a/b", false},
+		{"#", "a", true},
+		{"#", "a/b/c/d", true},
+		{"a/#", "a/b/c", true},
+		{"a/#", "a", true}, // MQTT 3.1.1 §4.7.1.2: '#' includes the parent level
+		{"sensocial/device/+/trigger", "sensocial/device/dev42/trigger", true},
+		{"sensocial/device/+/trigger", "sensocial/device/dev42/config", false},
+		{"sensocial/device/#", "sensocial/device/dev42/config", true},
+	}
+	for _, c := range cases {
+		if got := TopicMatches(c.filter, c.topic); got != c.want {
+			t.Errorf("TopicMatches(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestValidateTopicName(t *testing.T) {
+	if err := ValidateTopicName("a/b/c"); err != nil {
+		t.Fatalf("valid name rejected: %v", err)
+	}
+	for _, bad := range []string{"", "a/+/c", "a/#"} {
+		if err := ValidateTopicName(bad); err == nil {
+			t.Errorf("ValidateTopicName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestValidateTopicFilter(t *testing.T) {
+	for _, good := range []string{"a/b", "+", "#", "a/+/c", "a/#", "+/+/#"} {
+		if err := ValidateTopicFilter(good); err != nil {
+			t.Errorf("ValidateTopicFilter(%q) rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"", "a/#/c", "a#", "a+/b", "#/a"} {
+		if err := ValidateTopicFilter(bad); err == nil {
+			t.Errorf("ValidateTopicFilter(%q) accepted", bad)
+		}
+	}
+}
+
+// Property: any concrete topic matches itself, the '#' filter, and a filter
+// derived from it by replacing one level with '+'.
+func TestPropertyTopicSelfMatch(t *testing.T) {
+	sanitize := func(parts []string) []string {
+		out := make([]string, 0, len(parts))
+		for _, p := range parts {
+			p = strings.Map(func(r rune) rune {
+				if r == '/' || r == '+' || r == '#' {
+					return 'x'
+				}
+				return r
+			}, p)
+			if p == "" {
+				p = "x"
+			}
+			out = append(out, p)
+		}
+		if len(out) == 0 {
+			out = []string{"x"}
+		}
+		return out
+	}
+	f := func(a, b, c string, pick uint8) bool {
+		levels := sanitize([]string{a, b, c})
+		topic := strings.Join(levels, "/")
+		if !TopicMatches(topic, topic) {
+			return false
+		}
+		if !TopicMatches("#", topic) {
+			return false
+		}
+		i := int(pick) % len(levels)
+		plused := append([]string(nil), levels...)
+		plused[i] = "+"
+		return TopicMatches(strings.Join(plused, "/"), topic)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,244 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// conn is one endpoint of a simulated connection. Writes are chunked into
+// timed deliveries: each write is stamped with a delivery time computed from
+// the link profile and handed to a pump goroutine that releases it to the
+// peer's read buffer once the (possibly virtual) clock reaches the stamp.
+type conn struct {
+	local, remote net.Addr
+	link          Link
+	clock         vclock.Clock
+	rng           func() float64
+
+	out *deliveryQueue // chunks travelling to the peer
+	in  *deliveryQueue // chunks arriving from the peer
+
+	readBuf  []byte
+	readMu   sync.Mutex
+	deadline deadlineGuard
+
+	closeOnce sync.Once
+}
+
+var _ net.Conn = (*conn)(nil)
+
+// linkedPair builds two connected endpoints with independent per-direction
+// link profiles.
+func linkedPair(clock vclock.Clock, rng func() float64, fwd, rev Link, clientAddr, serverAddr net.Addr) (client, server net.Conn) {
+	c2s := newDeliveryQueue(clock)
+	s2c := newDeliveryQueue(clock)
+	c := &conn{local: clientAddr, remote: serverAddr, link: fwd, clock: clock, rng: rng, out: c2s, in: s2c}
+	s := &conn{local: serverAddr, remote: clientAddr, link: rev, clock: clock, rng: rng, out: s2c, in: c2s}
+	return c, s
+}
+
+// Write implements net.Conn. It never blocks on the link; bandwidth and
+// latency shape the delivery time instead.
+func (c *conn) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	deliverAt := c.clock.Now().Add(c.link.delay(len(p), c.rng))
+	if err := c.out.enqueue(cp, deliverAt); err != nil {
+		return 0, fmt.Errorf("netsim: write %s->%s: %w", c.local, c.remote, err)
+	}
+	return len(p), nil
+}
+
+// Read implements net.Conn.
+func (c *conn) Read(p []byte) (int, error) {
+	c.readMu.Lock()
+	defer c.readMu.Unlock()
+	for len(c.readBuf) == 0 {
+		chunk, err := c.in.dequeue(c.deadline.channel())
+		if err != nil {
+			return 0, err
+		}
+		c.readBuf = chunk
+	}
+	n := copy(p, c.readBuf)
+	c.readBuf = c.readBuf[n:]
+	return n, nil
+}
+
+// Close implements net.Conn. It closes both directions so the peer observes
+// EOF after draining in-flight data.
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.out.close()
+		c.in.close()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes never block).
+func (c *conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn. The deadline is interpreted on the
+// real clock, matching how callers use it for I/O timeouts.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.deadline.set(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn; writes are buffered and never block,
+// so this is a no-op.
+func (c *conn) SetWriteDeadline(time.Time) error { return nil }
+
+// deadlineGuard manages a read deadline channel.
+type deadlineGuard struct {
+	mu    sync.Mutex
+	timer *time.Timer
+	ch    chan struct{}
+}
+
+func (g *deadlineGuard) set(t time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	if t.IsZero() {
+		g.ch = nil
+		return
+	}
+	ch := make(chan struct{})
+	g.ch = ch
+	d := time.Until(t)
+	if d <= 0 {
+		close(ch)
+		return
+	}
+	g.timer = time.AfterFunc(d, func() { close(ch) })
+}
+
+func (g *deadlineGuard) channel() <-chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ch
+}
+
+// timedChunk is a byte chunk annotated with its delivery time.
+type timedChunk struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// deliveryQueue carries chunks in one direction. A single pump goroutine
+// would need to sleep on the virtual clock; instead the receiver performs
+// the wait itself in dequeue, which keeps goroutine count at zero per
+// connection and works with any Clock implementation.
+type deliveryQueue struct {
+	clock vclock.Clock
+
+	mu     sync.Mutex
+	queue  []timedChunk
+	closed bool
+	wake   chan struct{} // closed & replaced whenever state changes
+}
+
+func newDeliveryQueue(clock vclock.Clock) *deliveryQueue {
+	return &deliveryQueue{clock: clock, wake: make(chan struct{})}
+}
+
+func (q *deliveryQueue) enqueue(data []byte, deliverAt time.Time) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("connection closed")
+	}
+	q.queue = append(q.queue, timedChunk{data: data, deliverAt: deliverAt})
+	q.wakeLocked()
+	return nil
+}
+
+// dequeue blocks until a chunk is deliverable (its stamp has passed on the
+// clock), the queue closes (io.EOF after drain), or deadline fires.
+func (q *deliveryQueue) dequeue(deadline <-chan struct{}) ([]byte, error) {
+	for {
+		q.mu.Lock()
+		if len(q.queue) > 0 {
+			head := q.queue[0]
+			now := q.clock.Now()
+			if !head.deliverAt.After(now) {
+				q.queue = q.queue[1:]
+				q.mu.Unlock()
+				return head.data, nil
+			}
+			wait := head.deliverAt.Sub(now)
+			q.mu.Unlock()
+			// Wait for the stamp on the clock, but re-check earlier if
+			// state changes or the deadline fires.
+			t := q.clock.NewTimer(wait)
+			select {
+			case <-t.C():
+			case <-q.wakeChan():
+				t.Stop()
+			case <-deadline:
+				t.Stop()
+				return nil, timeoutError{}
+			}
+			continue
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, io.EOF
+		}
+		wake := q.wake
+		q.mu.Unlock()
+		select {
+		case <-wake:
+		case <-deadline:
+			return nil, timeoutError{}
+		}
+	}
+}
+
+func (q *deliveryQueue) wakeChan() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.wake
+}
+
+func (q *deliveryQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.wakeLocked()
+	}
+}
+
+func (q *deliveryQueue) wakeLocked() {
+	close(q.wake)
+	q.wake = make(chan struct{})
+}
+
+// timeoutError satisfies net.Error for deadline expiry.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var _ net.Error = timeoutError{}

@@ -1,0 +1,232 @@
+// Package netsim provides an in-memory network fabric with configurable link
+// conditions (latency, jitter, bandwidth). The SenSocial evaluation depends
+// on network timing — Table 3 measures OSN-to-server and OSN-to-mobile
+// notification delays over "an uncongested WiFi network" — so the simulator
+// carries every byte between mobiles, server and OSN through netsim links
+// whose delay profiles are explicit and reproducible.
+//
+// Connections implement net.Conn, so the same MQTT and HTTP code that runs
+// over real TCP runs unmodified over simulated links.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Link describes one direction of a connection's conditions.
+type Link struct {
+	// Latency is the fixed one-way propagation delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per write.
+	Jitter time.Duration
+	// BandwidthBps throttles throughput in bytes/second; 0 means unlimited.
+	BandwidthBps float64
+}
+
+// delay computes the delivery delay for a chunk of n bytes.
+func (l Link) delay(n int, rng func() float64) time.Duration {
+	d := l.Latency
+	if l.Jitter > 0 {
+		d += time.Duration(rng() * float64(l.Jitter))
+	}
+	if l.BandwidthBps > 0 {
+		d += time.Duration(float64(n) / l.BandwidthBps * float64(time.Second))
+	}
+	return d
+}
+
+// ErrNetworkClosed is returned by operations on a closed Network.
+var ErrNetworkClosed = errors.New("netsim: network closed")
+
+// ErrConnectionRefused is returned by Dial when no listener is bound.
+var ErrConnectionRefused = errors.New("netsim: connection refused")
+
+// Addr is a simulated network address.
+type Addr struct{ Host string }
+
+var _ net.Addr = Addr{}
+
+// Network implements net.Addr.
+func (Addr) Network() string { return "sim" }
+
+// String implements net.Addr.
+func (a Addr) String() string { return a.Host }
+
+// Network is a fabric of named hosts. Listeners bind to "host:port" style
+// names; dials connect through a Link profile.
+type Network struct {
+	clock vclock.Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	listeners map[string]*listener
+	links     map[string]Link // keyed by "src->dst"; "" key is the default
+	closed    bool
+}
+
+// NewNetwork creates a fabric using the given clock for link delays and a
+// deterministic seed for jitter.
+func NewNetwork(clock vclock.Clock, seed int64) *Network {
+	return &Network{
+		clock:     clock,
+		rng:       rand.New(rand.NewSource(seed)),
+		listeners: make(map[string]*listener),
+		links:     make(map[string]Link),
+	}
+}
+
+// SetDefaultLink sets the conditions applied to every connection without a
+// more specific override.
+func (n *Network) SetDefaultLink(l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[""] = l
+}
+
+// SetLink overrides conditions for traffic from src host to dst host
+// (host part only, no port). Applies symmetrically unless the reverse
+// direction is also overridden.
+func (n *Network) SetLink(src, dst string, l Link) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[src+"->"+dst] = l
+	if _, ok := n.links[dst+"->"+src]; !ok {
+		n.links[dst+"->"+src] = l
+	}
+}
+
+func (n *Network) linkFor(src, dst string) Link {
+	if l, ok := n.links[hostOf(src)+"->"+hostOf(dst)]; ok {
+		return l
+	}
+	return n.links[""]
+}
+
+func hostOf(addr string) string {
+	for i := 0; i < len(addr); i++ {
+		if addr[i] == ':' {
+			return addr[:i]
+		}
+	}
+	return addr
+}
+
+// Listen binds a listener to addr ("host:port").
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("netsim: listen %q: %w", addr, ErrNetworkClosed)
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("netsim: listen %q: address in use", addr)
+	}
+	l := &listener{
+		net:    n,
+		addr:   Addr{Host: addr},
+		accept: make(chan net.Conn, 16),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects from srcHost to the listener at dstAddr.
+func (n *Network) Dial(srcHost, dstAddr string) (net.Conn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: dial %q: %w", dstAddr, ErrNetworkClosed)
+	}
+	l, ok := n.listeners[dstAddr]
+	fwd := n.linkFor(srcHost, dstAddr)
+	rev := n.linkFor(dstAddr, srcHost)
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: dial %q from %q: %w", dstAddr, srcHost, ErrConnectionRefused)
+	}
+
+	clientEnd, serverEnd := linkedPair(n.clock, n.randFloat, fwd, rev,
+		Addr{Host: srcHost}, Addr{Host: dstAddr})
+
+	select {
+	case l.accept <- serverEnd:
+		return clientEnd, nil
+	case <-l.done:
+		_ = clientEnd.Close()
+		_ = serverEnd.Close()
+		return nil, fmt.Errorf("netsim: dial %q: %w", dstAddr, ErrConnectionRefused)
+	}
+}
+
+func (n *Network) randFloat() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64()
+}
+
+// Close shuts down all listeners; established connections keep working
+// until closed individually.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	for addr, l := range n.listeners {
+		l.close()
+		delete(n.listeners, addr)
+	}
+	return nil
+}
+
+type listener struct {
+	net    *Network
+	addr   Addr
+	accept chan net.Conn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+var _ net.Listener = (*listener)(nil)
+
+// Accept implements net.Listener.
+func (l *listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("netsim: accept on %s: listener closed", l.addr)
+	}
+}
+
+// Close implements net.Listener.
+func (l *listener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr.Host)
+	l.net.mu.Unlock()
+	l.close()
+	return nil
+}
+
+func (l *listener) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+}
+
+// Addr implements net.Listener.
+func (l *listener) Addr() net.Addr { return l.addr }

@@ -1,0 +1,230 @@
+package osn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Behavior generates a user's OSN activity as a Poisson process with
+// topic-tagged, sentiment-bearing content, so the server-side text
+// classifiers and content-based filters have realistic input.
+type Behavior struct {
+	// ActionsPerHour is the Poisson rate of actions.
+	ActionsPerHour float64
+	// Types weights the action types generated; nil means posts only.
+	Types []ActionType
+	// Topics selects which content templates are used; nil means all.
+	Topics []string
+}
+
+// contentTemplates are grouped by topic; {CITY} is substituted with the
+// user's current city when a locator is provided.
+var contentTemplates = map[string][]string{
+	"football": {
+		"What a goal! This match is amazing",
+		"Terrible refereeing in the football league tonight",
+		"Off to the stadium for the cup match",
+	},
+	"food": {
+		"Delicious dinner at a little restaurant in {CITY}",
+		"The coffee here is awful, disappointed",
+		"Lunch with friends, great recipe ideas",
+	},
+	"travel": {
+		"Just arrived in {CITY}, love this place!",
+		"Flight delayed again, so tired of this airport",
+		"Trip planning for the holiday, so excited",
+	},
+	"music": {
+		"Best concert ever, the band was brilliant",
+		"This new album is boring",
+		"Making a playlist for the gig in {CITY}",
+	},
+	"work": {
+		"Great meeting today, project is winning",
+		"Deadline stress at the office, ugh",
+		"Presenting our paper at the conference in {CITY}",
+	},
+}
+
+// Topics returns the topic labels the generator can produce, sorted.
+func Topics() []string {
+	out := make([]string, 0, len(contentTemplates))
+	for t := range contentTemplates {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Locator reports where a user currently is (city name), so generated
+// content can reference it; may return "".
+type Locator func(userID string) string
+
+// Generator drives the behaviour of many users against one network.
+type Generator struct {
+	network *Network
+	clock   vclock.Clock
+	locator Locator
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	users  map[string]Behavior
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewGenerator creates a generator; call Run to start it, or use
+// GenerateOnce from experiment harnesses for deterministic schedules.
+func NewGenerator(n *Network, clock vclock.Clock, locator Locator, seed int64) (*Generator, error) {
+	if n == nil {
+		return nil, fmt.Errorf("osn: generator requires a network")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("osn: generator requires a clock")
+	}
+	if locator == nil {
+		locator = func(string) string { return "" }
+	}
+	return &Generator{
+		network: n,
+		clock:   clock,
+		locator: locator,
+		rng:     rand.New(rand.NewSource(seed)),
+		users:   make(map[string]Behavior),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// SetBehavior assigns a behaviour to a user.
+func (g *Generator) SetBehavior(userID string, b Behavior) error {
+	if !g.network.Graph().HasUser(userID) {
+		return fmt.Errorf("osn: generator: unknown user %q", userID)
+	}
+	if b.ActionsPerHour < 0 {
+		return fmt.Errorf("osn: generator: negative rate for %q", userID)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.users[userID] = b
+	return nil
+}
+
+// Run emits actions for all configured users until Close. Poisson arrivals
+// are approximated by per-tick Bernoulli draws at the given resolution.
+func (g *Generator) Run(resolution time.Duration) error {
+	if resolution <= 0 {
+		return fmt.Errorf("osn: generator resolution must be positive, got %v", resolution)
+	}
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		t := g.clock.NewTicker(resolution)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C():
+				g.tick(resolution)
+			case <-g.done:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (g *Generator) tick(resolution time.Duration) {
+	now := g.clock.Now()
+	g.mu.Lock()
+	type emit struct {
+		user string
+		b    Behavior
+	}
+	var emits []emit
+	for u, b := range g.users {
+		p := b.ActionsPerHour * resolution.Hours()
+		if p > 1 {
+			p = 1
+		}
+		if g.rng.Float64() < p {
+			emits = append(emits, emit{user: u, b: b})
+		}
+	}
+	g.mu.Unlock()
+	for _, e := range emits {
+		g.EmitAction(e.user, e.b, now)
+	}
+}
+
+// EmitAction records a single generated action for a user at the given
+// instant. Exposed so experiments can schedule exact action counts
+// (Table 3's 50 actions, Table 4's 1..7-action bursts).
+func (g *Generator) EmitAction(userID string, b Behavior, at time.Time) {
+	g.mu.Lock()
+	typ := ActionPost
+	if len(b.Types) > 0 {
+		typ = b.Types[g.rng.Intn(len(b.Types))]
+	}
+	topics := b.Topics
+	if len(topics) == 0 {
+		topics = Topics()
+	}
+	topic := topics[g.rng.Intn(len(topics))]
+	tmpl := contentTemplates[topic]
+	var text string
+	if len(tmpl) > 0 {
+		text = tmpl[g.rng.Intn(len(tmpl))]
+	} else {
+		text = "posting about " + topic
+	}
+	g.mu.Unlock()
+
+	if strings.Contains(text, "{CITY}") {
+		city := g.locator(userID)
+		if city == "" {
+			city = "town"
+		}
+		text = strings.ReplaceAll(text, "{CITY}", city)
+	}
+	// Record failures are deliberate no-ops here: the only cause is a user
+	// removed from the graph mid-run, which generators tolerate.
+	_, _ = g.network.Record(userID, typ, text, at)
+}
+
+// NextPoissonGap returns a Poisson inter-arrival gap for rate-per-hour,
+// useful for precomputing schedules in experiments.
+func (g *Generator) NextPoissonGap(ratePerHour float64) time.Duration {
+	if ratePerHour <= 0 {
+		return time.Hour
+	}
+	g.mu.Lock()
+	u := g.rng.Float64()
+	g.mu.Unlock()
+	hours := -math.Log(1-u) / ratePerHour
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// Close stops the generator loop.
+func (g *Generator) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	close(g.done)
+	g.mu.Unlock()
+	g.wg.Wait()
+}

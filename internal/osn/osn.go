@@ -1,0 +1,268 @@
+// Package osn simulates the online social networks SenSocial taps into.
+// The original system integrates with Facebook (a profile plug-in pushing
+// action notifications to a PHP receiver) and Twitter (server-side polling
+// over OAuth). Neither is reachable here, so this package provides:
+//
+//   - a social graph (users plus friendship and follower edges);
+//   - an action log (posts, comments, likes, tweets) with registered
+//     listeners notified per action;
+//   - a behaviour generator producing action streams with topic-tagged,
+//     sentiment-bearing content;
+//   - plug-in adapters mirroring the two integration styles: a push plug-in
+//     with a calibrated notification delay (Facebook's observed ~46 s,
+//     paper Table 3) and a poll plug-in ("our Twitter plugin, which
+//     actively scans for new tweets, allows arbitrarily short delay").
+package osn
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ActionType enumerates the OSN actions the paper reacts to: "OSN actions
+// such as comments, posts, and likes".
+type ActionType string
+
+// Action types.
+const (
+	ActionPost    ActionType = "post"
+	ActionComment ActionType = "comment"
+	ActionLike    ActionType = "like"
+	ActionTweet   ActionType = "tweet"
+)
+
+// ValidActionType reports whether t is a known action type.
+func ValidActionType(t ActionType) bool {
+	switch t {
+	case ActionPost, ActionComment, ActionLike, ActionTweet:
+		return true
+	default:
+		return false
+	}
+}
+
+// Action is one user action on an OSN.
+type Action struct {
+	ID      string     `json:"id"`
+	Network string     `json:"network"` // "facebook" or "twitter"
+	UserID  string     `json:"user_id"`
+	Type    ActionType `json:"type"`
+	Text    string     `json:"text"`
+	Time    time.Time  `json:"time"`
+}
+
+// Graph is a social graph with undirected friendship edges (Facebook-style)
+// and directed follow edges (Twitter-style).
+type Graph struct {
+	mu      sync.RWMutex
+	users   map[string]bool
+	friends map[string]map[string]bool
+	follows map[string]map[string]bool // follower -> followees
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		users:   make(map[string]bool),
+		friends: make(map[string]map[string]bool),
+		follows: make(map[string]map[string]bool),
+	}
+}
+
+// AddUser registers a user id; idempotent.
+func (g *Graph) AddUser(id string) error {
+	if id == "" {
+		return fmt.Errorf("osn: empty user id")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.users[id] = true
+	return nil
+}
+
+// HasUser reports whether id is registered.
+func (g *Graph) HasUser(id string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.users[id]
+}
+
+// Users returns all user ids, sorted.
+func (g *Graph) Users() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.users))
+	for u := range g.users {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Befriend links two users with an undirected friendship edge.
+func (g *Graph) Befriend(a, b string) error {
+	if a == b {
+		return fmt.Errorf("osn: user %q cannot befriend themselves", a)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.users[a] || !g.users[b] {
+		return fmt.Errorf("osn: befriend %q-%q: both users must exist", a, b)
+	}
+	if g.friends[a] == nil {
+		g.friends[a] = make(map[string]bool)
+	}
+	if g.friends[b] == nil {
+		g.friends[b] = make(map[string]bool)
+	}
+	g.friends[a][b] = true
+	g.friends[b][a] = true
+	return nil
+}
+
+// Unfriend removes a friendship edge; missing edges are a no-op.
+func (g *Graph) Unfriend(a, b string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.friends[a], b)
+	delete(g.friends[b], a)
+}
+
+// Friends returns a user's friends, sorted.
+func (g *Graph) Friends(id string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.friends[id]))
+	for f := range g.friends[id] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AreFriends reports whether a and b share a friendship edge.
+func (g *Graph) AreFriends(a, b string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.friends[a][b]
+}
+
+// Follow adds a directed follow edge from follower to followee.
+func (g *Graph) Follow(follower, followee string) error {
+	if follower == followee {
+		return fmt.Errorf("osn: user %q cannot follow themselves", follower)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.users[follower] || !g.users[followee] {
+		return fmt.Errorf("osn: follow %q->%q: both users must exist", follower, followee)
+	}
+	if g.follows[follower] == nil {
+		g.follows[follower] = make(map[string]bool)
+	}
+	g.follows[follower][followee] = true
+	return nil
+}
+
+// Followees returns who the user follows, sorted.
+func (g *Graph) Followees(id string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.follows[id]))
+	for f := range g.follows[id] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActionListener observes every action recorded on a network.
+type ActionListener func(Action)
+
+// Network is one simulated OSN (the simulation instantiates one Facebook
+// and one Twitter).
+type Network struct {
+	name  string
+	graph *Graph
+
+	mu        sync.Mutex
+	actions   []Action
+	listeners []ActionListener
+	seq       uint64
+}
+
+// NewNetwork creates a simulated OSN over a social graph.
+func NewNetwork(name string, graph *Graph) (*Network, error) {
+	if name == "" {
+		return nil, fmt.Errorf("osn: network name required")
+	}
+	if graph == nil {
+		return nil, fmt.Errorf("osn: network %q requires a graph", name)
+	}
+	return &Network{name: name, graph: graph}, nil
+}
+
+// Name returns the network's name.
+func (n *Network) Name() string { return n.name }
+
+// Graph returns the underlying social graph.
+func (n *Network) Graph() *Graph { return n.graph }
+
+// OnAction registers a listener invoked synchronously for every recorded
+// action (plug-ins add their own delivery delays).
+func (n *Network) OnAction(l ActionListener) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.listeners = append(n.listeners, l)
+}
+
+// Record logs a user action at the given instant and notifies listeners.
+func (n *Network) Record(userID string, t ActionType, text string, at time.Time) (Action, error) {
+	if !ValidActionType(t) {
+		return Action{}, fmt.Errorf("osn: %s: invalid action type %q", n.name, t)
+	}
+	if !n.graph.HasUser(userID) {
+		return Action{}, fmt.Errorf("osn: %s: unknown user %q", n.name, userID)
+	}
+	n.mu.Lock()
+	n.seq++
+	a := Action{
+		ID:      n.name + "-" + strconv.FormatUint(n.seq, 10),
+		Network: n.name,
+		UserID:  userID,
+		Type:    t,
+		Text:    text,
+		Time:    at,
+	}
+	n.actions = append(n.actions, a)
+	ls := append([]ActionListener(nil), n.listeners...)
+	n.mu.Unlock()
+	for _, l := range ls {
+		l(a)
+	}
+	return a, nil
+}
+
+// ActionsSince returns actions by userID strictly after since, oldest
+// first. This is the Twitter-style poll API.
+func (n *Network) ActionsSince(userID string, since time.Time) []Action {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []Action
+	for _, a := range n.actions {
+		if a.UserID == userID && a.Time.After(since) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ActionCount returns the total number of recorded actions.
+func (n *Network) ActionCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.actions)
+}

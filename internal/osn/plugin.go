@@ -1,0 +1,235 @@
+package osn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// DelayModel produces per-notification delays. The push plug-in uses it to
+// reproduce the latency an external OSN imposes before notifying third
+// parties (paper §5.4: "The overall delay is limited by the time Facebook
+// takes to notify SenSocial about OSN actions").
+type DelayModel struct {
+	// Mean and StdDev parameterize a normal distribution, truncated at Min.
+	Mean   time.Duration
+	StdDev time.Duration
+	Min    time.Duration
+}
+
+// FacebookDelay is calibrated to Table 3: notifications reach the server at
+// 46.47 s on average with a 2.77 s standard deviation (a small part of which
+// is network transit, modeled separately by netsim).
+func FacebookDelay() DelayModel {
+	return DelayModel{Mean: 46 * time.Second, StdDev: 2700 * time.Millisecond, Min: 30 * time.Second}
+}
+
+// Sample draws one delay.
+func (d DelayModel) Sample(rng *rand.Rand) time.Duration {
+	v := time.Duration(rng.NormFloat64()*float64(d.StdDev)) + d.Mean
+	if v < d.Min {
+		v = d.Min
+	}
+	return v
+}
+
+// PushPlugin mirrors the Facebook integration: it observes actions on the
+// network and, after the OSN-imposed notification delay, delivers each to a
+// receiver (in the real system, the PHP FacebookReceiver script; here, the
+// SenSocial server's webhook endpoint). Only actions from registered users
+// are forwarded — a user must "add the Facebook plug-in to his Facebook
+// profile".
+type PushPlugin struct {
+	clock vclock.Clock
+	delay DelayModel
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	registered map[string]bool
+	deliver    func(Action)
+	wg         sync.WaitGroup
+	closed     bool
+}
+
+// NewPushPlugin attaches a push plug-in to a network. deliver is invoked
+// once per action from a registered user, after the modeled delay, on a
+// fresh goroutine.
+func NewPushPlugin(n *Network, clock vclock.Clock, delay DelayModel, seed int64, deliver func(Action)) (*PushPlugin, error) {
+	if n == nil {
+		return nil, fmt.Errorf("osn: push plugin requires a network")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("osn: push plugin requires a clock")
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("osn: push plugin requires a deliver func")
+	}
+	p := &PushPlugin{
+		clock:      clock,
+		delay:      delay,
+		rng:        rand.New(rand.NewSource(seed)),
+		registered: make(map[string]bool),
+		deliver:    deliver,
+	}
+	n.OnAction(p.onAction)
+	return p, nil
+}
+
+// RegisterUser opts a user into the plug-in.
+func (p *PushPlugin) RegisterUser(userID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.registered[userID] = true
+}
+
+// UnregisterUser opts a user out.
+func (p *PushPlugin) UnregisterUser(userID string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.registered, userID)
+}
+
+func (p *PushPlugin) onAction(a Action) {
+	p.mu.Lock()
+	if p.closed || !p.registered[a.UserID] {
+		p.mu.Unlock()
+		return
+	}
+	d := p.delay.Sample(p.rng)
+	p.wg.Add(1)
+	p.mu.Unlock()
+	go func() {
+		defer p.wg.Done()
+		p.clock.Sleep(d)
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if !closed {
+			p.deliver(a)
+		}
+	}()
+}
+
+// Close stops future deliveries and waits for in-flight ones to finish or
+// be suppressed. With a Manual clock, advance it past pending delays before
+// calling Close.
+func (p *PushPlugin) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// PollPlugin mirrors the Twitter integration: it periodically queries the
+// network for new actions of each registered user and forwards them. The
+// paper notes this "allows arbitrarily short delay" set by the poll period.
+type PollPlugin struct {
+	network *Network
+	clock   vclock.Clock
+	period  time.Duration
+	deliver func(Action)
+
+	mu         sync.Mutex
+	registered map[string]time.Time // userID -> last poll watermark
+	closed     bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPollPlugin starts polling the network every period.
+func NewPollPlugin(n *Network, clock vclock.Clock, period time.Duration, start time.Time, deliver func(Action)) (*PollPlugin, error) {
+	if n == nil {
+		return nil, fmt.Errorf("osn: poll plugin requires a network")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("osn: poll plugin requires a clock")
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("osn: poll period must be positive, got %v", period)
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("osn: poll plugin requires a deliver func")
+	}
+	p := &PollPlugin{
+		network:    n,
+		clock:      clock,
+		period:     period,
+		deliver:    deliver,
+		registered: make(map[string]time.Time),
+		done:       make(chan struct{}),
+	}
+	_ = start // watermarks are set per registration
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.loop()
+	}()
+	return p, nil
+}
+
+// RegisterUser opts a user in; only actions after now are delivered
+// (mirrors OAuth authorization time).
+func (p *PollPlugin) RegisterUser(userID string, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.registered[userID]; !ok {
+		p.registered[userID] = now
+	}
+}
+
+func (p *PollPlugin) loop() {
+	t := p.clock.NewTicker(p.period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C():
+			p.pollOnce()
+		case <-p.done:
+			return
+		}
+	}
+}
+
+func (p *PollPlugin) pollOnce() {
+	p.mu.Lock()
+	users := make(map[string]time.Time, len(p.registered))
+	for u, w := range p.registered {
+		users[u] = w
+	}
+	p.mu.Unlock()
+	for u, since := range users {
+		actions := p.network.ActionsSince(u, since)
+		if len(actions) == 0 {
+			continue
+		}
+		latest := since
+		for _, a := range actions {
+			if a.Time.After(latest) {
+				latest = a.Time
+			}
+			p.deliver(a)
+		}
+		p.mu.Lock()
+		if cur, ok := p.registered[u]; ok && latest.After(cur) {
+			p.registered[u] = latest
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the poll loop and waits for it to exit.
+func (p *PollPlugin) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.done)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,120 @@
+package sensing
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sensors"
+)
+
+// Adaptive sensing: ESSensorManager is "a third party library for adaptive
+// sensing", and the paper highlights tuning "data sampling, transmission
+// and privacy control parameters in order to achieve the desired
+// trade-offs, such as data granularity versus energy efficiency". An
+// AdaptivePolicy realizes the canonical trade-off: thin the duty cycle as
+// the battery drains.
+
+// AdaptiveStep maps a battery-level floor to a duty-cycle factor.
+type AdaptiveStep struct {
+	// MinLevel is the battery fraction at or above which this step applies.
+	MinLevel float64
+	// DutyFactor in (0,1] multiplies the subscription's base duty cycle.
+	DutyFactor float64
+}
+
+// AdaptivePolicy is an ordered set of steps; the step with the highest
+// MinLevel not exceeding the current battery level applies.
+type AdaptivePolicy struct {
+	steps []AdaptiveStep
+}
+
+// NewAdaptivePolicy validates and normalizes the steps. At least one step
+// with MinLevel 0 is required so every battery level is covered.
+func NewAdaptivePolicy(steps ...AdaptiveStep) (*AdaptivePolicy, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("sensing: adaptive policy needs at least one step")
+	}
+	covered := false
+	for _, s := range steps {
+		if s.MinLevel < 0 || s.MinLevel > 1 {
+			return nil, fmt.Errorf("sensing: adaptive step level %f outside [0,1]", s.MinLevel)
+		}
+		if s.DutyFactor <= 0 || s.DutyFactor > 1 {
+			return nil, fmt.Errorf("sensing: adaptive step factor %f outside (0,1]", s.DutyFactor)
+		}
+		if s.MinLevel == 0 {
+			covered = true
+		}
+	}
+	if !covered {
+		return nil, fmt.Errorf("sensing: adaptive policy must include a step with MinLevel 0")
+	}
+	p := &AdaptivePolicy{steps: append([]AdaptiveStep(nil), steps...)}
+	sort.Slice(p.steps, func(i, j int) bool { return p.steps[i].MinLevel > p.steps[j].MinLevel })
+	return p, nil
+}
+
+// DefaultAdaptivePolicy samples fully above half charge, at half rate down
+// to 20%, and at one fifth below that.
+func DefaultAdaptivePolicy() *AdaptivePolicy {
+	p, err := NewAdaptivePolicy(
+		AdaptiveStep{MinLevel: 0.5, DutyFactor: 1.0},
+		AdaptiveStep{MinLevel: 0.2, DutyFactor: 0.5},
+		AdaptiveStep{MinLevel: 0.0, DutyFactor: 0.2},
+	)
+	if err != nil {
+		// Static construction cannot fail; keep the invariant loud.
+		panic(fmt.Sprintf("sensing: default adaptive policy: %v", err))
+	}
+	return p
+}
+
+// FactorFor returns the duty factor for a battery level fraction.
+func (p *AdaptivePolicy) FactorFor(level float64) float64 {
+	for _, s := range p.steps {
+		if level >= s.MinLevel {
+			return s.DutyFactor
+		}
+	}
+	return p.steps[len(p.steps)-1].DutyFactor
+}
+
+// SubscribeAdaptive is Subscribe with a battery-aware duty cycle: the
+// effective duty each cycle is settings.DutyCycle x policy factor for the
+// device's current battery level.
+func (m *Manager) SubscribeAdaptive(modality string, s Settings, policy *AdaptivePolicy, fn func(sensors.Reading)) (*Subscription, error) {
+	if policy == nil {
+		return nil, fmt.Errorf("sensing: nil adaptive policy")
+	}
+	if !sensors.IsModality(modality) {
+		return nil, fmt.Errorf("sensing: unknown modality %q", modality)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sensing: nil callback for %q", modality)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("sensing: manager closed")
+	}
+	m.nextID++
+	sub := &Subscription{
+		manager:  m,
+		id:       m.nextID,
+		modality: modality,
+		settings: s,
+		policy:   policy,
+		fn:       fn,
+		done:     make(chan struct{}),
+	}
+	m.subs[sub.id] = sub
+	sub.wg.Add(1)
+	go func() {
+		defer sub.wg.Done()
+		sub.loop()
+	}()
+	return sub, nil
+}

@@ -1,0 +1,192 @@
+// Package sensing is the ESSensorManager-equivalent sampling layer (paper
+// §4: "the SenSocial mobile middleware relies on the third party
+// ESSensorManager library for adaptive sensing"). It offers the two modes
+// the paper describes:
+//
+//   - one-off sensing, used for streams conditioned on OSN action triggers
+//     ("sensing is triggered once, remotely, only if an OSN action is
+//     observed");
+//   - subscription-based sensing, which continuously samples on a duty
+//     cycle and sample interval configured through a settings object.
+package sensing
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/sensors"
+)
+
+// Settings tunes a subscription, mirroring the key-value sensing
+// configuration object the paper passes to ESSensorManager.
+type Settings struct {
+	// Interval is the sampling period.
+	Interval time.Duration
+	// DutyCycle in (0,1] is the fraction of cycles actually sampled.
+	DutyCycle float64
+}
+
+// DefaultSettings returns the per-modality defaults ("we use the default
+// sensing configuration values from the ESSensorManager library"; the
+// evaluation samples every 60 seconds).
+func DefaultSettings(modality string) (Settings, error) {
+	if !sensors.IsModality(modality) {
+		return Settings{}, fmt.Errorf("sensing: unknown modality %q", modality)
+	}
+	return Settings{Interval: time.Minute, DutyCycle: 1}, nil
+}
+
+// Validate checks the settings.
+func (s Settings) Validate() error {
+	if s.Interval <= 0 {
+		return fmt.Errorf("sensing: interval must be positive, got %v", s.Interval)
+	}
+	if s.DutyCycle <= 0 || s.DutyCycle > 1 {
+		return fmt.Errorf("sensing: duty cycle must be in (0,1], got %f", s.DutyCycle)
+	}
+	return nil
+}
+
+// Manager coordinates one device's sensor sampling.
+type Manager struct {
+	dev *device.Device
+
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	closed bool
+}
+
+// NewManager builds a sensing manager over a device.
+func NewManager(dev *device.Device) (*Manager, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("sensing: manager requires a device")
+	}
+	return &Manager{dev: dev, subs: make(map[int]*Subscription)}, nil
+}
+
+// SenseOnce performs one-off sensing of a modality.
+func (m *Manager) SenseOnce(modality string) (sensors.Reading, error) {
+	return m.dev.Sample(modality)
+}
+
+// Subscribe starts subscription-based sensing: fn receives one reading per
+// executed cycle until Stop. fn runs on the subscription's goroutine.
+func (m *Manager) Subscribe(modality string, s Settings, fn func(sensors.Reading)) (*Subscription, error) {
+	if !sensors.IsModality(modality) {
+		return nil, fmt.Errorf("sensing: unknown modality %q", modality)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sensing: nil callback for %q", modality)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("sensing: manager closed")
+	}
+	m.nextID++
+	sub := &Subscription{
+		manager:  m,
+		id:       m.nextID,
+		modality: modality,
+		settings: s,
+		fn:       fn,
+		done:     make(chan struct{}),
+	}
+	m.subs[sub.id] = sub
+	sub.wg.Add(1)
+	go func() {
+		defer sub.wg.Done()
+		sub.loop()
+	}()
+	return sub, nil
+}
+
+// ActiveSubscriptions reports how many subscriptions are running.
+func (m *Manager) ActiveSubscriptions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.subs)
+}
+
+// Close stops every subscription and rejects new ones.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	subs := make([]*Subscription, 0, len(m.subs))
+	for _, s := range m.subs {
+		subs = append(subs, s)
+	}
+	m.mu.Unlock()
+	for _, s := range subs {
+		s.Stop()
+	}
+}
+
+// Subscription is one continuous sampling loop.
+type Subscription struct {
+	manager  *Manager
+	id       int
+	modality string
+	settings Settings
+	policy   *AdaptivePolicy // nil for static duty cycling
+	fn       func(sensors.Reading)
+
+	stopOnce sync.Once
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Modality returns the sampled modality.
+func (s *Subscription) Modality() string { return s.modality }
+
+func (s *Subscription) loop() {
+	t := s.manager.dev.Clock().NewTicker(s.settings.Interval)
+	defer t.Stop()
+	// Duty-cycle accumulator: run a cycle each time the accumulated credit
+	// crosses 1. DutyCycle 1 runs every cycle; 0.5 every other cycle.
+	credit := 0.0
+	for {
+		select {
+		case <-t.C():
+			duty := s.settings.DutyCycle
+			if s.policy != nil {
+				duty *= s.policy.FactorFor(s.manager.dev.Battery().LevelFraction())
+			}
+			credit += duty
+			if credit < 1 {
+				continue
+			}
+			credit -= 1
+			r, err := s.manager.dev.Sample(s.modality)
+			if err != nil {
+				// Sampling a known modality only fails if the suite is
+				// misconfigured; stop rather than spin.
+				return
+			}
+			s.fn(r)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// Stop ends the subscription and waits for its goroutine.
+func (s *Subscription) Stop() {
+	s.stopOnce.Do(func() {
+		close(s.done)
+		s.manager.mu.Lock()
+		delete(s.manager.subs, s.id)
+		s.manager.mu.Unlock()
+	})
+	s.wg.Wait()
+}

@@ -1,0 +1,297 @@
+package sensing
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+var epoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+func newManager(t *testing.T, clock vclock.Clock) *Manager {
+	t.Helper()
+	p, err := sensors.NewProfile(geo.Stationary{At: geo.Point{Lat: 48.8566, Lon: 2.3522}})
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	d, err := device.New(device.Config{ID: "dev1", Clock: clock, Profile: p, Seed: 1})
+	if err != nil {
+		t.Fatalf("device.New: %v", err)
+	}
+	m, err := NewManager(d)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestDefaultSettings(t *testing.T) {
+	s, err := DefaultSettings(sensors.ModalityLocation)
+	if err != nil {
+		t.Fatalf("DefaultSettings: %v", err)
+	}
+	if s.Interval != time.Minute || s.DutyCycle != 1 {
+		t.Fatalf("defaults = %+v", s)
+	}
+	if _, err := DefaultSettings("gyroscope"); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}
+
+func TestSettingsValidate(t *testing.T) {
+	bad := []Settings{
+		{Interval: 0, DutyCycle: 1},
+		{Interval: time.Second, DutyCycle: 0},
+		{Interval: time.Second, DutyCycle: 1.5},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", s)
+		}
+	}
+	if err := (Settings{Interval: time.Second, DutyCycle: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid settings rejected: %v", err)
+	}
+}
+
+func TestSenseOnce(t *testing.T) {
+	m := newManager(t, vclock.NewManual(epoch))
+	r, err := m.SenseOnce(sensors.ModalityWiFi)
+	if err != nil {
+		t.Fatalf("SenseOnce: %v", err)
+	}
+	if r.Modality != sensors.ModalityWiFi {
+		t.Fatalf("reading = %+v", r)
+	}
+	if _, err := m.SenseOnce("gyroscope"); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}
+
+func TestSubscribeDeliversPerInterval(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	m := newManager(t, clock)
+	var mu sync.Mutex
+	count := 0
+	sub, err := m.Subscribe(sensors.ModalityLocation, Settings{Interval: time.Minute, DutyCycle: 1},
+		func(sensors.Reading) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if sub.Modality() != sensors.ModalityLocation {
+		t.Fatalf("Modality = %q", sub.Modality())
+	}
+	clock.BlockUntilWaiters(1)
+	for i := 0; i < 5; i++ {
+		clock.Advance(time.Minute)
+		waitForCount(t, &mu, &count, i+1)
+	}
+	sub.Stop()
+	// After Stop, further ticks deliver nothing.
+	clock.Advance(5 * time.Minute)
+	time.Sleep(5 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 5 {
+		t.Fatalf("post-stop deliveries: %d", count)
+	}
+}
+
+func TestSubscribeDutyCycleSkipsCycles(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	m := newManager(t, clock)
+	var mu sync.Mutex
+	count := 0
+	_, err := m.Subscribe(sensors.ModalityWiFi, Settings{Interval: time.Minute, DutyCycle: 0.5},
+		func(sensors.Reading) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	clock.BlockUntilWaiters(1)
+	// 10 ticks at duty 0.5: 5 samples.
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Minute)
+		// Give the subscription goroutine a chance to drain the tick; the
+		// manual ticker drops ticks when the consumer lags.
+		waitForCount(t, &mu, &count, (i+1)/2)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 5 {
+		t.Fatalf("duty-cycled deliveries = %d, want 5", count)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	m := newManager(t, vclock.NewManual(epoch))
+	ok := Settings{Interval: time.Second, DutyCycle: 1}
+	if _, err := m.Subscribe("gyroscope", ok, func(sensors.Reading) {}); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+	if _, err := m.Subscribe(sensors.ModalityWiFi, Settings{}, func(sensors.Reading) {}); err == nil {
+		t.Fatal("invalid settings accepted")
+	}
+	if _, err := m.Subscribe(sensors.ModalityWiFi, ok, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+func TestManagerCloseStopsSubscriptions(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	m := newManager(t, clock)
+	for i := 0; i < 3; i++ {
+		if _, err := m.Subscribe(sensors.ModalityWiFi, Settings{Interval: time.Minute, DutyCycle: 1},
+			func(sensors.Reading) {}); err != nil {
+			t.Fatalf("Subscribe %d: %v", i, err)
+		}
+	}
+	if m.ActiveSubscriptions() != 3 {
+		t.Fatalf("ActiveSubscriptions = %d", m.ActiveSubscriptions())
+	}
+	m.Close()
+	if m.ActiveSubscriptions() != 0 {
+		t.Fatalf("subscriptions after Close = %d", m.ActiveSubscriptions())
+	}
+	if _, err := m.Subscribe(sensors.ModalityWiFi, Settings{Interval: time.Minute, DutyCycle: 1},
+		func(sensors.Reading) {}); err == nil {
+		t.Fatal("Subscribe after Close accepted")
+	}
+	m.Close() // idempotent
+}
+
+func TestStopIdempotent(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	m := newManager(t, clock)
+	sub, err := m.Subscribe(sensors.ModalityWiFi, Settings{Interval: time.Minute, DutyCycle: 1},
+		func(sensors.Reading) {})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	sub.Stop()
+	sub.Stop()
+}
+
+func waitForCount(t *testing.T, mu *sync.Mutex, count *int, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		c := *count
+		mu.Unlock()
+		if c >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("count = %d, want >= %d", c, want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func TestAdaptivePolicyValidation(t *testing.T) {
+	if _, err := NewAdaptivePolicy(); err == nil {
+		t.Fatal("empty policy accepted")
+	}
+	if _, err := NewAdaptivePolicy(AdaptiveStep{MinLevel: 0.5, DutyFactor: 1}); err == nil {
+		t.Fatal("policy without MinLevel 0 accepted")
+	}
+	if _, err := NewAdaptivePolicy(AdaptiveStep{MinLevel: -0.1, DutyFactor: 1}); err == nil {
+		t.Fatal("negative level accepted")
+	}
+	if _, err := NewAdaptivePolicy(AdaptiveStep{MinLevel: 0, DutyFactor: 0}); err == nil {
+		t.Fatal("zero factor accepted")
+	}
+	if _, err := NewAdaptivePolicy(AdaptiveStep{MinLevel: 0, DutyFactor: 1.5}); err == nil {
+		t.Fatal("factor above 1 accepted")
+	}
+}
+
+func TestAdaptivePolicyFactors(t *testing.T) {
+	p := DefaultAdaptivePolicy()
+	cases := []struct {
+		level, want float64
+	}{{1.0, 1.0}, {0.5, 1.0}, {0.49, 0.5}, {0.2, 0.5}, {0.19, 0.2}, {0.0, 0.2}}
+	for _, c := range cases {
+		if got := p.FactorFor(c.level); got != c.want {
+			t.Errorf("FactorFor(%.2f) = %.2f, want %.2f", c.level, got, c.want)
+		}
+	}
+}
+
+func TestSubscribeAdaptiveThinsSamplingAsBatteryDrains(t *testing.T) {
+	clock := vclock.NewManual(epoch)
+	m := newManager(t, clock)
+	var mu sync.Mutex
+	count := 0
+	sub, err := m.SubscribeAdaptive(sensors.ModalityWiFi,
+		Settings{Interval: time.Minute, DutyCycle: 1},
+		DefaultAdaptivePolicy(),
+		func(sensors.Reading) {
+			mu.Lock()
+			count++
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("SubscribeAdaptive: %v", err)
+	}
+	defer sub.Stop()
+	clock.BlockUntilWaiters(1)
+	// Full battery: every tick samples.
+	for i := 0; i < 4; i++ {
+		clock.Advance(time.Minute)
+		waitForCount(t, &mu, &count, i+1)
+	}
+	// Drain to 10%: factor 0.2 — one sample per five ticks. Pace the
+	// advances so the manual ticker (buffer 1) never drops a tick.
+	m.dev.Battery().Drain(0.9 * 2500 * 1000)
+	before := func() int { mu.Lock(); defer mu.Unlock(); return count }()
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Minute)
+		time.Sleep(3 * time.Millisecond)
+	}
+	after := func() int { mu.Lock(); defer mu.Unlock(); return count }()
+	if got := after - before; got != 2 {
+		t.Fatalf("low-battery samples over 10 ticks = %d, want 2", got)
+	}
+}
+
+func TestSubscribeAdaptiveValidation(t *testing.T) {
+	m := newManager(t, vclock.NewManual(epoch))
+	ok := Settings{Interval: time.Second, DutyCycle: 1}
+	if _, err := m.SubscribeAdaptive(sensors.ModalityWiFi, ok, nil, func(sensors.Reading) {}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+	if _, err := m.SubscribeAdaptive("gyroscope", ok, DefaultAdaptivePolicy(), func(sensors.Reading) {}); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+	if _, err := m.SubscribeAdaptive(sensors.ModalityWiFi, Settings{}, DefaultAdaptivePolicy(), func(sensors.Reading) {}); err == nil {
+		t.Fatal("bad settings accepted")
+	}
+	if _, err := m.SubscribeAdaptive(sensors.ModalityWiFi, ok, DefaultAdaptivePolicy(), nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	m.Close()
+	if _, err := m.SubscribeAdaptive(sensors.ModalityWiFi, ok, DefaultAdaptivePolicy(), func(sensors.Reading) {}); err == nil {
+		t.Fatal("closed manager accepted")
+	}
+}

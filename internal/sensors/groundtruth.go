@@ -1,0 +1,189 @@
+// Package sensors simulates the physical world side of SenSocial: a ground
+// truth of what each user is actually doing (moving, speaking, being near
+// WiFi networks and Bluetooth devices), and the five smartphone sensors the
+// middleware samples — accelerometer, microphone, GPS location, WiFi and
+// Bluetooth (paper §4: "SenSocial supports all five types of sensor
+// modalities that can be pulled from the ESSensorManager library").
+//
+// Readings are synthesized with realistic shapes (50 Hz three-axis
+// acceleration frames, RMS audio frames, noisy GPS fixes, scan lists) so
+// that on-device classifiers have real work to do, and tests can assert the
+// classifiers recover the ground truth.
+package sensors
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Activity is the user's ground-truth physical activity. Enum starts at 1.
+type Activity int
+
+// Activity values recognised by the paper's example classifier
+// ("still", "walking" and "running").
+const (
+	ActivityStill Activity = iota + 1
+	ActivityWalking
+	ActivityRunning
+)
+
+// String implements fmt.Stringer; values match the paper's class labels.
+func (a Activity) String() string {
+	switch a {
+	case ActivityStill:
+		return "still"
+	case ActivityWalking:
+		return "walking"
+	case ActivityRunning:
+		return "running"
+	default:
+		return fmt.Sprintf("activity(%d)", int(a))
+	}
+}
+
+// AudioEnv is the ground-truth audio environment. The paper's microphone
+// classifier distinguishes "silent" from "not silent".
+type AudioEnv int
+
+// AudioEnv values.
+const (
+	AudioSilent AudioEnv = iota + 1
+	AudioNoisy
+)
+
+// String implements fmt.Stringer.
+func (a AudioEnv) String() string {
+	switch a {
+	case AudioSilent:
+		return "silent"
+	case AudioNoisy:
+		return "not silent"
+	default:
+		return fmt.Sprintf("audio(%d)", int(a))
+	}
+}
+
+// AP is a WiFi access point visible to the device.
+type AP struct {
+	SSID  string `json:"ssid"`
+	BSSID string `json:"bssid"`
+	RSSI  int    `json:"rssi"`
+}
+
+// BTDevice is a nearby Bluetooth device.
+type BTDevice struct {
+	Name string `json:"name"`
+	MAC  string `json:"mac"`
+	RSSI int    `json:"rssi"`
+}
+
+// State is a snapshot of a user's ground truth at one instant.
+type State struct {
+	Activity Activity
+	Audio    AudioEnv
+	Location geo.Point
+	WiFi     []AP
+	BT       []BTDevice
+}
+
+// Phase is one chapter of a scripted user day: an activity and audio
+// environment held for a duration.
+type Phase struct {
+	Activity Activity
+	Audio    AudioEnv
+	Duration time.Duration
+}
+
+// Profile scripts a simulated user's ground truth. The zero value is not
+// usable; construct with NewProfile and options.
+type Profile struct {
+	mover  geo.Mover
+	phases []Phase
+	loop   bool
+	wifi   []AP
+	bt     []BTDevice
+}
+
+// ProfileOption configures a Profile.
+type ProfileOption func(*Profile)
+
+// WithPhases scripts the activity/audio timeline. When loop is true the
+// schedule repeats; otherwise the last phase holds forever.
+func WithPhases(loop bool, phases ...Phase) ProfileOption {
+	return func(p *Profile) {
+		p.phases = append([]Phase(nil), phases...)
+		p.loop = loop
+	}
+}
+
+// WithWiFi sets the access points visible to the user's device.
+func WithWiFi(aps ...AP) ProfileOption {
+	return func(p *Profile) { p.wifi = append([]AP(nil), aps...) }
+}
+
+// WithBluetooth sets the Bluetooth devices near the user.
+func WithBluetooth(devs ...BTDevice) ProfileOption {
+	return func(p *Profile) { p.bt = append([]BTDevice(nil), devs...) }
+}
+
+// NewProfile builds a profile around a movement model. With no phases the
+// user is still in a silent environment.
+func NewProfile(mover geo.Mover, opts ...ProfileOption) (*Profile, error) {
+	if mover == nil {
+		return nil, fmt.Errorf("sensors: profile requires a mover")
+	}
+	p := &Profile{mover: mover}
+	for _, o := range opts {
+		o(p)
+	}
+	for i, ph := range p.phases {
+		if ph.Duration <= 0 {
+			return nil, fmt.Errorf("sensors: phase %d has non-positive duration", i)
+		}
+		if ph.Activity < ActivityStill || ph.Activity > ActivityRunning {
+			return nil, fmt.Errorf("sensors: phase %d has invalid activity %d", i, ph.Activity)
+		}
+		if ph.Audio < AudioSilent || ph.Audio > AudioNoisy {
+			return nil, fmt.Errorf("sensors: phase %d has invalid audio %d", i, ph.Audio)
+		}
+	}
+	return p, nil
+}
+
+// StateAt returns the ground truth after elapsed time from the profile
+// start.
+func (p *Profile) StateAt(elapsed time.Duration) State {
+	s := State{
+		Activity: ActivityStill,
+		Audio:    AudioSilent,
+		Location: p.mover.Position(elapsed),
+		WiFi:     append([]AP(nil), p.wifi...),
+		BT:       append([]BTDevice(nil), p.bt...),
+	}
+	if len(p.phases) == 0 {
+		return s
+	}
+	var total time.Duration
+	for _, ph := range p.phases {
+		total += ph.Duration
+	}
+	t := elapsed
+	if p.loop {
+		t = elapsed % total
+	}
+	for _, ph := range p.phases {
+		if t < ph.Duration {
+			s.Activity = ph.Activity
+			s.Audio = ph.Audio
+			return s
+		}
+		t -= ph.Duration
+	}
+	// Past the end of a non-looping script: the last phase holds.
+	last := p.phases[len(p.phases)-1]
+	s.Activity = last.Activity
+	s.Audio = last.Audio
+	return s
+}

@@ -1,0 +1,326 @@
+package sensors
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var (
+	start = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+	paris = geo.Point{Lat: 48.8566, Lon: 2.3522}
+)
+
+func stillProfile(t *testing.T, opts ...ProfileOption) *Profile {
+	t.Helper()
+	p, err := NewProfile(geo.Stationary{At: paris}, opts...)
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	return p
+}
+
+func newSuite(t *testing.T, p *Profile) *Suite {
+	t.Helper()
+	s, err := NewSuite(p, start, 1)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	return s
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := NewProfile(nil); err == nil {
+		t.Fatal("nil mover accepted")
+	}
+	if _, err := NewProfile(geo.Stationary{At: paris},
+		WithPhases(false, Phase{Activity: ActivityStill, Audio: AudioSilent, Duration: 0})); err == nil {
+		t.Fatal("zero duration phase accepted")
+	}
+	if _, err := NewProfile(geo.Stationary{At: paris},
+		WithPhases(false, Phase{Activity: Activity(9), Audio: AudioSilent, Duration: time.Minute})); err == nil {
+		t.Fatal("invalid activity accepted")
+	}
+	if _, err := NewProfile(geo.Stationary{At: paris},
+		WithPhases(false, Phase{Activity: ActivityStill, Audio: AudioEnv(9), Duration: time.Minute})); err == nil {
+		t.Fatal("invalid audio accepted")
+	}
+	if _, err := NewSuite(nil, start, 1); err == nil {
+		t.Fatal("nil profile accepted by NewSuite")
+	}
+}
+
+func TestProfileDefaultsStillSilent(t *testing.T) {
+	p := stillProfile(t)
+	s := p.StateAt(time.Hour)
+	if s.Activity != ActivityStill || s.Audio != AudioSilent {
+		t.Fatalf("state = %+v", s)
+	}
+	if s.Location != paris {
+		t.Fatalf("location = %v", s.Location)
+	}
+}
+
+func TestProfilePhaseSchedule(t *testing.T) {
+	p := stillProfile(t, WithPhases(false,
+		Phase{Activity: ActivityStill, Audio: AudioSilent, Duration: 10 * time.Minute},
+		Phase{Activity: ActivityWalking, Audio: AudioNoisy, Duration: 10 * time.Minute},
+		Phase{Activity: ActivityRunning, Audio: AudioNoisy, Duration: 10 * time.Minute},
+	))
+	cases := []struct {
+		at   time.Duration
+		want Activity
+	}{
+		{5 * time.Minute, ActivityStill},
+		{15 * time.Minute, ActivityWalking},
+		{25 * time.Minute, ActivityRunning},
+		{2 * time.Hour, ActivityRunning}, // non-loop: last phase holds
+	}
+	for _, c := range cases {
+		if got := p.StateAt(c.at).Activity; got != c.want {
+			t.Errorf("activity at %v = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestProfileLoopingSchedule(t *testing.T) {
+	p := stillProfile(t, WithPhases(true,
+		Phase{Activity: ActivityStill, Audio: AudioSilent, Duration: time.Minute},
+		Phase{Activity: ActivityWalking, Audio: AudioNoisy, Duration: time.Minute},
+	))
+	if got := p.StateAt(30 * time.Second).Activity; got != ActivityStill {
+		t.Fatalf("t=30s activity = %v", got)
+	}
+	if got := p.StateAt(90 * time.Second).Activity; got != ActivityWalking {
+		t.Fatalf("t=90s activity = %v", got)
+	}
+	// Wraps: 150s ≡ 30s.
+	if got := p.StateAt(150 * time.Second).Activity; got != ActivityStill {
+		t.Fatalf("t=150s activity = %v, want wrap to still", got)
+	}
+}
+
+func accelStats(r AccelReading) (mean, std float64) {
+	for _, s := range r.Samples {
+		mag := math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+		mean += mag
+	}
+	mean /= float64(len(r.Samples))
+	for _, s := range r.Samples {
+		mag := math.Sqrt(s.X*s.X + s.Y*s.Y + s.Z*s.Z)
+		std += (mag - mean) * (mag - mean)
+	}
+	std = math.Sqrt(std / float64(len(r.Samples)))
+	return mean, std
+}
+
+func TestAccelerometerShapePerActivity(t *testing.T) {
+	mkSuite := func(act Activity) *Suite {
+		return newSuite(t, stillProfile(t, WithPhases(false,
+			Phase{Activity: act, Audio: AudioSilent, Duration: time.Hour})))
+	}
+	sample := func(s *Suite) AccelReading {
+		r, err := s.Sample(ModalityAccelerometer, start.Add(time.Minute))
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		return r.Payload.(AccelReading)
+	}
+	still := sample(mkSuite(ActivityStill))
+	if len(still.Samples) != 400 {
+		t.Fatalf("window = %d samples, want 400 (50 Hz x 8 s)", len(still.Samples))
+	}
+	meanStill, stdStill := accelStats(still)
+	if math.Abs(meanStill-9.81) > 0.5 {
+		t.Fatalf("still mean magnitude = %f, want ~gravity", meanStill)
+	}
+	_, stdWalk := accelStats(sample(mkSuite(ActivityWalking)))
+	_, stdRun := accelStats(sample(mkSuite(ActivityRunning)))
+	if !(stdStill < stdWalk && stdWalk < stdRun) {
+		t.Fatalf("stddev ordering broken: still %f, walk %f, run %f", stdStill, stdWalk, stdRun)
+	}
+}
+
+func TestMicrophoneShapePerEnvironment(t *testing.T) {
+	silent := newSuite(t, stillProfile(t))
+	noisy := newSuite(t, stillProfile(t, WithPhases(false,
+		Phase{Activity: ActivityStill, Audio: AudioNoisy, Duration: time.Hour})))
+	get := func(s *Suite) MicReading {
+		r, err := s.Sample(ModalityMicrophone, start.Add(time.Minute))
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		return r.Payload.(MicReading)
+	}
+	mean := func(r MicReading) float64 {
+		sum := 0.0
+		for _, v := range r.RMS {
+			sum += v
+		}
+		return sum / float64(len(r.RMS))
+	}
+	ms, mn := mean(get(silent)), mean(get(noisy))
+	if ms >= 0.05 {
+		t.Fatalf("silent mean RMS = %f, want < 0.05", ms)
+	}
+	if mn <= 0.1 {
+		t.Fatalf("noisy mean RMS = %f, want > 0.1", mn)
+	}
+	for _, v := range get(noisy).RMS {
+		if v < 0 || v > 1 {
+			t.Fatalf("RMS %f out of [0,1]", v)
+		}
+	}
+}
+
+func TestLocationFixNearTruth(t *testing.T) {
+	s := newSuite(t, stillProfile(t))
+	for i := 0; i < 50; i++ {
+		r, err := s.Sample(ModalityLocation, start.Add(time.Duration(i)*time.Minute))
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		fix := r.Payload.(LocationReading)
+		if d := fix.Point().DistanceMeters(paris); d > 100 {
+			t.Fatalf("fix %d error = %f m, want < 100", i, d)
+		}
+		if fix.AccuracyM <= 0 || fix.FixSeconds <= 0 {
+			t.Fatalf("fix metadata = %+v", fix)
+		}
+	}
+}
+
+func TestLocationTracksMovement(t *testing.T) {
+	bordeaux := geo.Point{Lat: 44.8378, Lon: -0.5792}
+	route, err := geo.NewRoute(bordeaux, geo.Waypoint{To: paris, SpeedMPS: 100})
+	if err != nil {
+		t.Fatalf("NewRoute: %v", err)
+	}
+	p, err := NewProfile(route)
+	if err != nil {
+		t.Fatalf("NewProfile: %v", err)
+	}
+	s := newSuite(t, p)
+	early, err := s.Sample(ModalityLocation, start)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	late, err := s.Sample(ModalityLocation, start.Add(3*time.Hour))
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if d := early.Payload.(LocationReading).Point().DistanceMeters(bordeaux); d > 100 {
+		t.Fatalf("early fix %f m from Bordeaux", d)
+	}
+	if d := late.Payload.(LocationReading).Point().DistanceMeters(paris); d > 100 {
+		t.Fatalf("late fix %f m from Paris", d)
+	}
+}
+
+func TestWiFiAndBTScans(t *testing.T) {
+	p := stillProfile(t,
+		WithWiFi(AP{SSID: "homenet", BSSID: "aa:bb", RSSI: -50}, AP{SSID: "cafe", BSSID: "cc:dd", RSSI: -70}),
+		WithBluetooth(BTDevice{Name: "watch", MAC: "11:22", RSSI: -40}),
+	)
+	s := newSuite(t, p)
+	wr, err := s.Sample(ModalityWiFi, start)
+	if err != nil {
+		t.Fatalf("Sample wifi: %v", err)
+	}
+	aps := wr.Payload.(WiFiReading).APs
+	if len(aps) != 2 || aps[0].SSID != "homenet" {
+		t.Fatalf("aps = %+v", aps)
+	}
+	br, err := s.Sample(ModalityBluetooth, start)
+	if err != nil {
+		t.Fatalf("Sample bt: %v", err)
+	}
+	devs := br.Payload.(BTReading).Devices
+	if len(devs) != 1 || devs[0].Name != "watch" {
+		t.Fatalf("devices = %+v", devs)
+	}
+}
+
+func TestSampleUnknownModality(t *testing.T) {
+	s := newSuite(t, stillProfile(t))
+	if _, err := s.Sample("thermometer", start); err == nil {
+		t.Fatal("unknown modality accepted")
+	}
+}
+
+func TestMarshalPayloadSizes(t *testing.T) {
+	// Payload sizes drive the transmission-energy model; keep them in the
+	// calibrated ballpark (see energy.DefaultCostModel).
+	s := newSuite(t, stillProfile(t, WithWiFi(AP{SSID: "a", BSSID: "b", RSSI: -50})))
+	sizes := map[string][2]int{ // modality -> {min, max} bytes
+		ModalityAccelerometer: {3000, 12000}, // fixed-point wire encoding
+		ModalityMicrophone:    {800, 8000},
+		ModalityLocation:      {60, 400},
+		ModalityWiFi:          {20, 400},
+		ModalityBluetooth:     {2, 300},
+	}
+	for mod, bounds := range sizes {
+		r, err := s.Sample(mod, start)
+		if err != nil {
+			t.Fatalf("Sample(%s): %v", mod, err)
+		}
+		b, err := r.MarshalPayload()
+		if err != nil {
+			t.Fatalf("MarshalPayload(%s): %v", mod, err)
+		}
+		if len(b) < bounds[0] || len(b) > bounds[1] {
+			t.Errorf("%s payload = %d bytes, want in [%d, %d]", mod, len(b), bounds[0], bounds[1])
+		}
+	}
+}
+
+func TestSuiteDeterministicForSeed(t *testing.T) {
+	p := stillProfile(t)
+	s1, err := NewSuite(p, start, 42)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	s2, err := NewSuite(p, start, 42)
+	if err != nil {
+		t.Fatalf("NewSuite: %v", err)
+	}
+	r1, err := s1.Sample(ModalityLocation, start.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	r2, err := s2.Sample(ModalityLocation, start.Add(time.Minute))
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if r1.Payload.(LocationReading) != r2.Payload.(LocationReading) {
+		t.Fatal("same seed produced different fixes")
+	}
+}
+
+func TestModalityHelpers(t *testing.T) {
+	if len(Modalities()) != 5 {
+		t.Fatalf("Modalities = %v", Modalities())
+	}
+	for _, m := range Modalities() {
+		if !IsModality(m) {
+			t.Errorf("IsModality(%q) = false", m)
+		}
+	}
+	if IsModality("gyroscope") {
+		t.Fatal("IsModality(gyroscope) = true")
+	}
+}
+
+func TestActivityAudioStrings(t *testing.T) {
+	if ActivityStill.String() != "still" || ActivityWalking.String() != "walking" || ActivityRunning.String() != "running" {
+		t.Fatal("activity strings wrong")
+	}
+	if AudioSilent.String() != "silent" || AudioNoisy.String() != "not silent" {
+		t.Fatal("audio strings wrong")
+	}
+	if Activity(9).String() == "" || AudioEnv(9).String() == "" {
+		t.Fatal("unknown enums must still stringify")
+	}
+}

@@ -1,0 +1,383 @@
+// Package sim assembles a complete SenSocial deployment in one process:
+// a netsim network fabric, the MQTT broker, the server-side middleware, the
+// simulated OSNs with their plug-ins, and any number of simulated devices
+// running the mobile middleware. The experiment harness, the integration
+// tests, the examples and cmd/sensocial-sim all build on it.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/core"
+	"repro/internal/core/mobile"
+	"repro/internal/core/server"
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/mqtt"
+	"repro/internal/netsim"
+	"repro/internal/osn"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// Well-known fabric addresses.
+const (
+	BrokerAddr = "server:1883"
+	HTTPAddr   = "server:8080"
+)
+
+// Options configures a simulation.
+type Options struct {
+	// Clock drives everything; required.
+	Clock vclock.Clock
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+	// Places is the reverse-geocoding database (default EuropeanCities).
+	Places *geo.PlaceDB
+	// MobileLink shapes device<->server traffic (default: 40 ms ± 10 ms,
+	// an "uncongested WiFi network" as in the paper's delay measurements).
+	MobileLink *netsim.Link
+	// FacebookDelay models the OSN's notification latency (default:
+	// osn.FacebookDelay, ~46 s). Tests can shrink it.
+	FacebookDelay *osn.DelayModel
+	// TwitterPollPeriod for the poll plug-in (default 15 s).
+	TwitterPollPeriod time.Duration
+	// ServerProcessingDelay/Jitter model the original pipeline's
+	// OSN-handling latency before triggers go out (Table 3: ~8.9 s).
+	ServerProcessingDelay  time.Duration
+	ServerProcessingJitter time.Duration
+	// PersistItems stores received items in the document store.
+	PersistItems bool
+	// DeliverViaHTTP routes Facebook plug-in notifications through the
+	// server's HTTP webhook over the fabric (full fidelity) instead of the
+	// direct in-process call.
+	DeliverViaHTTP bool
+	// ActionTap, when set, observes every OSN action at the moment the
+	// server receives it (the Table 3 experiment timestamps server
+	// receipt with it).
+	ActionTap func(osn.Action)
+}
+
+// Simulation is a running deployment.
+type Simulation struct {
+	Clock    vclock.Clock
+	Fabric   *netsim.Network
+	Broker   *mqtt.Broker
+	Server   *server.Manager
+	Places   *geo.PlaceDB
+	Graph    *osn.Graph
+	Facebook *osn.Network
+	Twitter  *osn.Network
+	FBPlugin *osn.PushPlugin
+	TWPlugin *osn.PollPlugin
+
+	classifiers *classify.Registry
+	seed        int64
+
+	mu      sync.Mutex
+	handles map[string]*Handle
+	httpSrv *http.Server
+	brokerL net.Listener
+	closers []func()
+}
+
+// Handle bundles one user's device and mobile middleware.
+type Handle struct {
+	UserID  string
+	Device  *device.Device
+	Mobile  *mobile.Manager
+	Profile *sensors.Profile
+}
+
+// New builds and starts a simulation.
+func New(opts Options) (*Simulation, error) {
+	if opts.Clock == nil {
+		return nil, fmt.Errorf("sim: clock required")
+	}
+	if opts.Places == nil {
+		opts.Places = geo.EuropeanCities()
+	}
+	link := netsim.Link{Latency: 40 * time.Millisecond, Jitter: 10 * time.Millisecond}
+	if opts.MobileLink != nil {
+		link = *opts.MobileLink
+	}
+	fbDelay := osn.FacebookDelay()
+	if opts.FacebookDelay != nil {
+		fbDelay = *opts.FacebookDelay
+	}
+	if opts.TwitterPollPeriod <= 0 {
+		opts.TwitterPollPeriod = 15 * time.Second
+	}
+
+	fabric := netsim.NewNetwork(opts.Clock, opts.Seed)
+	fabric.SetDefaultLink(link)
+
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock})
+	brokerL, err := fabric.Listen(BrokerAddr)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	go func() { _ = broker.Serve(brokerL) }()
+
+	srv, err := server.New(server.Options{
+		Clock:            opts.Clock,
+		Broker:           broker,
+		Places:           opts.Places,
+		ProcessingDelay:  opts.ServerProcessingDelay,
+		ProcessingJitter: opts.ServerProcessingJitter,
+		PersistItems:     opts.PersistItems,
+		Seed:             opts.Seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	graph := osn.NewGraph()
+	facebook, err := osn.NewNetwork("facebook", graph)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	twitter, err := osn.NewNetwork("twitter", graph)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	classifiers, err := classify.DefaultRegistry(opts.Places)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	s := &Simulation{
+		Clock:    opts.Clock,
+		Fabric:   fabric,
+		Broker:   broker,
+		Server:   srv,
+		Places:   opts.Places,
+		Graph:    graph,
+		Facebook: facebook,
+		Twitter:  twitter,
+
+		classifiers: classifiers,
+		seed:        opts.Seed,
+		handles:     make(map[string]*Handle),
+	}
+	s.brokerL = brokerL
+	s.closers = append(s.closers, func() {
+		s.mu.Lock()
+		l := s.brokerL
+		s.mu.Unlock()
+		if l != nil {
+			_ = l.Close()
+		}
+	})
+
+	deliver := srv.OnOSNAction
+	if opts.DeliverViaHTTP {
+		if err := s.StartHTTP(); err != nil {
+			return nil, err
+		}
+		deliver = s.httpDeliver
+	}
+	if tap := opts.ActionTap; tap != nil {
+		inner := deliver
+		deliver = func(a osn.Action) {
+			tap(a)
+			inner(a)
+		}
+	}
+	fbPlugin, err := osn.NewPushPlugin(facebook, opts.Clock, fbDelay, opts.Seed+2, deliver)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.FBPlugin = fbPlugin
+
+	twPlugin, err := osn.NewPollPlugin(twitter, opts.Clock, opts.TwitterPollPeriod, opts.Clock.Now(), srv.OnOSNAction)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.TWPlugin = twPlugin
+	return s, nil
+}
+
+// Classifiers returns the default on-device classifier registry.
+func (s *Simulation) Classifiers() *classify.Registry { return s.classifiers }
+
+// AddUser registers a user with one device running the mobile middleware.
+// The device id is "<userID>-phone" and its fabric host matches. The user
+// is registered with the OSN graph, the server registry, and the Facebook
+// push plug-in.
+func (s *Simulation) AddUser(userID string, profile *sensors.Profile) (*Handle, error) {
+	return s.AddUserWithPrivacy(userID, profile, nil)
+}
+
+// AddUserWithPrivacy is AddUser with an explicit privacy descriptor.
+func (s *Simulation) AddUserWithPrivacy(userID string, profile *sensors.Profile, privacy *core.PrivacyDescriptor) (*Handle, error) {
+	if userID == "" {
+		return nil, fmt.Errorf("sim: empty user id")
+	}
+	s.mu.Lock()
+	if _, exists := s.handles[userID]; exists {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("sim: user %q already exists", userID)
+	}
+	seed := s.seed + int64(len(s.handles))*7919
+	s.mu.Unlock()
+
+	deviceID := userID + "-phone"
+	if err := s.Graph.AddUser(userID); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := s.Server.RegisterDevice(userID, deviceID); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	dev, err := device.New(device.Config{
+		ID:      deviceID,
+		UserID:  userID,
+		Host:    deviceID,
+		Clock:   s.Clock,
+		Profile: profile,
+		Fabric:  s.Fabric,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	mgr, err := mobile.New(mobile.Options{
+		Device:      dev,
+		Classifiers: s.classifiers,
+		Privacy:     privacy,
+		BrokerAddr:  BrokerAddr,
+		HTTPAddr:    HTTPAddr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s.FBPlugin.RegisterUser(userID)
+	s.TWPlugin.RegisterUser(userID, s.Clock.Now())
+
+	h := &Handle{UserID: userID, Device: dev, Mobile: mgr, Profile: profile}
+	s.mu.Lock()
+	s.handles[userID] = h
+	s.mu.Unlock()
+	return h, nil
+}
+
+// Handle returns a user's handle.
+func (s *Simulation) Handle(userID string) (*Handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handles[userID]
+	return h, ok
+}
+
+// StartHTTP serves the server's HTTP surface on the fabric at HTTPAddr.
+func (s *Simulation) StartHTTP() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpSrv != nil {
+		return nil
+	}
+	l, err := s.Fabric.Listen(HTTPAddr)
+	if err != nil {
+		return fmt.Errorf("sim: http listen: %w", err)
+	}
+	srv := &http.Server{Handler: s.Server.HTTPHandler()}
+	go func() { _ = srv.Serve(l) }()
+	s.httpSrv = srv
+	s.closers = append(s.closers, func() {
+		_ = srv.Close()
+		_ = l.Close()
+	})
+	return nil
+}
+
+// HTTPClient returns an http.Client whose connections originate from the
+// given fabric host.
+func (s *Simulation) HTTPClient(fromHost string) *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(_ context.Context, _, addr string) (net.Conn, error) {
+				return s.Fabric.Dial(fromHost, addr)
+			},
+			// The fabric has one logical address space; avoid idle-conn
+			// caching surprises across tests.
+			DisableKeepAlives: true,
+		},
+		Timeout: 30 * time.Second,
+	}
+}
+
+// httpDeliver posts an action to the server webhook over the fabric,
+// exactly as the original Facebook application notifies the PHP receiver.
+func (s *Simulation) httpDeliver(a osn.Action) {
+	body, err := jsonMarshal(a)
+	if err != nil {
+		return
+	}
+	client := s.HTTPClient("facebook-cloud")
+	resp, err := client.Post("http://"+HTTPAddr+"/osn/action", "application/json", body)
+	if err != nil {
+		return
+	}
+	_ = resp.Body.Close()
+}
+
+// RestartBroker simulates a broker (Mosquitto) restart: the current broker
+// and its listener are torn down, a fresh broker binds the same address,
+// and the server middleware re-attaches to it. Clients built with the
+// reconnecting link recover on their own; plain clients stay dead, as they
+// would in the original system.
+func (s *Simulation) RestartBroker() error {
+	s.mu.Lock()
+	oldL, oldB := s.brokerL, s.Broker
+	s.mu.Unlock()
+	if oldL != nil {
+		_ = oldL.Close()
+	}
+	if oldB != nil {
+		_ = oldB.Close()
+	}
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock})
+	l, err := s.Fabric.Listen(BrokerAddr)
+	if err != nil {
+		return fmt.Errorf("sim: restart broker: %w", err)
+	}
+	go func() { _ = broker.Serve(l) }()
+	if err := s.Server.AttachBroker(broker); err != nil {
+		return fmt.Errorf("sim: restart broker: %w", err)
+	}
+	s.mu.Lock()
+	s.Broker = broker
+	s.brokerL = l
+	s.mu.Unlock()
+	return nil
+}
+
+// Close tears the simulation down in dependency order.
+func (s *Simulation) Close() {
+	s.mu.Lock()
+	handles := make([]*Handle, 0, len(s.handles))
+	for _, h := range s.handles {
+		handles = append(handles, h)
+	}
+	closers := append([]func(){}, s.closers...)
+	s.mu.Unlock()
+
+	s.FBPlugin.Close()
+	s.TWPlugin.Close()
+	for _, h := range handles {
+		_ = h.Mobile.Close()
+	}
+	_ = s.Server.Close()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
+	_ = s.Broker.Close()
+	_ = s.Fabric.Close()
+}

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/osn"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+func fastOptions() Options {
+	return Options{
+		Clock:         vclock.NewReal(),
+		Seed:          1,
+		MobileLink:    &netsim.Link{Latency: time.Millisecond},
+		FacebookDelay: &osn.DelayModel{Mean: 10 * time.Millisecond, Min: time.Millisecond},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing clock accepted")
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	s, err := New(fastOptions())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if _, err := StationaryProfile(s.Places, "Atlantis"); err == nil {
+		t.Fatal("unknown city accepted")
+	}
+	if _, err := TravelProfile(s.Places, "Atlantis", "Paris", 10, 0); err == nil {
+		t.Fatal("unknown origin accepted")
+	}
+	if _, err := TravelProfile(s.Places, "Paris", "Atlantis", 10, 0); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	p, err := TravelProfile(s.Places, "Bordeaux", "Paris", 100, time.Minute)
+	if err != nil {
+		t.Fatalf("TravelProfile: %v", err)
+	}
+	// During the dwell the traveller is still in Bordeaux.
+	bordeaux, _ := s.Places.Lookup("Bordeaux")
+	if d := p.StateAt(30 * time.Second).Location.DistanceMeters(bordeaux.Region.Center); d > 100 {
+		t.Fatalf("traveller left during dwell: %f m", d)
+	}
+}
+
+func TestAddUserValidation(t *testing.T) {
+	s, err := New(fastOptions())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	profile, err := StationaryProfile(s.Places, "Paris")
+	if err != nil {
+		t.Fatalf("StationaryProfile: %v", err)
+	}
+	if _, err := s.AddUser("", profile); err == nil {
+		t.Fatal("empty user accepted")
+	}
+	if _, err := s.AddUser("alice", profile); err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	if _, err := s.AddUser("alice", profile); err == nil {
+		t.Fatal("duplicate user accepted")
+	}
+	if _, ok := s.Handle("alice"); !ok {
+		t.Fatal("handle missing")
+	}
+	if _, ok := s.Handle("ghost"); ok {
+		t.Fatal("phantom handle")
+	}
+	if s.Classifiers() == nil {
+		t.Fatal("nil classifiers")
+	}
+}
+
+// TestFigure2Scenario is the paper's running example as an integration
+// test: C travels Bordeaux -> Paris; the middleware's location streams,
+// registry, friendship sync and notify triggers produce exactly one
+// notification, on A's phone.
+func TestFigure2Scenario(t *testing.T) {
+	opts := fastOptions()
+	opts.Clock = vclock.NewScaled(time.Date(2014, 12, 8, 8, 0, 0, 0, time.UTC), 2000)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+
+	home := map[string]string{"A": "Paris", "B": "Paris", "C": "Bordeaux", "D": "Bordeaux", "E": "Bordeaux"}
+	for user, city := range home {
+		var profile *sensors.Profile
+		if user == "C" {
+			profile, err = TravelProfile(s.Places, "Bordeaux", "Paris", 200, 2*time.Minute)
+		} else {
+			profile, err = StationaryProfile(s.Places, city)
+		}
+		if err != nil {
+			t.Fatalf("profile(%s): %v", user, err)
+		}
+		if _, err := s.AddUser(user, profile); err != nil {
+			t.Fatalf("AddUser(%s): %v", user, err)
+		}
+	}
+	for _, f := range []string{"C", "D"} {
+		if err := s.Graph.Befriend("A", f); err != nil {
+			t.Fatalf("Befriend: %v", err)
+		}
+	}
+	if err := s.Server.SyncFriendships(s.Graph); err != nil {
+		t.Fatalf("SyncFriendships: %v", err)
+	}
+	for user := range home {
+		if err := s.Server.CreateRemoteStream(core.StreamConfig{
+			ID: "loc-" + user, DeviceID: user + "-phone", UserID: user,
+			Modality: sensors.ModalityLocation, Granularity: core.GranularityClassified,
+			Kind: core.KindContinuous, SampleInterval: time.Minute,
+		}); err != nil {
+			t.Fatalf("CreateRemoteStream(%s): %v", user, err)
+		}
+	}
+
+	var mu sync.Mutex
+	notified := map[string][]string{}
+	for user := range home {
+		h, _ := s.Handle(user)
+		u := user
+		h.Mobile.OnNotify(func(msg string) {
+			mu.Lock()
+			notified[u] = append(notified[u], msg)
+			mu.Unlock()
+		})
+	}
+
+	lastCity := map[string]string{}
+	var appMu sync.Mutex
+	if err := s.Server.RegisterListener(core.Wildcard, core.ListenerFunc(func(i core.Item) {
+		if i.Modality != sensors.ModalityLocation || i.Classified == "" {
+			return
+		}
+		appMu.Lock()
+		prev := lastCity[i.UserID]
+		lastCity[i.UserID] = i.Classified
+		appMu.Unlock()
+		if prev == i.Classified || prev == "" {
+			return
+		}
+		friends, err := s.Server.FriendsOf(i.UserID)
+		if err != nil {
+			return
+		}
+		for _, f := range friends {
+			if home[f] != i.Classified {
+				continue
+			}
+			devices, err := s.Server.DevicesOf(f)
+			if err != nil {
+				continue
+			}
+			for _, d := range devices {
+				_ = s.Server.NotifyDevice(d, i.UserID+" arrived in "+i.Classified)
+			}
+		}
+	})); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		got := len(notified["A"])
+		mu.Unlock()
+		if got > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("A never notified")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(notified["A"][0], "C arrived in Paris") {
+		t.Fatalf("notification = %q", notified["A"][0])
+	}
+	// B is not C's friend; D and E never moved: nobody else is notified.
+	for _, other := range []string{"B", "C", "D", "E"} {
+		if len(notified[other]) != 0 {
+			t.Fatalf("%s spuriously notified: %v", other, notified[other])
+		}
+	}
+}
+
+// TestMultiUserEnergyIsolation covers the §5.5 claim that each user adds
+// only local cost: two identical users accumulate near-identical energy.
+func TestMultiUserEnergyIsolation(t *testing.T) {
+	s, err := New(fastOptions())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	for _, u := range []string{"u1", "u2"} {
+		profile, err := StationaryProfile(s.Places, "Paris")
+		if err != nil {
+			t.Fatalf("StationaryProfile: %v", err)
+		}
+		if _, err := s.AddUser(u, profile); err != nil {
+			t.Fatalf("AddUser: %v", err)
+		}
+		if err := s.Server.CreateRemoteStream(core.StreamConfig{
+			ID: "wifi-" + u, DeviceID: u + "-phone", UserID: u,
+			Modality: sensors.ModalityWiFi, Granularity: core.GranularityRaw,
+			Kind: core.KindContinuous, SampleInterval: 20 * time.Millisecond,
+		}); err != nil {
+			t.Fatalf("CreateRemoteStream: %v", err)
+		}
+	}
+	time.Sleep(300 * time.Millisecond)
+	h1, _ := s.Handle("u1")
+	h2, _ := s.Handle("u2")
+	e1 := h1.Device.Meter().TotalMicroAh()
+	e2 := h2.Device.Meter().TotalMicroAh()
+	if e1 == 0 || e2 == 0 {
+		t.Fatalf("no energy recorded: %f, %f", e1, e2)
+	}
+	ratio := e1 / e2
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("per-user energy diverges: %f vs %f", e1, e2)
+	}
+}
+
+// TestTwitterPollDelayShorterThanFacebook covers the §5.4 note that the
+// polling Twitter plug-in "allows arbitrarily short delay" set by its poll
+// period, in contrast to Facebook's ~46 s notification latency.
+func TestTwitterPollDelayShorterThanFacebook(t *testing.T) {
+	opts := fastOptions()
+	// Realistic Facebook delay on a compressed clock; tight Twitter poll.
+	opts.Clock = vclock.NewScaled(time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC), 600)
+	fb := osn.FacebookDelay()
+	opts.FacebookDelay = &fb
+	opts.TwitterPollPeriod = 2 * time.Second
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	profile, err := StationaryProfile(s.Places, "Paris")
+	if err != nil {
+		t.Fatalf("StationaryProfile: %v", err)
+	}
+	h, err := s.AddUser("alice", profile)
+	if err != nil {
+		t.Fatalf("AddUser: %v", err)
+	}
+	if err := h.Mobile.CreateStream(core.StreamConfig{
+		ID: "se", Modality: sensors.ModalityWiFi, Granularity: core.GranularityRaw,
+		Kind: core.KindSocialEvent, Deliver: core.DeliverServer,
+	}); err != nil {
+		t.Fatalf("CreateStream: %v", err)
+	}
+	type arrival struct {
+		network string
+		delay   time.Duration
+	}
+	got := make(chan arrival, 4)
+	s.Server.OnItem(func(i core.Item) {
+		if i.Action == nil {
+			return
+		}
+		got <- arrival{network: i.Action.Network, delay: i.Time.Sub(i.Action.Time)}
+	})
+	if _, err := s.Twitter.Record("alice", osn.ActionTweet, "quick tweet", s.Clock.Now()); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	if _, err := s.Facebook.Record("alice", osn.ActionPost, "slow post", s.Clock.Now()); err != nil {
+		t.Fatalf("Record: %v", err)
+	}
+	delays := map[string]time.Duration{}
+	for len(delays) < 2 {
+		select {
+		case a := <-got:
+			if _, ok := delays[a.network]; !ok {
+				delays[a.network] = a.delay
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("arrivals incomplete: %v", delays)
+		}
+	}
+	if delays["twitter"] >= delays["facebook"] {
+		t.Fatalf("twitter (%v) not faster than facebook (%v)", delays["twitter"], delays["facebook"])
+	}
+	if delays["twitter"] > 10*time.Second {
+		t.Fatalf("twitter delay %v, want within a few poll periods", delays["twitter"])
+	}
+	if delays["facebook"] < 30*time.Second {
+		t.Fatalf("facebook delay %v, want ~46 s", delays["facebook"])
+	}
+}

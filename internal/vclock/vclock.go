@@ -1,0 +1,409 @@
+// Package vclock provides an injectable clock abstraction so that library
+// code never calls time.Now or time.Sleep directly.
+//
+// Three implementations are provided:
+//
+//   - Real: delegates to the time package.
+//   - Manual: a fully deterministic clock for unit tests; time moves only
+//     when the test calls Advance.
+//   - Scaled: virtual time running at a configurable multiple of real time,
+//     used by the experiment harness to compress hour-long evaluations into
+//     seconds while preserving the ordering and relative spacing of events.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the middleware and simulators.
+type Clock interface {
+	// Now returns the current (possibly virtual) time.
+	Now() time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d on this clock.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a timer firing once after d on this clock.
+	NewTimer(d time.Duration) Timer
+	// Since returns the elapsed time on this clock since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker is the clock-agnostic equivalent of *time.Ticker.
+type Ticker interface {
+	// C returns the channel on which ticks are delivered.
+	C() <-chan time.Time
+	// Stop turns off the ticker. Stop does not close C.
+	Stop()
+}
+
+// Timer is the clock-agnostic equivalent of *time.Timer.
+type Timer interface {
+	// C returns the channel on which the expiry is delivered.
+	C() <-chan time.Time
+	// Stop prevents the timer from firing; reports whether it was pending.
+	Stop() bool
+}
+
+// Real is a Clock backed by the time package.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a Clock backed by the wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r realTicker) C() <-chan time.Time { return r.t.C }
+func (r realTicker) Stop()               { r.t.Stop() }
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }
+
+// Manual is a deterministic test clock. Time advances only via Advance.
+// Sleepers, timers and tickers fire synchronously inside Advance, in
+// timestamp order, before Advance returns.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*manualWaiter
+	seq     int
+}
+
+var _ Clock = (*Manual)(nil)
+
+type manualWaiter struct {
+	at       time.Time
+	seq      int // tie-break so firing order is stable
+	ch       chan time.Time
+	period   time.Duration // 0 for one-shot
+	stopped  bool
+	isSleep  bool
+	sleepWG  chan struct{}
+	consumed bool
+}
+
+// NewManual returns a Manual clock whose current time is start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	w := &manualWaiter{
+		at:      m.now.Add(d),
+		seq:     m.nextSeqLocked(),
+		isSleep: true,
+		sleepWG: make(chan struct{}),
+	}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	<-w.sleepWG
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	return m.NewTimer(d).C()
+}
+
+// NewTimer implements Clock.
+func (m *Manual) NewTimer(d time.Duration) Timer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{
+		at:  m.now.Add(d),
+		seq: m.nextSeqLocked(),
+		ch:  make(chan time.Time, 1),
+	}
+	m.waiters = append(m.waiters, w)
+	return &manualTimer{m: m, w: w}
+}
+
+// NewTicker implements Clock.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{
+		at:     m.now.Add(d),
+		seq:    m.nextSeqLocked(),
+		ch:     make(chan time.Time, 1),
+		period: d,
+	}
+	m.waiters = append(m.waiters, w)
+	return &manualTicker{m: m, w: w}
+}
+
+func (m *Manual) nextSeqLocked() int {
+	m.seq++
+	return m.seq
+}
+
+// Advance moves the clock forward by d, firing every waiter whose deadline
+// falls within the window, in deadline order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	target := m.now.Add(d)
+	for {
+		w := m.earliestDueLocked(target)
+		if w == nil {
+			break
+		}
+		m.now = w.at
+		m.fireLocked(w)
+	}
+	m.now = target
+	m.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is in the past).
+func (m *Manual) AdvanceTo(t time.Time) {
+	now := m.Now()
+	if t.After(now) {
+		m.Advance(t.Sub(now))
+	}
+}
+
+// Waiters reports how many sleeps/timers/tickers are currently pending.
+// Tests can poll this to synchronize with goroutines using the clock.
+func (m *Manual) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, w := range m.waiters {
+		if !w.stopped && !w.consumed {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockUntilWaiters blocks until at least n waiters are pending, polling.
+// Intended for tests coordinating with goroutines that sleep on the clock.
+func (m *Manual) BlockUntilWaiters(n int) {
+	for m.Waiters() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func (m *Manual) earliestDueLocked(limit time.Time) *manualWaiter {
+	var best *manualWaiter
+	for _, w := range m.waiters {
+		if w.stopped || w.consumed || w.at.After(limit) {
+			continue
+		}
+		if best == nil || w.at.Before(best.at) || (w.at.Equal(best.at) && w.seq < best.seq) {
+			best = w
+		}
+	}
+	return best
+}
+
+func (m *Manual) fireLocked(w *manualWaiter) {
+	switch {
+	case w.isSleep:
+		w.consumed = true
+		close(w.sleepWG)
+	case w.period > 0:
+		select {
+		case w.ch <- w.at:
+		default: // ticker semantics: drop if receiver is slow
+		}
+		w.at = w.at.Add(w.period)
+		w.seq = m.nextSeqLocked()
+	default:
+		w.consumed = true
+		select {
+		case w.ch <- w.at:
+		default:
+		}
+	}
+	m.gcLocked()
+}
+
+func (m *Manual) gcLocked() {
+	if len(m.waiters) < 64 {
+		return
+	}
+	live := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.stopped && !w.consumed {
+			live = append(live, w)
+		}
+	}
+	m.waiters = live
+}
+
+type manualTimer struct {
+	m *Manual
+	w *manualWaiter
+}
+
+func (t *manualTimer) C() <-chan time.Time { return t.w.ch }
+
+func (t *manualTimer) Stop() bool {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	pending := !t.w.stopped && !t.w.consumed
+	t.w.stopped = true
+	return pending
+}
+
+type manualTicker struct {
+	m *Manual
+	w *manualWaiter
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *manualTicker) Stop() {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.w.stopped = true
+}
+
+// Scaled is a Clock whose virtual time runs at Factor times real time.
+// A Factor of 600 compresses a one-hour experiment into six seconds while
+// preserving the relative timing of concurrent activities.
+type Scaled struct {
+	base      time.Time // virtual epoch
+	realStart time.Time
+	factor    float64
+	real      Real
+}
+
+var _ Clock = (*Scaled)(nil)
+
+// NewScaled returns a clock whose virtual time starts at base and advances
+// factor seconds per real second. factor must be >= 1.
+func NewScaled(base time.Time, factor float64) *Scaled {
+	if factor < 1 {
+		factor = 1
+	}
+	return &Scaled{base: base, realStart: time.Now(), factor: factor}
+}
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	elapsed := time.Since(s.realStart)
+	return s.base.Add(time.Duration(float64(elapsed) * s.factor))
+}
+
+// Since implements Clock.
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep implements Clock.
+func (s *Scaled) Sleep(d time.Duration) { time.Sleep(s.compress(d)) }
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	return s.NewTimer(d).C()
+}
+
+// NewTimer implements Clock.
+func (s *Scaled) NewTimer(d time.Duration) Timer {
+	ch := make(chan time.Time, 1)
+	rt := time.AfterFunc(s.compress(d), func() {
+		ch <- s.Now()
+	})
+	return &scaledTimer{rt: rt, ch: ch}
+}
+
+// NewTicker implements Clock.
+func (s *Scaled) NewTicker(d time.Duration) Ticker {
+	rt := time.NewTicker(s.compress(d))
+	ch := make(chan time.Time, 1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-rt.C:
+				select {
+				case ch <- s.Now():
+				default:
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return &scaledTicker{rt: rt, ch: ch, done: done}
+}
+
+func (s *Scaled) compress(d time.Duration) time.Duration {
+	c := time.Duration(float64(d) / s.factor)
+	if d > 0 && c <= 0 {
+		c = time.Nanosecond
+	}
+	return c
+}
+
+type scaledTimer struct {
+	rt *time.Timer
+	ch chan time.Time
+}
+
+func (t *scaledTimer) C() <-chan time.Time { return t.ch }
+func (t *scaledTimer) Stop() bool          { return t.rt.Stop() }
+
+type scaledTicker struct {
+	rt   *time.Ticker
+	ch   chan time.Time
+	done chan struct{}
+	once sync.Once
+}
+
+func (t *scaledTicker) C() <-chan time.Time { return t.ch }
+
+func (t *scaledTicker) Stop() {
+	t.rt.Stop()
+	t.once.Do(func() { close(t.done) })
+}
+
+// SortTimes sorts a slice of times ascending. Shared test helper used by
+// packages that assert on event ordering.
+func SortTimes(ts []time.Time) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
+}
