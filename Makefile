@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples loc clean
+.PHONY: all build vet lint test race bench experiments examples loc clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant analyzers: wallclock, globalrand, layering, droppederr,
+# mutexhold. Also enforced by internal/lint/selfcheck_test.go under `make test`.
+lint:
+	$(GO) run ./cmd/sensolint ./...
 
 test:
 	$(GO) test ./...

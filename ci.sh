@@ -1,0 +1,20 @@
+#!/bin/sh
+# CI gate for the SenSocial reproduction. Mirrors what a reviewer runs
+# locally: build, vet, the project-invariant analyzer suite (sensolint),
+# then the full test suite under the race detector. Any step failing fails
+# the run.
+set -eu
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go run ./cmd/sensolint ./..."
+go run ./cmd/sensolint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "CI OK"

@@ -119,6 +119,7 @@ func run(users int, hours, speedup, rate float64) error {
 
 	start := clock.Now()
 	end := start.Add(time.Duration(hours * float64(time.Hour)))
+	//lint:ignore wallclock the live stats line paces on real seconds for the human watching, independent of the compressed virtual clock
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
 	for clock.Now().Before(end) {

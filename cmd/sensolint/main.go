@@ -1,0 +1,124 @@
+// Command sensolint runs the project-invariant analyzer suite over the
+// module containing the current directory.
+//
+// Usage:
+//
+//	sensolint [-list] [pattern ...]
+//
+// Patterns are go-tool style: "./..." (the default) lints every package,
+// "./internal/mqtt" lints one package, "./internal/core/..." lints a
+// subtree. Exit status is 0 when the module is clean, 1 when any diagnostic
+// fires, and 2 when the module cannot be loaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: sensolint [-list] [pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*list, flag.Args()))
+}
+
+func run(list bool, patterns []string) int {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensolint:", err)
+		return 2
+	}
+	loader, pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sensolint:", err)
+		return 2
+	}
+	suite := lint.Suite(loader.ModulePath)
+	if list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if errs := loader.TypeErrors(); len(errs) > 0 {
+		// A module go build accepts must type-check cleanly here too;
+		// anything else means analyzers are running on partial information.
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "sensolint: type error:", e)
+		}
+		return 2
+	}
+	pkgs = filterPackages(loader.ModulePath, pkgs, patterns)
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not silently lint nothing and pass CI.
+		fmt.Fprintf(os.Stderr, "sensolint: no packages match %v\n", patterns)
+		return 2
+	}
+	diags := lint.Run(pkgs, suite, lint.RunOptions{EnforceDirectives: true})
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sensolint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterPackages keeps the packages matching the go-style patterns. With no
+// patterns (or "./..."), everything is kept.
+func filterPackages(modulePath string, pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		rel := strings.TrimPrefix(strings.TrimPrefix(p.Path, modulePath), "/")
+		for _, pat := range patterns {
+			if matchPattern(pat, rel) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	pat = strings.TrimSuffix(pat, "/")
+	if pat == "..." || pat == "" || pat == "." {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	return rel == pat
+}

@@ -88,7 +88,7 @@ func run() error {
 	client := deployment.HTTPClient("alice-phone")
 	fmt.Println("conweb: browser refreshing a context-adapted page (user walks, then sits)...")
 	for i := 0; i < 6; i++ {
-		time.Sleep(100 * time.Millisecond) // one virtual minute at 600x
+		clock.Sleep(time.Minute) // one virtual minute (100 ms real at 600x)
 		resp, err := client.Get("http://conweb:80/page?user=alice")
 		if err != nil {
 			return err

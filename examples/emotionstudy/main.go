@@ -119,6 +119,7 @@ func run() error {
 	for range posts {
 		select {
 		case <-observed:
+		//lint:ignore wallclock real-time watchdog so a wedged demo fails instead of hanging
 		case <-time.After(20 * time.Second):
 			return fmt.Errorf("timed out waiting for coupled observations")
 		}

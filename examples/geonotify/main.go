@@ -119,6 +119,7 @@ func run() error {
 	select {
 	case msg := <-notified:
 		fmt.Printf("geonotify: A's phone buzzes: %q\n", msg)
+	//lint:ignore wallclock real-time watchdog so a wedged demo fails instead of hanging
 	case <-time.After(60 * time.Second):
 		return fmt.Errorf("timed out waiting for the arrival notification")
 	}
@@ -128,6 +129,7 @@ func run() error {
 		if msg != "" && msg != fmt.Sprintf("Your friend %s has arrived in %s!", "C", "Paris") {
 			return fmt.Errorf("unexpected extra notification: %q", msg)
 		}
+	//lint:ignore wallclock brief real-time grace window to catch spurious notifications
 	case <-time.After(500 * time.Millisecond):
 	}
 	fmt.Println("geonotify: done")

@@ -105,6 +105,7 @@ func run() error {
 				fmt.Printf("  [%s] %-18s -> %d raw bytes (context: %v)\n",
 					i.Time.Format("15:04:05"), i.StreamID, len(i.Raw), i.Context[core.CtxPhysicalActivity])
 			}
+		//lint:ignore wallclock real-time watchdog so a wedged demo fails instead of hanging
 		case <-time.After(10 * time.Second):
 			return fmt.Errorf("timed out waiting for items")
 		}

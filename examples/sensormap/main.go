@@ -88,7 +88,6 @@ func run() error {
 			return
 		}
 		mu.Lock()
-		defer mu.Unlock()
 		m, ok := joined[i.Action.ID]
 		if !ok {
 			m = &marker{User: i.UserID, Action: string(i.Action.Type), Text: i.Action.Text}
@@ -108,7 +107,11 @@ func run() error {
 				m.Place = "somewhere"
 			}
 		}
-		if m.Activity != "" && m.Audio != "" && m.Place != "" {
+		complete := m.Activity != "" && m.Audio != "" && m.Place != ""
+		mu.Unlock()
+		// Signal after unlocking so the channel send never stalls the
+		// listener while it holds the join table's mutex.
+		if complete {
 			done <- struct{}{}
 		}
 	})); err != nil {
@@ -130,6 +133,7 @@ func run() error {
 	for range posts {
 		select {
 		case <-done:
+		//lint:ignore wallclock real-time watchdog so a wedged demo fails instead of hanging
 		case <-time.After(15 * time.Second):
 			return fmt.Errorf("timed out waiting for joined markers")
 		}

@@ -36,6 +36,13 @@ type Figure4Result struct {
 // full payload and classified streams classifying on device and
 // transmitting the label.
 func RunFigure4() (*Figure4Result, error) {
+	return RunFigure4OnClock(vclock.Real{})
+}
+
+// RunFigure4OnClock is RunFigure4 with the watchdog clock injected. The
+// workload itself runs on a deterministic manual clock; wall only bounds
+// the wait for GAR callbacks so a wedged pipeline fails instead of hanging.
+func RunFigure4OnClock(wall vclock.Clock) (*Figure4Result, error) {
 	const cycles = 60
 	res := &Figure4Result{Cycles: cycles}
 	for _, modality := range sensors.Modalities() {
@@ -47,7 +54,7 @@ func RunFigure4() (*Figure4Result, error) {
 			res.Rows = append(res.Rows, row)
 		}
 	}
-	garRow, err := figure4GAR(cycles)
+	garRow, err := figure4GAR(cycles, wall)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +108,7 @@ func figure4Stream(modality string, classified bool, cycles int) (Figure4Row, er
 	}, nil
 }
 
-func figure4GAR(cycles int) (Figure4Row, error) {
+func figure4GAR(cycles int, wall vclock.Clock) (Figure4Row, error) {
 	clock := vclock.NewManual(epoch)
 	dev, _, err := benchDevice(clock, 42)
 	if err != nil {
@@ -123,7 +130,7 @@ func figure4GAR(cycles int) (Figure4Row, error) {
 		clock.Advance(time.Minute)
 		select {
 		case <-got:
-		case <-time.After(5 * time.Second):
+		case <-wall.After(5 * time.Second):
 			return Figure4Row{}, fmt.Errorf("experiments: figure4: GAR cycle %d missing", i)
 		}
 	}

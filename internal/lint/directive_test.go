@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module so directive handling is
+// tested through the same loader the CLI and selfcheck use.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runSuite loads the module at dir and runs the full suite with directive
+// enforcement, returning rendered diagnostics.
+func runSuite(t *testing.T, dir string) []string {
+	t.Helper()
+	loader, pkgs, err := LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	for _, e := range loader.TypeErrors() {
+		t.Fatalf("type error in test module: %v", e)
+	}
+	diags := Run(pkgs, Suite("tmpmod"), RunOptions{EnforceDirectives: true})
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func TestDirectiveWithReasonSuppresses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+import "time"
+
+// Stamp returns a wall-clock timestamp for log lines.
+func Stamp() time.Time {
+	//lint:ignore wallclock log timestamps are cosmetic and must show real time
+	return time.Now()
+}
+`,
+	})
+	if diags := runSuite(t, dir); len(diags) != 0 {
+		t.Fatalf("annotated violation should be clean, got %v", diags)
+	}
+}
+
+func TestDirectiveOnSameLineSuppresses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+import "time"
+
+// Stamp returns a wall-clock timestamp for log lines.
+func Stamp() time.Time {
+	return time.Now() //lint:ignore wallclock log timestamps are cosmetic and must show real time
+}
+`,
+	})
+	if diags := runSuite(t, dir); len(diags) != 0 {
+		t.Fatalf("trailing directive should suppress, got %v", diags)
+	}
+}
+
+func TestDirectiveWithoutReasonIsRejected(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+import "time"
+
+// Stamp returns a wall-clock timestamp.
+func Stamp() time.Time {
+	//lint:ignore wallclock
+	return time.Now()
+}
+`,
+	})
+	diags := runSuite(t, dir)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 diagnostics (unsuppressed wallclock + malformed directive), got %v", diags)
+	}
+	joined := strings.Join(diags, "\n")
+	if !strings.Contains(joined, "missing the mandatory reason") {
+		t.Errorf("missing-reason diagnostic absent from %v", diags)
+	}
+	if !strings.Contains(joined, "wallclock: time.Now") {
+		t.Errorf("a reasonless directive must not suppress; got %v", diags)
+	}
+}
+
+func TestDirectiveWithoutRuleIsRejected(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+//lint:ignore
+var V = 1
+`,
+	})
+	diags := runSuite(t, dir)
+	if len(diags) != 1 || !strings.Contains(diags[0], "needs a rule name and a reason") {
+		t.Fatalf("want one bare-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestUnusedDirectiveIsReported(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+//lint:ignore wallclock nothing on the next line actually reads the clock
+var V = 1
+`,
+	})
+	diags := runSuite(t, dir)
+	if len(diags) != 1 || !strings.Contains(diags[0], "unused //lint:ignore wallclock") {
+		t.Fatalf("want one unused-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestDirectiveRuleMismatchDoesNotSuppress(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"x/x.go": `package x
+
+import "time"
+
+// Stamp returns a wall-clock timestamp.
+func Stamp() time.Time {
+	//lint:ignore globalrand wrong rule name on purpose
+	return time.Now()
+}
+`,
+	})
+	diags := runSuite(t, dir)
+	joined := strings.Join(diags, "\n")
+	if !strings.Contains(joined, "wallclock: time.Now") {
+		t.Errorf("mismatched rule must not suppress; got %v", diags)
+	}
+	if !strings.Contains(joined, "unused //lint:ignore globalrand") {
+		t.Errorf("mismatched directive should be reported unused; got %v", diags)
+	}
+}

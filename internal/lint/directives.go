@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces an inline suppression comment:
+//
+//	//lint:ignore <rule> <reason>
+//
+// The directive suppresses diagnostics of <rule> on its own line (trailing
+// comment) or on the line immediately below (comment on its own line above
+// the offending statement). The reason is mandatory; it is how the few
+// legitimate exceptions — wall-clock socket deadlines, real-time watchdogs —
+// stay documented at the call site.
+const directivePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos       token.Position
+	rule      string
+	reason    string
+	malformed string // non-empty when the directive cannot be applied
+	used      bool
+}
+
+// directiveSet holds every directive found in one package.
+type directiveSet struct {
+	all []*directive
+}
+
+// collectDirectives parses all //lint:ignore comments in the package.
+func collectDirectives(pkg *Package) *directiveSet {
+	set := &directiveSet{}
+	for _, f := range pkg.Files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := c.Text
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignoreXXX — not ours
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.malformed = "//lint:ignore needs a rule name and a reason"
+				case len(fields) == 1:
+					d.rule = fields[0]
+					d.malformed = "//lint:ignore " + d.rule + " is missing the mandatory reason"
+				default:
+					d.rule = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				set.all = append(set.all, d)
+			}
+		}
+	}
+	return set
+}
+
+// suppress reports whether diag is covered by a well-formed directive, and
+// marks that directive used.
+func (s *directiveSet) suppress(diag Diagnostic) bool {
+	for _, d := range s.all {
+		if d.malformed != "" || d.rule != diag.Rule {
+			continue
+		}
+		if d.pos.Filename != diag.Pos.Filename {
+			continue
+		}
+		if d.pos.Line == diag.Pos.Line || d.pos.Line == diag.Pos.Line-1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// problems returns diagnostics for malformed and unused directives. Unused
+// directives are reported so stale annotations cannot linger after the code
+// they excused is gone.
+func (s *directiveSet) problems() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		switch {
+		case d.malformed != "":
+			out = append(out, Diagnostic{Pos: d.pos, Rule: "directive", Message: d.malformed})
+		case !d.used:
+			out = append(out, Diagnostic{
+				Pos:  d.pos,
+				Rule: "directive",
+				Message: "unused //lint:ignore " + d.rule +
+					" directive: nothing on this or the next line triggers the rule",
+			})
+		}
+	}
+	return out
+}

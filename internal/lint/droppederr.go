@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// droppederrAllowed are callees whose error results are ignored by
+// near-universal Go convention: printing to an in-memory or best-effort
+// writer, and the strings/bytes builders whose Write methods are documented
+// never to fail. Everything else must handle the error or assign it to _
+// explicitly so the discard is visible in review.
+var droppederrAllowed = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*strings.Builder).WriteString": true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+	"(*bytes.Buffer).WriteString":    true,
+}
+
+// NewDroppederr returns the analyzer that flags call statements silently
+// discarding an error result. Deferred and go'd calls are exempt: their
+// errors are unreportable by construction, and `defer f.Close()` cleanup is
+// the established idiom.
+func NewDroppederr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "flag call statements that silently discard an error result",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					stmt, ok := n.(*ast.ExprStmt)
+					if !ok {
+						return true
+					}
+					call, ok := stmt.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !returnsError(pkg, call) {
+						return true
+					}
+					name := calleeName(pkg, call)
+					if droppederrAllowed[name] {
+						return true
+					}
+					if name == "" {
+						name = "this call"
+					}
+					out = append(out, Diagnostic{
+						Pos:  pkg.Fset.Position(call.Pos()),
+						Rule: "droppederr",
+						Message: "error result of " + name +
+							" is silently discarded; handle it or assign it to _ explicitly",
+					})
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// calleeName returns the called function's full name ("fmt.Fprintf",
+// "(*strings.Builder).WriteString") or "" for indirect calls.
+func calleeName(pkg *Package, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

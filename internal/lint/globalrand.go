@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalrandAllowed are the math/rand package-level functions that construct
+// independent generators rather than touching the shared global source.
+var globalrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// NewGlobalrand returns the analyzer that forbids the global math/rand
+// source. Every simulation component takes an explicitly seeded *rand.Rand
+// so a whole run is reproducible from a single seed; the process-global
+// source would couple unrelated components through one hidden RNG stream.
+func NewGlobalrand() *Analyzer {
+	return &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid package-level math/rand functions; use a seeded *rand.Rand",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+						return true
+					}
+					if fn.Type().(*types.Signature).Recv() != nil {
+						return true // methods on *rand.Rand are the fix, not the bug
+					}
+					if globalrandAllowed[fn.Name()] {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Pos:  pkg.Fset.Position(sel.Pos()),
+						Rule: "globalrand",
+						Message: "rand." + fn.Name() +
+							" draws from the process-global source; use an explicitly seeded *rand.Rand",
+					})
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sandboxDir is the root of the golden-test module. Each analyzer owns one
+// tiny package tree under it; expected findings are marked in-source with
+//
+//	// want "substring"
+//
+// trailing comments, where the substring must appear in "rule: message" of a
+// diagnostic reported on that line. Every want must be hit and every
+// diagnostic must be wanted.
+const sandboxDir = "testdata/src"
+
+// sandboxLayering is the architecture table used by the layering golden
+// packages; it exercises both rule forms (Only allowlist, Deny list).
+func sandboxLayering() []LayerRule {
+	return []LayerRule{
+		{From: "layering/base", Only: []string{}, Why: "base sits at the bottom of the test DAG"},
+		{From: "layering/mid", Only: []string{"layering/base"}, Why: "mid may build on base only"},
+		{From: "layering/top", Deny: []string{"layering/forbidden"}, Why: "top must not use forbidden"},
+	}
+}
+
+func TestGolden(t *testing.T) {
+	loader := NewLoader("sandbox", sandboxDir)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("loading %s: %v", sandboxDir, err)
+	}
+	for _, e := range loader.TypeErrors() {
+		t.Errorf("testdata must type-check cleanly: %v", e)
+	}
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+	}{
+		{"wallclock", NewWallclock("sandbox/wallclock/clockok")},
+		{"globalrand", NewGlobalrand()},
+		{"layering", NewLayering("sandbox", sandboxLayering())},
+		{"droppederr", NewDroppederr()},
+		{"mutexhold", NewMutexhold()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var scope []*Package
+			for _, p := range pkgs {
+				if p.Path == "sandbox/"+tc.name || strings.HasPrefix(p.Path, "sandbox/"+tc.name+"/") {
+					scope = append(scope, p)
+				}
+			}
+			if len(scope) == 0 {
+				t.Fatalf("no testdata packages under %s/%s", sandboxDir, tc.name)
+			}
+			wants := parseWants(t, filepath.Join(sandboxDir, tc.name))
+			diags := Run(scope, []*Analyzer{tc.analyzer}, RunOptions{})
+			for _, d := range diags {
+				if !matchWant(wants, d) {
+					t.Errorf("unexpected diagnostic: %s", d)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want\s+(.*)$`)
+var quoteRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// parseWants extracts every // want expectation under dir.
+func parseWants(t *testing.T, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			qs := quoteRE.FindAllStringSubmatch(m[1], -1)
+			if len(qs) == 0 {
+				t.Errorf("%s:%d: malformed want comment %q", path, i+1, line)
+				continue
+			}
+			for _, q := range qs {
+				wants = append(wants, &want{file: path, line: i + 1, substr: q[1]})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning %s: %v", dir, err)
+	}
+	return wants
+}
+
+// matchWant marks and reports a want covering the diagnostic.
+func matchWant(wants []*want, d Diagnostic) bool {
+	rendered := d.Rule + ": " + d.Message
+	ok := false
+	for _, w := range wants {
+		if w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(rendered, w.substr) {
+			w.matched = true
+			ok = true
+		}
+	}
+	return ok
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "testing"
+
+func TestMatchLayerPattern(t *testing.T) {
+	cases := []struct {
+		pattern, rel string
+		want         bool
+	}{
+		{"...", "anything/at/all", true},
+		{"internal/vclock", "internal/vclock", true},
+		{"internal/vclock", "internal/vclock2", false},
+		{"internal/core/...", "internal/core", true},
+		{"internal/core/...", "internal/core/server", true},
+		{"internal/core/...", "internal/corex", false},
+		{"internal/core", "internal/core/server", false},
+	}
+	for _, c := range cases {
+		if got := matchLayerPattern(c.pattern, c.rel); got != c.want {
+			t.Errorf("matchLayerPattern(%q, %q) = %v, want %v", c.pattern, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestViolates(t *testing.T) {
+	only := LayerRule{From: "a", Only: []string{"b", "c/..."}}
+	if violates(only, "b") != "" || violates(only, "c/d") != "" {
+		t.Errorf("allowlisted imports must pass")
+	}
+	if violates(only, "d") == "" {
+		t.Errorf("import outside the Only allowlist must fail")
+	}
+	empty := LayerRule{From: "a", Only: []string{}}
+	if violates(empty, "b") == "" {
+		t.Errorf("empty Only means no in-module imports at all")
+	}
+	deny := LayerRule{From: "a", Deny: []string{"x/..."}}
+	if violates(deny, "x/y") == "" {
+		t.Errorf("denied import must fail")
+	}
+	if violates(deny, "z") != "" {
+		t.Errorf("imports not denied must pass")
+	}
+}
+
+// TestDefaultLayeringTableIsWellFormed guards against typos in the
+// architecture table: every rule must set Why and exactly one of Only/Deny.
+func TestDefaultLayeringTableIsWellFormed(t *testing.T) {
+	for _, r := range DefaultLayering() {
+		if r.From == "" {
+			t.Errorf("rule with empty From: %+v", r)
+		}
+		if r.Why == "" {
+			t.Errorf("rule %q has no rationale", r.From)
+		}
+		if (r.Only != nil) == (r.Deny != nil) {
+			t.Errorf("rule %q must set exactly one of Only/Deny", r.From)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package lint implements sensolint, the project-invariant analyzer suite.
+//
+// The SenSocial reproduction regenerates every paper table and figure from a
+// simulated device/OSN world, so its evaluation is only as trustworthy as its
+// determinism: one stray wall-clock read or global RNG call silently corrupts
+// replay. This package encodes the repo's real invariants as machine-checked
+// rules instead of doc comments:
+//
+//   - wallclock:  time.Now/Sleep/After/... are forbidden outside
+//     internal/vclock; all timing flows through an injected vclock.Clock.
+//   - globalrand: package-level math/rand functions are forbidden; every
+//     simulation component draws from an explicitly seeded *rand.Rand.
+//   - layering:   the architecture DAG (device side must not see the OSN or
+//     server side, vclock imports nothing in-module, ...) is enforced from a
+//     declarative table.
+//   - droppederr: call statements that silently discard an error result are
+//     flagged.
+//   - mutexhold:  channel sends and blocking calls made while a sync.Mutex
+//     or sync.RWMutex is held are flagged.
+//
+// Legitimate exceptions are annotated at the call site with
+//
+//	//lint:ignore <rule> <reason>
+//
+// where the reason is mandatory and machine-enforced: a directive without a
+// reason, and a directive that suppresses nothing, are themselves
+// diagnostics. The engine is stdlib-only (go/ast, go/parser, go/token,
+// go/types); it deliberately has no dependency on golang.org/x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one type-checked package as seen by analyzers.
+type Package struct {
+	// Path is the full import path ("repro/internal/mqtt").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Module is the module path the package belongs to.
+	Module string
+	// Fset maps token positions; shared by every package from one Loader.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps populated during checking.
+	Info *types.Info
+}
+
+// Analyzer is one named rule over a single package.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description shown by sensolint -list.
+	Doc string
+	// Run inspects one package and returns its findings.
+	Run func(pkg *Package) []Diagnostic
+}
+
+// Suite returns the full sensolint analyzer set configured for the module
+// rooted at modulePath (the repo uses "repro").
+func Suite(modulePath string) []*Analyzer {
+	return []*Analyzer{
+		NewWallclock(modulePath + "/internal/vclock"),
+		NewGlobalrand(),
+		NewLayering(modulePath, DefaultLayering()),
+		NewDroppederr(),
+		NewMutexhold(),
+	}
+}
+
+// RunOptions tunes a Run invocation.
+type RunOptions struct {
+	// EnforceDirectives additionally reports malformed //lint:ignore
+	// directives (missing rule or reason) and directives that suppressed
+	// nothing. Full-suite runs (CLI, selfcheck) set this; per-rule golden
+	// tests do not, since a directive for another rule would look unused.
+	EnforceDirectives bool
+}
+
+// Run applies every analyzer to every package, filters findings through
+// //lint:ignore directives, and returns the surviving diagnostics sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if dirs.suppress(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		if opts.EnforceDirectives {
+			out = append(out, dirs.problems()...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}

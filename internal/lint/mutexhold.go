@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewMutexhold returns the analyzer that flags operations liable to block —
+// channel sends, channel receives, selects without a default case,
+// WaitGroup/Cond waits, sleeps, and re-locking an already-held mutex —
+// performed while a sync.Mutex or sync.RWMutex is held in the same function
+// body. Blocking under a lock stalls every other goroutine contending for
+// it; in this codebase that turns a slow MQTT subscriber into a stalled
+// broker, which is exactly the class of bug the paper's scalability claims
+// cannot afford.
+//
+// The analysis is intra-procedural and intentionally conservative: branch
+// bodies are scanned with a copy of the held set and their lock/unlock
+// effects are not merged back, function literals are analyzed as independent
+// bodies, and sends guarded by a select with a default case are recognized
+// as non-blocking.
+func NewMutexhold() *Analyzer {
+	return &Analyzer{
+		Name: "mutexhold",
+		Doc:  "flag channel ops and blocking calls made while a sync.Mutex is held",
+		Run: func(pkg *Package) []Diagnostic {
+			var out []Diagnostic
+			w := &mutexWalker{pkg: pkg, out: &out}
+			for _, f := range pkg.Files {
+				for _, decl := range f.Decls {
+					if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+						w.walkStmts(fd.Body.List, map[string]token.Position{})
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+type mutexWalker struct {
+	pkg *Package
+	out *[]Diagnostic
+}
+
+func (w *mutexWalker) report(pos token.Pos, msg string) {
+	*w.out = append(*w.out, Diagnostic{
+		Pos:     w.pkg.Fset.Position(pos),
+		Rule:    "mutexhold",
+		Message: msg,
+	})
+}
+
+// heldList renders the held mutexes for diagnostics, oldest lock first.
+func heldList(held map[string]token.Position) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := held[keys[i]], held[keys[j]]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return keys[i] < keys[j]
+	})
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + " (locked at line " + itoa(held[k].Line) + ")"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func copyHeld(held map[string]token.Position) map[string]token.Position {
+	cp := make(map[string]token.Position, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+// walkStmts scans a statement list in order, mutating held as locks are
+// taken and released.
+func (w *mutexWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Position) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func (w *mutexWalker) stmt(s ast.Stmt, held map[string]token.Position) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.mutexOp(s.X); ok {
+			switch op {
+			case "Lock":
+				if prev, dup := held[key]; dup {
+					w.report(s.Pos(), key+".Lock while "+key+" is already held (locked at line "+
+						itoa(prev.Line)+"): sync mutexes are not reentrant")
+				}
+				held[key] = w.pkg.Fset.Position(s.Pos())
+			case "RLock":
+				held[key] = w.pkg.Fset.Position(s.Pos())
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Arrow, "channel send while holding "+heldList(held)+
+				"; move it outside the critical section or guard it with a select+default")
+		}
+		w.checkExpr(s.Chan, held)
+		w.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the remainder of the
+		// body, which is precisely the region we continue scanning; other
+		// deferred calls do not run here, so none of them mutate held.
+		for _, arg := range s.Call.Args {
+			w.checkExpr(arg, held)
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine does not hold this function's locks.
+		w.freshFuncLits(s.Call)
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, held)
+		}
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		w.selectStmt(s, held)
+	}
+}
+
+// selectStmt handles the one construct that makes channel ops non-blocking:
+// a select with a default case never blocks, so its communications are safe
+// under a lock. A select without default blocks until some case is ready.
+func (w *mutexWalker) selectStmt(s *ast.SelectStmt, held map[string]token.Position) {
+	hasDefault := false
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault && len(held) > 0 {
+		w.report(s.Select, "select without a default case blocks while holding "+heldList(held))
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		// The comm statements themselves are non-blocking when a default
+		// exists, and already covered by the select-level report when not;
+		// either way only their nested literals need scanning.
+		if cc.Comm != nil {
+			ast.Inspect(cc.Comm, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.walkStmts(lit.Body.List, map[string]token.Position{})
+					return false
+				}
+				return true
+			})
+		}
+		w.walkStmts(cc.Body, copyHeld(held))
+	}
+}
+
+// checkExpr flags blocking operations inside an expression evaluated while
+// mutexes are held, and analyzes nested function literals as fresh bodies.
+func (w *mutexWalker) checkExpr(e ast.Expr, held map[string]token.Position) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, map[string]token.Position{})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.report(n.OpPos, "channel receive while holding "+heldList(held))
+			}
+		case *ast.CallExpr:
+			if len(held) > 0 {
+				if name, ok := w.blockingCall(n); ok {
+					w.report(n.Pos(), name+" blocks while holding "+heldList(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall recognizes calls that block by contract: WaitGroup/Cond Wait,
+// any zero-argument Wait method, and any Sleep.
+func (w *mutexWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Wait":
+		if len(call.Args) == 0 {
+			return types.ExprString(sel.X) + ".Wait", true
+		}
+	case "Sleep":
+		return types.ExprString(sel.X) + ".Sleep", true
+	}
+	return "", false
+}
+
+// freshFuncLits analyzes every function literal in the call as an
+// independent body with no locks held.
+func (w *mutexWalker) freshFuncLits(call *ast.CallExpr) {
+	ast.Inspect(call, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]token.Position{})
+			return false
+		}
+		return true
+	})
+}
+
+// mutexOp reports whether expr is a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (including one promoted from an embedded
+// field), returning a stable key naming the mutex.
+func (w *mutexWalker) mutexOp(expr ast.Expr) (key, op string, ok bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncMutex(recv.Type()) {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), name, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via
+// a pointer).
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSelfCheck is the repo-wide regression gate: it loads the whole module
+// and fails on ANY diagnostic from the analyzer suite, including malformed
+// or stale //lint:ignore directives. Because it runs under `go test ./...`,
+// a stray time.Now, a global rand call, a layering violation, a dropped
+// error or a blocking call under a mutex anywhere in the tree fails CI with
+// a diagnostic naming file, line and rule.
+func TestSelfCheck(t *testing.T) {
+	root := repoRoot(t)
+	loader, pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	// `go build ./...` accepts this module, so the lint loader must too;
+	// tolerated type errors would silently starve analyzers of info.
+	for _, e := range loader.TypeErrors() {
+		t.Errorf("type error: %v", e)
+	}
+	diags := Run(pkgs, Suite(loader.ModulePath), RunOptions{EnforceDirectives: true})
+	for _, d := range diags {
+		t.Errorf("sensolint: %s", d)
+	}
+	if len(diags) > 0 {
+		t.Logf("fix the code, thread a vclock.Clock / seeded *rand.Rand, or annotate with `//lint:ignore <rule> <reason>` (reason mandatory)")
+	}
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,43 @@
+// Package droppederr exercises the droppederr analyzer: bare call
+// statements discarding an error must be flagged; explicit discards,
+// handled errors, deferred cleanup and the conventional allowlist must not.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func twoResults() (int, error) { return 0, errors.New("boom") }
+
+func noError() int { return 1 }
+
+func bad(f *os.File) {
+	mayFail()                           // want "droppederr"
+	twoResults()                        // want "droppederr"
+	f.Close()                           // want "droppederr"
+	func() error { return mayFail() }() // want "droppederr"
+}
+
+func good(f *os.File) error {
+	_ = mayFail()
+	if err := mayFail(); err != nil {
+		return err
+	}
+	n, err := twoResults()
+	_ = n
+	if err != nil {
+		return err
+	}
+	noError()
+	var b strings.Builder
+	b.WriteString("builders never fail")
+	fmt.Fprintf(&b, "n=%d", n)
+	fmt.Println(b.String())
+	defer f.Close() // deferred cleanup errors are unreportable; exempt
+	return nil
+}

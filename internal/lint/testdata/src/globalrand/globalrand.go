@@ -1,0 +1,21 @@
+// Package globalrand exercises the globalrand analyzer: the process-global
+// math/rand source is forbidden, seeded *rand.Rand instances are the fix.
+package globalrand
+
+import "math/rand"
+
+func bad() int {
+	rand.Seed(1)                       // want "globalrand"
+	_ = rand.Float64()                 // want "globalrand"
+	rand.Shuffle(2, func(_, _ int) {}) // want "globalrand"
+	return rand.Intn(10)               // want "globalrand"
+}
+
+func good(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Float64() < 0.5 {
+		return rng.Intn(10)
+	}
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return int(z.Uint64())
+}

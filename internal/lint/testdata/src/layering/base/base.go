@@ -1,0 +1,9 @@
+// Package base is pinned to the bottom of the golden-test DAG: its rule says
+// it may import nothing in-module, so the extra import below must be
+// flagged.
+package base
+
+import "sandbox/layering/extra" // want "layering"
+
+// V proves the import is genuinely used.
+var V = extra.V

@@ -1,0 +1,5 @@
+// Package extra is an unconstrained helper for the layering golden test.
+package extra
+
+// V is exported so importers have something to use.
+var V = 1

@@ -1,0 +1,5 @@
+// Package forbidden exists to be named in a Deny rule.
+package forbidden
+
+// V is exported so importers have something to use.
+var V = 2

@@ -1,0 +1,11 @@
+// Package mid may only import base; the extra import violates its Only
+// allowlist.
+package mid
+
+import (
+	"sandbox/layering/base"
+	"sandbox/layering/extra" // want "layering"
+)
+
+// V proves both imports are genuinely used.
+var V = base.V + extra.V

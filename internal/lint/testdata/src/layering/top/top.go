@@ -1,0 +1,13 @@
+// Package top has a Deny rule: importing forbidden is flagged, anything
+// else (mid, std lib) is allowed.
+package top
+
+import (
+	"fmt"
+
+	"sandbox/layering/forbidden" // want "layering"
+	"sandbox/layering/mid"
+)
+
+// Describe proves all imports are genuinely used.
+func Describe() string { return fmt.Sprint(mid.V + forbidden.V) }

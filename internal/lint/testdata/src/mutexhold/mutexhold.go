@@ -1,0 +1,82 @@
+// Package mutexhold exercises the mutexhold analyzer: channel operations
+// and blocking calls under a held sync.Mutex/RWMutex are flagged; moving
+// them outside the critical section or guarding them with select+default is
+// the fix.
+package mutexhold
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	ch  chan int
+	wg  sync.WaitGroup
+	val int
+}
+
+func (b *box) sendWhileHolding() {
+	b.mu.Lock()
+	b.ch <- 1 // want "mutexhold"
+	b.mu.Unlock()
+}
+
+func (b *box) recvUnderDeferredUnlock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want "mutexhold"
+}
+
+func (b *box) waitWhileHolding() {
+	b.rw.RLock()
+	b.wg.Wait() // want "mutexhold"
+	b.rw.RUnlock()
+}
+
+func (b *box) blockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "mutexhold"
+	case v := <-b.ch:
+		b.val = v
+	}
+}
+
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want "mutexhold"
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) goodMoveOutside() {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	b.ch <- v
+	<-b.ch
+	b.wg.Wait()
+}
+
+func (b *box) goodNonblockingSelect() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- b.val:
+	default:
+	}
+}
+
+func (b *box) goodGoroutineDoesNotHold() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 3 // the goroutine runs without the parent's lock
+	}()
+}
+
+func (b *box) goodDistinctMutexes() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.rw.Lock()
+	b.rw.Unlock()
+}

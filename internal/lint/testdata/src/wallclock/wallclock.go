@@ -1,0 +1,33 @@
+// Package wallclock exercises the wallclock analyzer: every function that
+// reads or waits on real time must be flagged, while pure constructors,
+// conversions and durations stay legal.
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond)   // want "wallclock"
+	<-time.After(time.Millisecond) // want "wallclock"
+	return time.Now()              // want "wallclock"
+}
+
+func timers() {
+	t := time.NewTimer(time.Second) // want "wallclock"
+	defer t.Stop()
+	tk := time.NewTicker(time.Second) // want "wallclock"
+	tk.Stop()
+	_ = time.Since(time.Unix(0, 0))               // want "wallclock"
+	_ = time.Until(time.Unix(1, 0))               // want "wallclock"
+	time.AfterFunc(time.Second, func() {}).Stop() // want "wallclock"
+}
+
+func pureIsFine() time.Duration {
+	t := time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+	u := time.Unix(0, 0)
+	return t.Sub(u) + 3*time.Second
+}
+
+func annotated() time.Time {
+	//lint:ignore wallclock golden test for a documented exception
+	return time.Now()
+}

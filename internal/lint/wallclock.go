@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockForbidden are the time-package functions that read or wait on the
+// wall clock. Pure constructors and conversions (time.Unix, time.Date,
+// time.Duration arithmetic, time.Parse) are deliberately absent: they do not
+// observe real time and are safe in deterministic code.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// NewWallclock returns the analyzer that forbids direct wall-clock access
+// outside the exempt packages (internal/vclock, which wraps the time package
+// on purpose). Everything else must thread a vclock.Clock so simulated runs
+// replay deterministically.
+func NewWallclock(exempt ...string) *Analyzer {
+	exemptSet := make(map[string]bool, len(exempt))
+	for _, p := range exempt {
+		exemptSet[p] = true
+	}
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid time.Now/Sleep/After/... outside internal/vclock; inject vclock.Clock",
+		Run: func(pkg *Package) []Diagnostic {
+			if exemptSet[pkg.Path] {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+						return true
+					}
+					if fn.Type().(*types.Signature).Recv() != nil {
+						return true // methods on time.Time etc. are pure
+					}
+					if !wallclockForbidden[fn.Name()] {
+						return true
+					}
+					out = append(out, Diagnostic{
+						Pos:  pkg.Fset.Position(sel.Pos()),
+						Rule: "wallclock",
+						Message: "time." + fn.Name() +
+							" reads the wall clock; thread a vclock.Clock (or annotate with //lint:ignore wallclock <reason>)",
+					})
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

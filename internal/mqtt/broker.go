@@ -255,6 +255,7 @@ func (b *Broker) removeSession(s *session) {
 func (s *session) readLoop() {
 	for {
 		if s.timeout > 0 {
+			//lint:ignore wallclock net.Conn read deadlines are wall-clock by the net contract; a virtual Now here would disarm (or instantly fire) the socket timeout
 			_ = s.conn.SetReadDeadline(time.Now().Add(s.timeout))
 		}
 		pkt, err := readPacket(s.conn)

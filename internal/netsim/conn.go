@@ -124,11 +124,13 @@ func (g *deadlineGuard) set(t time.Time) {
 	}
 	ch := make(chan struct{})
 	g.ch = ch
+	//lint:ignore wallclock SetReadDeadline carries a wall-clock time.Time per the net.Conn contract, so the guard must compare against real time
 	d := time.Until(t)
 	if d <= 0 {
 		close(ch)
 		return
 	}
+	//lint:ignore wallclock the deadline timer mirrors net.Conn semantics: it fires on real elapsed time even when virtual clocks are frozen
 	g.timer = time.AfterFunc(d, func() { close(ch) })
 }
 
