@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench experiments examples loc clean
+.PHONY: all build vet lint test race bench bench-smoke experiments examples loc clean
 
 all: build vet lint test
 
@@ -26,6 +26,11 @@ race:
 # One testing.B bench per paper table/figure + micro-benchmarks + ablations.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Smoke-run the ingest scaling benches (one iteration each): catches
+# compile rot and harness deadlocks without paying full benchmark time.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchtime 1x .
 
 # Regenerate every table and figure with paper-vs-measured reports.
 experiments:

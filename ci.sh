@@ -17,4 +17,7 @@ go run ./cmd/sensolint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> go test -bench BenchmarkIngest -benchtime 1x ."
+go test -run '^$' -bench 'BenchmarkIngest' -benchtime 1x .
+
 echo "CI OK"

@@ -28,15 +28,17 @@ import (
 func main() {
 	mqttAddr := flag.String("mqtt", ":1883", "MQTT broker listen address")
 	httpAddr := flag.String("http", ":8080", "HTTP listen address")
+	shards := flag.Int("ingest-shards", 0, "ingest pipeline shards (0 = default)")
+	queueDepth := flag.Int("ingest-queue", 0, "per-shard ingest queue depth (0 = default)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
-	if err := run(*mqttAddr, *httpAddr, *verbose); err != nil {
+	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mqttAddr, httpAddr string, verbose bool) error {
+func run(mqttAddr, httpAddr string, shards, queueDepth int, verbose bool) error {
 	var logger *slog.Logger
 	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
@@ -55,11 +57,13 @@ func run(mqttAddr, httpAddr string, verbose bool) error {
 	}()
 
 	mgr, err := server.New(server.Options{
-		Clock:        vclock.NewReal(),
-		Broker:       broker,
-		Places:       geo.EuropeanCities(),
-		PersistItems: true,
-		Logger:       logger,
+		Clock:            vclock.NewReal(),
+		Broker:           broker,
+		Places:           geo.EuropeanCities(),
+		PersistItems:     true,
+		Logger:           logger,
+		IngestShards:     shards,
+		IngestQueueDepth: queueDepth,
 	})
 	if err != nil {
 		return err
@@ -76,7 +80,7 @@ func run(mqttAddr, httpAddr string, verbose bool) error {
 		}
 	}()
 
-	fmt.Printf("sensocial-server: MQTT on %s, HTTP on %s (Ctrl-C to stop)\n",
+	fmt.Printf("sensocial-server: MQTT on %s, HTTP on %s (GET /stats for pipeline counters; Ctrl-C to stop)\n",
 		mqttL.Addr(), httpL.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/osn"
+)
+
+// FuzzDecodeItem is the transport-boundary twin of internal/mqtt's packet
+// robustness properties: DecodeItem consumes whatever bytes arrive on a
+// stream topic, so it must never panic, and anything it does accept must
+// survive a re-encode round trip (a decoded item is re-published verbatim
+// by aggregators and multicast fan-out).
+//
+// Run with `go test -fuzz FuzzDecodeItem ./internal/core` to explore; the
+// seed corpus alone runs on every plain `go test`.
+func FuzzDecodeItem(f *testing.F) {
+	seedItems := []Item{
+		{},
+		{
+			StreamID: "s1", DeviceID: "alice-phone", UserID: "alice",
+			Modality: "wifi", Granularity: GranularityRaw,
+			Time: time.Unix(1400000000, 0).UTC(),
+			Raw:  []byte(`{"ssids":3}`),
+		},
+		{
+			StreamID: "s2", DeviceID: "bob-phone", UserID: "bob",
+			Modality: "accelerometer", Granularity: GranularityClassified,
+			Classified: "walking",
+			Context:    Context{"physical_activity": "walking", Key("carol", "audio_environment"): "silent"},
+		},
+		{
+			StreamID: "social", UserID: "alice", Modality: "social",
+			Action:      &osn.Action{UserID: "alice", Type: "post", Text: "hello"},
+			AggregateID: "agg-1",
+		},
+	}
+	for _, it := range seedItems {
+		b, err := it.Encode()
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(b)
+	}
+	for _, garbage := range []string{
+		"", "null", "0", "[]", `"str"`, "{", `{"time":"not-a-time"}`,
+		`{"raw":"bm90IGpzb24="}`, `{"context":{"k":1}}`, "\xff\xfe\x00",
+	} {
+		f.Add([]byte(garbage))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		item, err := DecodeItem(data) // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		b, err := item.Encode()
+		if err != nil {
+			t.Fatalf("accepted item does not re-encode: %v\ninput: %q", err, data)
+		}
+		again, err := DecodeItem(b)
+		if err != nil {
+			t.Fatalf("re-encoded item does not decode: %v\nencoded: %s", err, b)
+		}
+		if again.StreamID != item.StreamID || again.UserID != item.UserID ||
+			again.Modality != item.Modality || again.Classified != item.Classified ||
+			!again.Time.Equal(item.Time) || len(again.Context) != len(item.Context) {
+			t.Fatalf("round trip drifted:\nfirst:  %+v\nsecond: %+v", item, again)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mqtt"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// fastPathManager is a manager with persistence off and no filters, hooks
+// or listeners installed: the configuration under which processItem is the
+// pure hot path (registry check, snapshot load, hub publish to nobody).
+func fastPathManager(t testing.TB) *Manager {
+	t.Helper()
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: vclock.NewReal()})
+	m, err := New(Options{Clock: vclock.NewReal(), Broker: broker})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = m.Close()
+		_ = broker.Close()
+	})
+	return m
+}
+
+func fastPathItem(t testing.TB) core.Item {
+	t.Helper()
+	raw, err := json.Marshal(map[string]any{"ssids": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Item{
+		StreamID:    "wifi-1",
+		DeviceID:    "alice-phone",
+		UserID:      "alice",
+		Modality:    sensors.ModalityWiFi,
+		Granularity: core.GranularityRaw,
+		Raw:         raw,
+	}
+}
+
+// TestIngestFastPathNoAlloc pins the no-cross-user-filter hot path at zero
+// heap allocations per item: no hook-slice copies, no context
+// materialization, no per-item garbage. A regression here shows up as a
+// nonzero count, not as a slow benchmark someone has to notice.
+func TestIngestFastPathNoAlloc(t *testing.T) {
+	m := fastPathManager(t)
+	item := fastPathItem(t)
+	m.processItem(item) // warm the registry/snapshot paths once
+
+	if avg := testing.AllocsPerRun(1000, func() {
+		m.processItem(item)
+	}); avg != 0 {
+		t.Fatalf("fast path allocates %.1f objects per item, want 0", avg)
+	}
+}
+
+// BenchmarkIngestFastPath measures the per-item cost of the worker-side
+// processing path in isolation (enqueue/dequeue excluded).
+func BenchmarkIngestFastPath(b *testing.B) {
+	m := fastPathManager(b)
+	item := fastPathItem(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.processItem(item)
+	}
+}

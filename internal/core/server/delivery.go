@@ -1,0 +1,93 @@
+package server
+
+import (
+	"log/slog"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/docstore"
+)
+
+// DeliveryHub is the output stage of the ingest pipeline: it persists an
+// accepted item (when configured), runs the coarse per-item hooks, fans the
+// item out on the publish-subscribe hub, and kicks geo-based multicast
+// refresh. It owns no locks of its own — the hub has its own, and the
+// multicast refresh callback takes the manager's multicast lock — so a slow
+// listener never stalls context updates or filter evaluation.
+type DeliveryHub struct {
+	store   *docstore.Store
+	hub     *core.Hub
+	persist bool
+	logger  *slog.Logger
+	// refresh is invoked after publication (the manager wires multicast
+	// membership refresh here); nil disables.
+	refresh func(core.Item)
+
+	persisted atomic.Uint64
+	published atomic.Uint64
+}
+
+// NewDeliveryHub builds the output stage.
+func NewDeliveryHub(store *docstore.Store, hub *core.Hub, persist bool, logger *slog.Logger, refresh func(core.Item)) *DeliveryHub {
+	return &DeliveryHub{store: store, hub: hub, persist: persist, logger: logger, refresh: refresh}
+}
+
+// Deliver runs the output stage for one accepted item. hooks is the
+// immutable hook slice from the filter-table snapshot current at filter
+// time.
+func (d *DeliveryHub) Deliver(item core.Item, hooks []func(core.Item)) {
+	if d.persist {
+		d.persistItem(item)
+	}
+	for _, h := range hooks {
+		h(item)
+	}
+	d.hub.Publish(item)
+	d.published.Add(1)
+	if d.refresh != nil {
+		d.refresh(item)
+	}
+}
+
+// persistItem stores one item in the document store (Facebook Sensor Map's
+// multi-user querying needs this).
+func (d *DeliveryHub) persistItem(item core.Item) {
+	doc := docstore.Doc{
+		"stream":      item.StreamID,
+		"device":      item.DeviceID,
+		"user":        item.UserID,
+		"modality":    item.Modality,
+		"granularity": string(item.Granularity),
+		"time":        item.Time.UnixMilli(),
+		"classified":  item.Classified,
+	}
+	if item.Action != nil {
+		doc["action"] = docstore.Doc{
+			"id": item.Action.ID, "type": string(item.Action.Type),
+			"text": item.Action.Text, "network": item.Action.Network,
+		}
+	}
+	if len(item.Raw) > 0 {
+		doc["raw"] = string(item.Raw)
+	}
+	if _, err := d.store.Collection(itemsCollection).Insert(doc); err != nil {
+		if d.logger != nil {
+			d.logger.Debug("persist item failed", "stream", item.StreamID, "err", err)
+		}
+		return
+	}
+	d.persisted.Add(1)
+}
+
+// DeliveryStats are the output-stage counters.
+type DeliveryStats struct {
+	// Published counts items fanned out on the hub.
+	Published uint64 `json:"published"`
+	// Persisted counts items written to the document store.
+	Persisted uint64 `json:"persisted"`
+}
+
+// Stats samples the delivery counters.
+func (d *DeliveryHub) Stats() DeliveryStats {
+	return DeliveryStats{Published: d.published.Load(), Persisted: d.persisted.Load()}
+}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// FilterTable holds the server-side filters and the coarse per-item hooks
+// behind a copy-on-write snapshot: the ingest hot path reads the current
+// snapshot with one atomic load and never takes a lock, so filter
+// evaluation and listener dispatch proceed without serializing on writers.
+// Writers (stream creation/destruction, hook registration) are rare; they
+// serialize on a mutex and publish a fresh snapshot.
+type FilterTable struct {
+	mu   sync.Mutex // serializes writers
+	snap atomic.Pointer[filterSnapshot]
+}
+
+// filterSnapshot is an immutable view of the table. Fields must never be
+// mutated after publication.
+type filterSnapshot struct {
+	filters map[string]compiledFilter // by stream id
+	hooks   []func(core.Item)
+}
+
+// compiledFilter is a filter plus its precomputed cross-user analysis, so
+// the hot path neither rescans conditions nor allocates to decide the
+// fast path.
+type compiledFilter struct {
+	filter core.Filter
+	// crossUsers lists the distinct users referenced by cross-user
+	// conditions; empty means the server has nothing to evaluate (same-user
+	// conditions were already enforced on the mobile).
+	crossUsers []string
+}
+
+// NewFilterTable returns an empty table.
+func NewFilterTable() *FilterTable {
+	t := &FilterTable{}
+	t.snap.Store(&filterSnapshot{filters: map[string]compiledFilter{}})
+	return t
+}
+
+// Snapshot returns the current immutable view.
+func (t *FilterTable) Snapshot() *filterSnapshot { return t.snap.Load() }
+
+// Set installs (or replaces) a stream's filter.
+func (t *FilterTable) Set(streamID string, f core.Filter) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.snap.Load()
+	filters := make(map[string]compiledFilter, len(cur.filters)+1)
+	for k, v := range cur.filters {
+		filters[k] = v
+	}
+	filters[streamID] = compileFilter(f)
+	t.snap.Store(&filterSnapshot{filters: filters, hooks: cur.hooks})
+}
+
+// Delete removes a stream's filter.
+func (t *FilterTable) Delete(streamID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.snap.Load()
+	if _, ok := cur.filters[streamID]; !ok {
+		return
+	}
+	filters := make(map[string]compiledFilter, len(cur.filters)-1)
+	for k, v := range cur.filters {
+		if k != streamID {
+			filters[k] = v
+		}
+	}
+	t.snap.Store(&filterSnapshot{filters: filters, hooks: cur.hooks})
+}
+
+// AddHook appends a per-item hook.
+func (t *FilterTable) AddHook(f func(core.Item)) {
+	if f == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.snap.Load()
+	hooks := make([]func(core.Item), len(cur.hooks)+1)
+	copy(hooks, cur.hooks)
+	hooks[len(cur.hooks)] = f
+	t.snap.Store(&filterSnapshot{filters: cur.filters, hooks: hooks})
+}
+
+// Len reports how many streams have a filter installed.
+func (t *FilterTable) Len() int { return len(t.snap.Load().filters) }
+
+// compileFilter extracts the distinct cross-user condition users.
+func compileFilter(f core.Filter) compiledFilter {
+	cf := compiledFilter{filter: f}
+	for _, c := range f.Conditions {
+		if c.UserID == "" {
+			continue
+		}
+		dup := false
+		for _, u := range cf.crossUsers {
+			if u == c.UserID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cf.crossUsers = append(cf.crossUsers, c.UserID)
+		}
+	}
+	return cf
+}

@@ -16,17 +16,32 @@ import (
 //	POST /osn/action      — OSN plug-in webhook (FacebookReceiver.php)
 //	POST /register        — user/device registration
 //	GET  /streams?device= — stream configuration download (FilterDownloader)
+//	GET  /stats           — ingest pipeline / registry / delivery counters
 //	GET  /healthz         — liveness
 func (m *Manager) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /osn/action", m.handleOSNAction)
 	mux.HandleFunc("POST /register", m.handleRegister)
 	mux.HandleFunc("GET /streams", m.handleStreamsDownload)
+	mux.HandleFunc("GET /stats", m.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok")
 	})
 	return mux
+}
+
+// handleStats serves a point-in-time sample of the sharded server's
+// counters: per-shard pipeline queues and drops, registry write/skip
+// counts, delivery totals.
+func (m *Manager) handleStats(w http.ResponseWriter, _ *http.Request) {
+	body, err := json.MarshalIndent(m.Stats(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 func (m *Manager) handleOSNAction(w http.ResponseWriter, r *http.Request) {

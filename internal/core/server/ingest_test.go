@@ -1,0 +1,334 @@
+package server_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/server"
+	"repro/internal/geo"
+	"repro/internal/mqtt"
+	"repro/internal/sensors"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// bareManager builds a Manager directly on an in-process broker, bypassing
+// the device simulator, so tests can drive Ingest at full speed.
+func bareManager(t *testing.T, tweak func(*server.Options)) *server.Manager {
+	t.Helper()
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: vclock.NewReal()})
+	opts := server.Options{Clock: vclock.NewReal(), Broker: broker}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	m, err := server.New(opts)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = m.Close()
+		_ = broker.Close()
+	})
+	return m
+}
+
+// seqPayload carries a per-user sequence number through Item.Raw.
+type seqPayload struct {
+	Seq int `json:"seq"`
+}
+
+func seqItem(user string, seq int) core.Item {
+	raw, _ := json.Marshal(seqPayload{Seq: seq})
+	return core.Item{
+		StreamID:    "flood-" + user,
+		DeviceID:    user + "-phone",
+		UserID:      user,
+		Modality:    sensors.ModalityWiFi,
+		Granularity: core.GranularityRaw,
+		Raw:         raw,
+	}
+}
+
+// TestConcurrentIngestPreservesPerUserOrder floods the pipeline from one
+// producer goroutine per user and asserts that every user's items are
+// delivered exactly once and in upload order, whatever shard interleaving
+// the race detector provokes.
+func TestConcurrentIngestPreservesPerUserOrder(t *testing.T) {
+	const users, perUser = 8, 300
+	m := bareManager(t, nil)
+
+	var mu sync.Mutex
+	got := make(map[string][]int, users)
+	m.OnItem(func(it core.Item) {
+		var p seqPayload
+		if err := json.Unmarshal(it.Raw, &p); err != nil {
+			t.Errorf("bad payload on %s: %v", it.StreamID, err)
+			return
+		}
+		mu.Lock()
+		got[it.UserID] = append(got[it.UserID], p.Seq)
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for u := 0; u < users; u++ {
+		wg.Add(1)
+		go func(user string) {
+			defer wg.Done()
+			for seq := 0; seq < perUser; seq++ {
+				for !m.Ingest(seqItem(user, seq)) {
+					runtime.Gosched() // queue full: retry rather than reorder
+				}
+			}
+		}(fmt.Sprintf("user%d", u))
+	}
+	wg.Wait()
+	waitUntil(t, func() bool {
+		s := m.Stats().Pipeline
+		return s.Processed == s.Enqueued
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	for u := 0; u < users; u++ {
+		user := fmt.Sprintf("user%d", u)
+		seqs := got[user]
+		if len(seqs) != perUser {
+			t.Fatalf("%s: delivered %d items, want %d", user, len(seqs), perUser)
+		}
+		for i, s := range seqs {
+			if s != i {
+				t.Fatalf("%s: position %d carries seq %d — per-user order broken", user, i, s)
+			}
+		}
+	}
+}
+
+// TestCrossUserFilterSeesConsistentSnapshot checks the registry's torn-read
+// guarantee. Bob's context flips between two internally consistent pairs —
+// (walking, noisy) and (still, silent) — neither of which satisfies
+// alice's filter (walking AND silent). Only a torn read mixing halves of
+// two different updates could ever let an item through.
+func TestCrossUserFilterSeesConsistentSnapshot(t *testing.T) {
+	m := bareManager(t, nil)
+	err := m.CreateRemoteStream(core.StreamConfig{
+		ID: "x", DeviceID: "alice-phone", UserID: "alice",
+		Modality: sensors.ModalityWiFi, Granularity: core.GranularityRaw,
+		Kind: core.KindContinuous, SampleInterval: time.Second,
+		Filter: core.Filter{Conditions: []core.Condition{
+			{Modality: core.CtxPhysicalActivity, Operator: core.OpEquals, Value: "walking", UserID: "bob"},
+			{Modality: core.CtxAudioEnvironment, Operator: core.OpEquals, Value: "silent", UserID: "bob"},
+		}},
+	})
+	if err != nil {
+		t.Fatalf("CreateRemoteStream: %v", err)
+	}
+	sink := &itemSink{}
+	if err := m.RegisterListener("x", sink); err != nil {
+		t.Fatalf("RegisterListener: %v", err)
+	}
+
+	bobItem := func(activity, audio string) core.Item {
+		return core.Item{
+			StreamID: "bob-ctx", DeviceID: "bob-phone", UserID: "bob",
+			Modality: sensors.ModalityAccelerometer, Granularity: core.GranularityClassified,
+			Classified: activity,
+			Context: core.Context{
+				core.CtxPhysicalActivity: activity,
+				core.CtxAudioEnvironment: audio,
+			},
+		}
+	}
+	ingest := func(it core.Item) {
+		for !m.Ingest(it) {
+			runtime.Gosched()
+		}
+	}
+
+	const rounds = 400
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // bob flips between the two consistent pairs
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if i%2 == 0 {
+				ingest(bobItem("walking", "noisy"))
+			} else {
+				ingest(bobItem("still", "silent"))
+			}
+		}
+	}()
+	go func() { // alice uploads against the filter the whole time
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			it := seqItem("alice", i)
+			it.StreamID = "x"
+			ingest(it)
+		}
+	}()
+	wg.Wait()
+	waitUntil(t, func() bool {
+		s := m.Stats().Pipeline
+		return s.Processed == s.Enqueued
+	})
+	if n := sink.count(); n != 0 {
+		t.Fatalf("filter passed %d items: a torn context snapshot mixed two of bob's updates", n)
+	}
+
+	// Prove the filter is live, not just permanently silent: a consistent
+	// passing pair must unblock alice. Bob and alice process on different
+	// shards, so wait until bob's update is visible before probing.
+	ingest(bobItem("walking", "silent"))
+	waitUntil(t, func() bool {
+		ctx := m.Context()
+		return ctx[core.Key("bob", core.CtxPhysicalActivity)] == "walking" &&
+			ctx[core.Key("bob", core.CtxAudioEnvironment)] == "silent"
+	})
+	it := seqItem("alice", rounds)
+	it.StreamID = "x"
+	ingest(it)
+	sink.waitFor(t, 1)
+}
+
+// TestIngestOverflowDropsCounted saturates a single depth-1 shard behind a
+// gated delivery hook: the pipeline must shed load via counted drops, and
+// every accepted item must still be processed after the gate opens.
+func TestIngestOverflowDropsCounted(t *testing.T) {
+	m := bareManager(t, func(o *server.Options) {
+		o.IngestShards = 1
+		o.IngestQueueDepth = 1
+	})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	var opened bool
+	var mu sync.Mutex
+	m.OnItem(func(core.Item) {
+		mu.Lock()
+		ok := opened
+		mu.Unlock()
+		if !ok {
+			started <- struct{}{}
+			<-gate
+		}
+	})
+
+	const total = 50
+	sent := uint64(0)
+	if !m.Ingest(seqItem("u", 0)) {
+		t.Fatal("first item rejected by an idle pipeline")
+	}
+	sent++
+	<-started // the only worker now blocks inside delivery
+	for i := 1; i < total; i++ {
+		m.Ingest(seqItem("u", i))
+		sent++
+	}
+	s := m.Stats().Pipeline
+	if s.Dropped == 0 {
+		t.Fatal("flooding a full depth-1 queue dropped nothing")
+	}
+	if s.Enqueued+s.Dropped != sent {
+		t.Fatalf("enqueued %d + dropped %d != sent %d", s.Enqueued, s.Dropped, sent)
+	}
+	mu.Lock()
+	opened = true
+	mu.Unlock()
+	close(gate)
+	waitUntil(t, func() bool {
+		s := m.Stats().Pipeline
+		return s.Processed == s.Enqueued
+	})
+}
+
+// TestRegistrySkipsNoopLocationWrites uploads the same raw fix repeatedly:
+// only the first write may hit the document store; the rest are counted as
+// skips. A genuinely new fix writes again.
+func TestRegistrySkipsNoopLocationWrites(t *testing.T) {
+	m := bareManager(t, func(o *server.Options) {
+		o.Places = geo.EuropeanCities()
+	})
+	if err := m.RegisterUser("carol"); err != nil {
+		t.Fatalf("RegisterUser: %v", err)
+	}
+	fix := func(lat, lon float64) core.Item {
+		raw, _ := json.Marshal(sensors.LocationReading{Lat: lat, Lon: lon, AccuracyM: 10})
+		return core.Item{
+			StreamID: "loc", DeviceID: "carol-phone", UserID: "carol",
+			Modality: sensors.ModalityLocation, Granularity: core.GranularityRaw,
+			Raw: raw,
+		}
+	}
+	const repeats = 6
+	for i := 0; i < repeats; i++ {
+		if !m.Ingest(fix(48.8566, 2.3522)) { // Paris, identical every time
+			t.Fatalf("ingest %d rejected", i)
+		}
+	}
+	waitUntil(t, func() bool {
+		s := m.Stats().Pipeline
+		return s.Processed == s.Enqueued
+	})
+	rs := m.Stats().Registry
+	if rs.LocationWrites != 1 {
+		t.Fatalf("identical fixes caused %d registry writes, want 1", rs.LocationWrites)
+	}
+	if rs.LocationSkips != repeats-1 {
+		t.Fatalf("counted %d skips, want %d", rs.LocationSkips, repeats-1)
+	}
+	if _, city, err := m.UserLocation("carol"); err != nil || city != "Paris" {
+		t.Fatalf("UserLocation = %q, %v; want Paris", city, err)
+	}
+
+	if !m.Ingest(fix(45.4642, 9.19)) { // Milan: a real move writes again
+		t.Fatal("ingest of new fix rejected")
+	}
+	waitUntil(t, func() bool { return m.Stats().Registry.LocationWrites == 2 })
+}
+
+// TestStatsEndpoint samples GET /stats over the simulated fabric and spot
+// checks that the pipeline counters flow through the JSON surface.
+func TestStatsEndpoint(t *testing.T) {
+	s := fastSim(t)
+	addStillUser(t, s, "alice", "Paris", sensors.ActivityStill)
+	err := s.Server.CreateRemoteStream(core.StreamConfig{
+		ID: "st", DeviceID: "alice-phone", UserID: "alice",
+		Modality: sensors.ModalityWiFi, Granularity: core.GranularityRaw,
+		Kind: core.KindContinuous, SampleInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("CreateRemoteStream: %v", err)
+	}
+	waitUntil(t, func() bool { return s.Server.Stats().Pipeline.Processed > 0 })
+	if err := s.StartHTTP(); err != nil {
+		t.Fatalf("StartHTTP: %v", err)
+	}
+
+	resp, err := s.HTTPClient("tester").Get("http://" + sim.HTTPAddr + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /stats: %d: %s", resp.StatusCode, body)
+	}
+	var stats server.Stats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("decode stats: %v\n%s", err, body)
+	}
+	if stats.Pipeline.Processed == 0 || stats.Pipeline.Shards == 0 {
+		t.Fatalf("stats endpoint lost pipeline counters: %+v", stats)
+	}
+	if stats.Filters != 1 {
+		t.Fatalf("stats reports %d filters, want 1", stats.Filters)
+	}
+}

@@ -5,6 +5,18 @@
 // incoming streams), aggregators, multicast streams over geographic and
 // OSN queries, and the MongoDB-backed registry of users, devices,
 // friendships and locations.
+//
+// The server is structured as composable subcomponents, each with its own
+// lock domain, wired together by the Manager façade:
+//
+//   - ContextRegistry: user-sharded cross-user context cache + location
+//     write memory (per-shard mutexes).
+//   - FilterTable: copy-on-write filter/hook snapshots (lock-free reads).
+//   - IngestPipeline (internal/core/server/ingest): bounded per-shard
+//     worker queues partitioned by user, preserving per-user ordering while
+//     distinct users process in parallel, with an explicit drop-on-overflow
+//     policy.
+//   - DeliveryHub: persist + hub publish + multicast refresh output stage.
 package server
 
 import (
@@ -12,9 +24,11 @@ import (
 	"log/slog"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/core/server/ingest"
 	"repro/internal/docstore"
 	"repro/internal/geo"
 	"repro/internal/mqtt"
@@ -56,9 +70,21 @@ type Options struct {
 	Seed int64
 	// Logger receives diagnostics; nil disables.
 	Logger *slog.Logger
+	// IngestShards is the number of parallel ingest workers (and context
+	// registry shards). Items are partitioned by user, so per-user ordering
+	// is preserved across any shard count. Non-positive selects
+	// ingest.DefaultShards.
+	IngestShards int
+	// IngestQueueDepth bounds each shard's queue. When a queue is full
+	// further items for its users are dropped and counted (see Stats)
+	// rather than blocking the broker. Non-positive selects
+	// ingest.DefaultQueueDepth.
+	IngestQueueDepth int
 }
 
-// Manager is the server-side SenSocial Manager.
+// Manager is the server-side SenSocial Manager: a thin façade wiring the
+// context registry, filter table, ingest pipeline and delivery hub
+// together over the document store and the MQTT broker.
 type Manager struct {
 	clock  vclock.Clock
 	store  *docstore.Store
@@ -69,17 +95,23 @@ type Manager struct {
 	procJitter time.Duration
 	persist    bool
 
-	hub *core.Hub
+	hub      *core.Hub
+	registry *ContextRegistry
+	filters  *FilterTable
+	pipeline *ingest.Pipeline[core.Item]
+	delivery *DeliveryHub
 
-	mu            sync.Mutex
-	broker        *mqtt.Broker
-	rng           *rand.Rand
-	ctx           core.Context // cross-user context: Key(user, modality) -> value
-	serverFilters map[string]core.Filter
-	multicasts    map[string]*MulticastStream
-	onItem        []func(core.Item)
-	closed        bool
-	wg            sync.WaitGroup
+	brokerMu sync.Mutex
+	broker   *mqtt.Broker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mcMu       sync.Mutex
+	multicasts map[string]*MulticastStream
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
 }
 
 // New builds the server manager and attaches it to the broker's stream
@@ -94,20 +126,30 @@ func New(opts Options) (*Manager, error) {
 	if opts.Store == nil {
 		opts.Store = docstore.NewStore()
 	}
-	m := &Manager{
-		clock:         opts.Clock,
-		store:         opts.Store,
-		places:        opts.Places,
-		logger:        opts.Logger,
-		procDelay:     opts.ProcessingDelay,
-		procJitter:    opts.ProcessingJitter,
-		persist:       opts.PersistItems,
-		hub:           core.NewHub(),
-		rng:           rand.New(rand.NewSource(opts.Seed)),
-		ctx:           make(core.Context),
-		serverFilters: make(map[string]core.Filter),
-		multicasts:    make(map[string]*MulticastStream),
+	shards := opts.IngestShards
+	if shards <= 0 {
+		shards = ingest.DefaultShards
 	}
+	m := &Manager{
+		clock:      opts.Clock,
+		store:      opts.Store,
+		places:     opts.Places,
+		logger:     opts.Logger,
+		procDelay:  opts.ProcessingDelay,
+		procJitter: opts.ProcessingJitter,
+		persist:    opts.PersistItems,
+		hub:        core.NewHub(),
+		registry:   NewContextRegistry(shards),
+		filters:    NewFilterTable(),
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		multicasts: make(map[string]*MulticastStream),
+	}
+	m.delivery = NewDeliveryHub(m.store, m.hub, m.persist, m.logger, m.refreshMulticastsFor)
+	pipeline, err := ingest.New(shards, opts.IngestQueueDepth, partitionKey, m.processItem)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	m.pipeline = pipeline
 	// Index the registry the way §5.5 prescribes for MongoDB: secondary
 	// indexes for common queries plus a geospatial index on user location.
 	users := m.store.Collection(usersCollection)
@@ -126,6 +168,19 @@ func New(opts Options) (*Manager, error) {
 	return m, nil
 }
 
+// partitionKey routes an item to its pipeline shard: by user so per-user
+// ordering is preserved, falling back to device then stream for items
+// without an owner.
+func partitionKey(item core.Item) string {
+	if item.UserID != "" {
+		return item.UserID
+	}
+	if item.DeviceID != "" {
+		return item.DeviceID
+	}
+	return item.StreamID
+}
+
 // AttachBroker binds the manager to a broker: stream data subscriptions
 // are installed and triggers publish through it. Call again after a broker
 // restart to re-attach (deployments that restart Mosquitto do exactly
@@ -137,16 +192,16 @@ func (m *Manager) AttachBroker(b *mqtt.Broker) error {
 	if err := b.SubscribeLocal(core.StreamDataFilter(), m.onStreamData); err != nil {
 		return err
 	}
-	m.mu.Lock()
+	m.brokerMu.Lock()
 	m.broker = b
-	m.mu.Unlock()
+	m.brokerMu.Unlock()
 	return nil
 }
 
 // currentBroker returns the attached broker.
 func (m *Manager) currentBroker() *mqtt.Broker {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.brokerMu.Lock()
+	defer m.brokerMu.Unlock()
 	return m.broker
 }
 
@@ -261,6 +316,7 @@ func (m *Manager) UpdateUserLocation(userID string, pt geo.Point, city string) e
 	if n == 0 {
 		return fmt.Errorf("server: update location of %q: unknown user", userID)
 	}
+	m.registry.RememberLocation(userID, pt, city)
 	return nil
 }
 
@@ -314,16 +370,15 @@ func docIDs(docs []docstore.Doc) []string {
 	return out
 }
 
-// Context returns a copy of the server's cross-user context cache.
+// Context returns a copy of the server's cross-user context cache, merged
+// across registry shards.
 func (m *Manager) Context() core.Context {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(core.Context, len(m.ctx))
-	for k, v := range m.ctx {
-		out[k] = v
-	}
-	return out
+	return m.registry.SnapshotAll()
 }
+
+// Registry exposes the sharded context registry (read-mostly diagnostics;
+// the ingest pipeline is the writer).
+func (m *Manager) Registry() *ContextRegistry { return m.registry }
 
 // RegisterListener subscribes an application listener to a stream id (or
 // core.Wildcard). Items arrive after server-side filtering.
@@ -332,14 +387,10 @@ func (m *Manager) RegisterListener(streamID string, l core.Listener) error {
 }
 
 // OnItem registers a coarse hook invoked for every accepted item
-// (experiments use it for timing).
+// (experiments use it for timing). Hooks run on the ingest shard worker of
+// the item's user.
 func (m *Manager) OnItem(f func(core.Item)) {
-	if f == nil {
-		return
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.onItem = append(m.onItem, f)
+	m.filters.AddHook(f)
 }
 
 // CreateAggregator wires an aggregator over source streams and registers
@@ -357,11 +408,32 @@ func (m *Manager) CreateAggregator(id string, sourceStreamIDs ...string) (*core.
 	return agg, nil
 }
 
-// Close stops background work. The broker is owned by the caller.
+// Stats samples the counters of every subcomponent.
+type Stats struct {
+	Pipeline ingest.Stats  `json:"pipeline"`
+	Registry RegistryStats `json:"registry"`
+	Delivery DeliveryStats `json:"delivery"`
+	Filters  int           `json:"filters"`
+}
+
+// Stats returns a point-in-time sample of pipeline, registry and delivery
+// counters (served on GET /stats).
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Pipeline: m.pipeline.Stats(),
+		Registry: m.registry.Stats(),
+		Delivery: m.delivery.Stats(),
+		Filters:  m.filters.Len(),
+	}
+}
+
+// Close stops background work: the ingest pipeline drains its accepted
+// backlog and its workers exit, then pending OSN trigger dispatches finish.
+// The broker is owned by the caller.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	m.closed = true
-	m.mu.Unlock()
+	if m.closed.CompareAndSwap(false, true) {
+		m.pipeline.Close()
+	}
 	m.wg.Wait()
 	return nil
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/sensors"
 )
 
 // QueryKind selects how multicast members are chosen (paper §3.1: "the
@@ -56,15 +58,24 @@ func (q MemberQuery) Validate() error {
 // MulticastStream abstracts related streams of multiple clients into a
 // single entity: member selection by geo/OSN query, transparent filter
 // distribution, and an aggregator that multiplexes member items.
+//
+// Lock domains: the manager's mcMu guards the multicast map and each
+// stream's members map; opMu serializes whole membership operations
+// (Refresh/SetFilter/Close) so concurrent ingest workers triggering
+// refreshes for different users cannot double-create member streams. Lock
+// order is opMu before mcMu, never the reverse.
 type MulticastStream struct {
 	id       string
 	manager  *Manager
-	template core.StreamConfig
 	query    MemberQuery
 	agg      *core.Aggregator
 
-	// members maps userID -> per-device stream ids (guarded by manager.mu).
-	members map[string][]string
+	// opMu serializes Refresh/SetFilter/Close.
+	opMu sync.Mutex
+
+	// template and members are guarded by manager.mcMu.
+	template core.StreamConfig
+	members  map[string][]string // userID -> per-device stream ids
 }
 
 // CreateMulticastStream instantiates a multicast stream: the template's
@@ -90,17 +101,17 @@ func (m *Manager) CreateMulticastStream(id string, template core.StreamConfig, q
 		agg:      agg,
 		members:  make(map[string][]string),
 	}
-	m.mu.Lock()
+	m.mcMu.Lock()
 	if _, exists := m.multicasts[id]; exists {
-		m.mu.Unlock()
+		m.mcMu.Unlock()
 		return nil, fmt.Errorf("server: multicast stream %q already exists", id)
 	}
 	m.multicasts[id] = ms
-	m.mu.Unlock()
+	m.mcMu.Unlock()
 	if err := ms.Refresh(); err != nil {
-		m.mu.Lock()
+		m.mcMu.Lock()
 		delete(m.multicasts, id)
-		m.mu.Unlock()
+		m.mcMu.Unlock()
 		return nil, err
 	}
 	return ms, nil
@@ -116,8 +127,8 @@ func (ms *MulticastStream) Register(l core.Listener) error {
 
 // Members returns the current member users, sorted.
 func (ms *MulticastStream) Members() []string {
-	ms.manager.mu.Lock()
-	defer ms.manager.mu.Unlock()
+	ms.manager.mcMu.Lock()
+	defer ms.manager.mcMu.Unlock()
 	out := make([]string, 0, len(ms.members))
 	for u := range ms.members {
 		out = append(out, u)
@@ -133,14 +144,17 @@ func (ms *MulticastStream) SetFilter(f core.Filter) error {
 	if err := f.Validate(); err != nil {
 		return err
 	}
-	ms.manager.mu.Lock()
+	ms.opMu.Lock()
+	defer ms.opMu.Unlock()
+	ms.manager.mcMu.Lock()
 	ms.template.Filter = f
-	members := make(map[string][]string, len(ms.members))
-	for u, devs := range ms.members {
-		members[u] = append([]string(nil), devs...)
+	members := make([]string, 0, len(ms.members))
+	for u := range ms.members {
+		members = append(members, u)
 	}
-	ms.manager.mu.Unlock()
-	for user := range members {
+	ms.manager.mcMu.Unlock()
+	sort.Strings(members)
+	for _, user := range members {
 		if err := ms.pushToUser(user); err != nil {
 			return err
 		}
@@ -154,6 +168,8 @@ func (ms *MulticastStream) SetFilter(f core.Filter) error {
 // devices of all the users who are currently nearby, and the previously
 // created streams are removed").
 func (ms *MulticastStream) Refresh() error {
+	ms.opMu.Lock()
+	defer ms.opMu.Unlock()
 	users, err := ms.resolveMembers()
 	if err != nil {
 		return err
@@ -163,7 +179,7 @@ func (ms *MulticastStream) Refresh() error {
 		want[u] = true
 	}
 
-	ms.manager.mu.Lock()
+	ms.manager.mcMu.Lock()
 	var departed []string
 	for u := range ms.members {
 		if !want[u] {
@@ -176,7 +192,7 @@ func (ms *MulticastStream) Refresh() error {
 			joined = append(joined, u)
 		}
 	}
-	ms.manager.mu.Unlock()
+	ms.manager.mcMu.Unlock()
 	sort.Strings(departed)
 	sort.Strings(joined)
 
@@ -195,14 +211,16 @@ func (ms *MulticastStream) Refresh() error {
 
 // Close destroys all member streams and removes the multicast.
 func (ms *MulticastStream) Close() error {
+	ms.opMu.Lock()
+	defer ms.opMu.Unlock()
 	for _, u := range ms.Members() {
 		if err := ms.dropUser(u); err != nil {
 			return err
 		}
 	}
-	ms.manager.mu.Lock()
+	ms.manager.mcMu.Lock()
 	delete(ms.manager.multicasts, ms.id)
-	ms.manager.mu.Unlock()
+	ms.manager.mcMu.Unlock()
 	return nil
 }
 
@@ -219,15 +237,19 @@ func (ms *MulticastStream) resolveMembers() ([]string, error) {
 	}
 }
 
-// pushToUser creates/updates the per-device streams for one member.
+// pushToUser creates/updates the per-device streams for one member. Callers
+// hold opMu.
 func (ms *MulticastStream) pushToUser(user string) error {
 	devices, err := ms.manager.DevicesOf(user)
 	if err != nil {
 		return err
 	}
+	ms.manager.mcMu.Lock()
+	template := ms.template
+	ms.manager.mcMu.Unlock()
 	var streamIDs []string
 	for _, dev := range devices {
-		cfg := ms.template
+		cfg := template
 		cfg.ID = ms.id + "/" + dev
 		cfg.DeviceID = dev
 		cfg.UserID = user
@@ -243,18 +265,18 @@ func (ms *MulticastStream) pushToUser(user string) error {
 		}
 		streamIDs = append(streamIDs, cfg.ID)
 	}
-	ms.manager.mu.Lock()
+	ms.manager.mcMu.Lock()
 	ms.members[user] = streamIDs
-	ms.manager.mu.Unlock()
+	ms.manager.mcMu.Unlock()
 	return nil
 }
 
-// dropUser destroys the member's streams.
+// dropUser destroys the member's streams. Callers hold opMu.
 func (ms *MulticastStream) dropUser(user string) error {
-	ms.manager.mu.Lock()
+	ms.manager.mcMu.Lock()
 	streamIDs := append([]string(nil), ms.members[user]...)
 	delete(ms.members, user)
-	ms.manager.mu.Unlock()
+	ms.manager.mcMu.Unlock()
 	for _, id := range streamIDs {
 		ms.agg.RemoveSource(id)
 		if err := ms.manager.DestroyRemoteStream(id); err != nil {
@@ -265,19 +287,21 @@ func (ms *MulticastStream) dropUser(user string) error {
 }
 
 // refreshMulticastsFor triggers membership refresh of geo-based multicast
-// streams when a location item arrives (user movement).
+// streams when a location item arrives (user movement). Runs on the item's
+// ingest shard worker; the modality check keeps the non-location fast path
+// lock-free.
 func (m *Manager) refreshMulticastsFor(item core.Item) {
-	if item.Modality != "location" {
+	if item.Modality != sensors.ModalityLocation {
 		return
 	}
-	m.mu.Lock()
+	m.mcMu.Lock()
 	var todo []*MulticastStream
 	for _, ms := range m.multicasts {
 		if ms.query.Kind == QueryCity || ms.query.Kind == QueryNear {
 			todo = append(todo, ms)
 		}
 	}
-	m.mu.Unlock()
+	m.mcMu.Unlock()
 	for _, ms := range todo {
 		if err := ms.Refresh(); err != nil {
 			m.logf("multicast refresh failed", "multicast", ms.id, "err", err)

@@ -18,31 +18,9 @@ import (
 // the configuration is recorded in the registry and pushed to the device as
 // an XML config trigger (paper §4, Remote Stream Management).
 func (m *Manager) CreateRemoteStream(cfg core.StreamConfig) error {
-	if cfg.Deliver == "" {
-		cfg.Deliver = core.DeliverServer
+	if err := m.recordRemoteStream(&cfg); err != nil {
+		return err
 	}
-	if err := cfg.Validate(); err != nil {
-		return fmt.Errorf("server: %w", err)
-	}
-	if cfg.DeviceID == "" {
-		return fmt.Errorf("server: remote stream %q needs a device id", cfg.ID)
-	}
-	// Record (replacing any previous version of the stream).
-	streams := m.store.Collection(streamsCollection)
-	cfgJSON, err := json.Marshal(cfg)
-	if err != nil {
-		return fmt.Errorf("server: encode stream %q: %w", cfg.ID, err)
-	}
-	if _, err := streams.Upsert(
-		docstore.Doc{docstore.IDField: cfg.ID},
-		docstore.Doc{docstore.IDField: cfg.ID, "device": cfg.DeviceID, "config": string(cfgJSON)},
-	); err != nil {
-		return fmt.Errorf("server: record stream %q: %w", cfg.ID, err)
-	}
-	m.mu.Lock()
-	m.serverFilters[cfg.ID] = cfg.Filter
-	m.mu.Unlock()
-
 	xml, err := config.EncodeStreams([]core.StreamConfig{cfg})
 	if err != nil {
 		return fmt.Errorf("server: %w", err)
@@ -59,6 +37,19 @@ func (m *Manager) CreateRemoteStream(cfg core.StreamConfig) error {
 // the device fetches its configuration document from the HTTP endpoint —
 // the paper's FilterDownloader flow.
 func (m *Manager) CreateRemoteStreamViaDownload(cfg core.StreamConfig) error {
+	if err := m.recordRemoteStream(&cfg); err != nil {
+		return err
+	}
+	return m.sendTrigger(core.Trigger{
+		Kind:     core.TriggerConfigPull,
+		DeviceID: cfg.DeviceID,
+	})
+}
+
+// recordRemoteStream validates the configuration, stores it in the stream
+// registry (replacing any previous version) and installs its filter in the
+// copy-on-write filter table.
+func (m *Manager) recordRemoteStream(cfg *core.StreamConfig) error {
 	if cfg.Deliver == "" {
 		cfg.Deliver = core.DeliverServer
 	}
@@ -78,13 +69,8 @@ func (m *Manager) CreateRemoteStreamViaDownload(cfg core.StreamConfig) error {
 	); err != nil {
 		return fmt.Errorf("server: record stream %q: %w", cfg.ID, err)
 	}
-	m.mu.Lock()
-	m.serverFilters[cfg.ID] = cfg.Filter
-	m.mu.Unlock()
-	return m.sendTrigger(core.Trigger{
-		Kind:     core.TriggerConfigPull,
-		DeviceID: cfg.DeviceID,
-	})
+	m.filters.Set(cfg.ID, cfg.Filter)
+	return nil
 }
 
 // DestroyRemoteStream removes a server-created stream from its device and
@@ -99,9 +85,7 @@ func (m *Manager) DestroyRemoteStream(streamID string) error {
 	if _, err := streams.Delete(docstore.Doc{docstore.IDField: streamID}); err != nil {
 		return fmt.Errorf("server: destroy stream %q: %w", streamID, err)
 	}
-	m.mu.Lock()
-	delete(m.serverFilters, streamID)
-	m.mu.Unlock()
+	m.filters.Delete(streamID)
 	m.hub.Unregister(streamID)
 	return m.sendTrigger(core.Trigger{
 		Kind:      core.TriggerRemove,
@@ -150,23 +134,22 @@ func (m *Manager) NotifyDevice(deviceID, message string) error {
 // device information in a JSON-formatted string passed to the Mosquitto
 // broker").
 func (m *Manager) OnOSNAction(a osn.Action) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if m.closed.Load() {
 		return
 	}
 	delay := m.procDelay
 	if m.procJitter > 0 {
+		m.rngMu.Lock()
 		delay += time.Duration(m.rng.Float64() * float64(m.procJitter))
+		m.rngMu.Unlock()
 	}
 	// OSN activity is context for cross-user filters too.
 	ctxMod := core.CtxFacebookActivity
 	if a.Network == "twitter" {
 		ctxMod = core.CtxTwitterActivity
 	}
-	m.ctx[core.Key(a.UserID, ctxMod)] = core.OSNActive
+	m.registry.Set(a.UserID, ctxMod, core.OSNActive)
 	m.wg.Add(1)
-	m.mu.Unlock()
 
 	go func() {
 		defer m.wg.Done()
@@ -205,62 +188,60 @@ func (m *Manager) sendTrigger(t core.Trigger) error {
 }
 
 // onStreamData is the server Filter Manager's intake: every item uploaded
-// by any device arrives here via the broker.
+// by any device arrives here via the broker and is handed to the sharded
+// ingest pipeline.
 func (m *Manager) onStreamData(msg mqtt.Message) {
 	item, err := core.DecodeItem(msg.Payload)
 	if err != nil {
 		m.logf("bad stream item", "err", err)
 		return
 	}
-	m.ingest(item)
+	if !m.Ingest(item) {
+		m.logf("ingest overflow", "stream", item.StreamID, "user", item.UserID)
+	}
 }
 
-// ingest runs registry updates, cross-user filtering and delivery for one
-// item. Exposed for in-process pipelines (tests, single-binary sims).
-func (m *Manager) ingest(item core.Item) {
+// Ingest enqueues one decoded item on its user's pipeline shard. It reports
+// whether the item was accepted; false means the shard's bounded queue was
+// full (or the manager closed) and the drop was counted in Stats — the
+// pipeline never blocks the caller. Exposed for in-process pipelines
+// (tests, single-binary sims).
+func (m *Manager) Ingest(item core.Item) bool {
+	return m.pipeline.Enqueue(item)
+}
+
+// processItem runs registry updates, cross-user filtering and delivery for
+// one item on its shard's worker goroutine. Items of one user are processed
+// in submission order; distinct users proceed in parallel.
+func (m *Manager) processItem(item core.Item) {
 	m.updateRegistryFromItem(item)
-	m.updateContextFromItem(item)
+	m.registry.ApplyItem(item)
 
 	// Cross-user conditions: the mobile already enforced same-user
 	// conditions; the server filter manager enforces the rest ("streams
 	// coming from one user can be conditioned on data coming from another
-	// user").
-	m.mu.Lock()
-	filter, known := m.serverFilters[item.StreamID]
-	var snapshot core.Context
-	if known && filter.HasCrossUser() {
-		snapshot = make(core.Context, len(m.ctx))
-		for k, v := range m.ctx {
-			snapshot[k] = v
-		}
-	}
-	hooks := append([]func(core.Item){}, m.onItem...)
-	m.mu.Unlock()
-
-	if snapshot != nil {
-		for _, c := range filter.Conditions {
+	// user"). The snapshot is one atomic load; context is materialized only
+	// for the users the filter actually references.
+	snap := m.filters.Snapshot()
+	if cf, known := snap.filters[item.StreamID]; known && len(cf.crossUsers) > 0 {
+		ctx := m.registry.SnapshotUsers(cf.crossUsers)
+		for _, c := range cf.filter.Conditions {
 			if c.UserID == "" {
 				continue
 			}
-			if !c.Eval(snapshot) {
+			if !c.Eval(ctx) {
 				return
 			}
 		}
 	}
 
-	if m.persist {
-		m.persistItem(item)
-	}
-	for _, h := range hooks {
-		h(item)
-	}
-	m.hub.Publish(item)
-	m.refreshMulticastsFor(item)
+	m.delivery.Deliver(item, snap.hooks)
 }
 
 // updateRegistryFromItem keeps the user location registry current from
 // location streams ("the user's geographic location is updated
-// periodically").
+// periodically"). Writes that would not change the stored point and city
+// are skipped and counted instead of hitting the document store.
 func (m *Manager) updateRegistryFromItem(item core.Item) {
 	if item.Modality != sensors.ModalityLocation || item.UserID == "" {
 		return
@@ -275,6 +256,9 @@ func (m *Manager) updateRegistryFromItem(item core.Item) {
 		if m.places != nil {
 			city = m.places.ReverseGeocode(fix.Point())
 		}
+		if m.registry.LocationUnchanged(item.UserID, fix.Point(), city) {
+			return
+		}
 		if err := m.UpdateUserLocation(item.UserID, fix.Point(), city); err != nil {
 			m.logf("location update failed", "user", item.UserID, "err", err)
 		}
@@ -284,55 +268,12 @@ func (m *Manager) updateRegistryFromItem(item core.Item) {
 		if err != nil {
 			return
 		}
+		if m.registry.LocationUnchanged(item.UserID, pt, item.Classified) {
+			return
+		}
 		if err := m.UpdateUserLocation(item.UserID, pt, item.Classified); err != nil {
 			m.logf("location update failed", "user", item.UserID, "err", err)
 		}
-	}
-}
-
-// updateContextFromItem maintains the cross-user context cache from
-// classified items and their carried context snapshots.
-func (m *Manager) updateContextFromItem(item core.Item) {
-	if item.UserID == "" {
-		return
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if item.Granularity == core.GranularityClassified && item.Classified != "" {
-		if ctxMod, err := core.ContextForSensor(item.Modality); err == nil {
-			m.ctx[core.Key(item.UserID, ctxMod)] = item.Classified
-		}
-	}
-	for k, v := range item.Context {
-		// Only same-user context entries (plain modality keys) are
-		// re-keyed under the item's user.
-		if core.ValidContextModality(k) {
-			m.ctx[core.Key(item.UserID, k)] = v
-		}
-	}
-}
-
-func (m *Manager) persistItem(item core.Item) {
-	doc := docstore.Doc{
-		"stream":      item.StreamID,
-		"device":      item.DeviceID,
-		"user":        item.UserID,
-		"modality":    item.Modality,
-		"granularity": string(item.Granularity),
-		"time":        item.Time.UnixMilli(),
-		"classified":  item.Classified,
-	}
-	if item.Action != nil {
-		doc["action"] = docstore.Doc{
-			"id": item.Action.ID, "type": string(item.Action.Type),
-			"text": item.Action.Text, "network": item.Action.Network,
-		}
-	}
-	if len(item.Raw) > 0 {
-		doc["raw"] = string(item.Raw)
-	}
-	if _, err := m.store.Collection(itemsCollection).Insert(doc); err != nil {
-		m.logf("persist item failed", "stream", item.StreamID, "err", err)
 	}
 }
 

@@ -73,11 +73,13 @@ func DefaultLayering() []LayerRule {
 		{From: "internal/behavior", Only: []string{"internal/classify", "internal/core",
 			"internal/geo", "internal/osn", "internal/sensors"},
 			Why: "behavior models translate OSN state into core terms"},
-		{From: "internal/core/server", Deny: []string{"internal/core/mobile", "internal/sim",
+		{From: "internal/core/server/ingest", Only: []string{},
+			Why: "the sharded ingest pipeline is generic infrastructure; it must not know the middleware it carries"},
+		{From: "internal/core/server/...", Deny: []string{"internal/core/mobile", "internal/sim",
 			"internal/experiments", "internal/baselineapps/...", "internal/device",
 			"internal/sensing", "internal/gar"},
 			Why: "the server half must not depend on device-side code or the test harness"},
-		{From: "internal/core/mobile", Deny: []string{"internal/core/server", "internal/sim",
+		{From: "internal/core/mobile", Deny: []string{"internal/core/server/...", "internal/sim",
 			"internal/experiments", "internal/baselineapps/...", "internal/docstore"},
 			Why: "the mobile half must not reach into server-side storage or the simulator"},
 

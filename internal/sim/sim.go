@@ -54,6 +54,10 @@ type Options struct {
 	ServerProcessingJitter time.Duration
 	// PersistItems stores received items in the document store.
 	PersistItems bool
+	// IngestShards and IngestQueueDepth size the server's sharded ingest
+	// pipeline (zero keeps the server defaults).
+	IngestShards     int
+	IngestQueueDepth int
 	// DeliverViaHTTP routes Facebook plug-in notifications through the
 	// server's HTTP webhook over the fabric (full fidelity) instead of the
 	// direct in-process call.
@@ -133,6 +137,8 @@ func New(opts Options) (*Simulation, error) {
 		ProcessingJitter: opts.ServerProcessingJitter,
 		PersistItems:     opts.PersistItems,
 		Seed:             opts.Seed + 1,
+		IngestShards:     opts.IngestShards,
+		IngestQueueDepth: opts.IngestQueueDepth,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
