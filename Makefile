@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke experiments examples loc clean
+.PHONY: all build vet lint test race bench bench-smoke metrics-smoke experiments examples loc clean
 
 all: build vet lint test
 
@@ -13,7 +13,8 @@ vet:
 	$(GO) vet ./...
 
 # Project-invariant analyzers: wallclock, globalrand, layering, droppederr,
-# mutexhold. Also enforced by internal/lint/selfcheck_test.go under `make test`.
+# mutexhold, pkgdoc. Also enforced by internal/lint/selfcheck_test.go under
+# `make test`.
 lint:
 	$(GO) run ./cmd/sensolint ./...
 
@@ -31,6 +32,11 @@ bench:
 # compile rot and harness deadlocks without paying full benchmark time.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchtime 1x .
+
+# Boot a simulated deployment, scrape GET /metrics, and fail unless the
+# exported family set matches docs/OBSERVABILITY.md exactly.
+metrics-smoke:
+	$(GO) run ./cmd/obscheck
 
 # Regenerate every table and figure with paper-vs-measured reports.
 experiments:

@@ -20,4 +20,7 @@ go test -race ./...
 echo "==> go test -bench BenchmarkIngest -benchtime 1x ."
 go test -run '^$' -bench 'BenchmarkIngest' -benchtime 1x .
 
+echo "==> go run ./cmd/obscheck"
+go run ./cmd/obscheck
+
 echo "CI OK"

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	sensocial-server [-mqtt :1883] [-http :8080]
+//	sensocial-server [-mqtt :1883] [-http :8080] [-trace-capacity 4096]
+//
+// The HTTP surface includes GET /metrics (Prometheus text), GET /trace
+// (span dump) and GET /stats (JSON counter snapshot); see
+// docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"repro/internal/core/server"
 	"repro/internal/geo"
 	"repro/internal/mqtt"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -30,21 +35,31 @@ func main() {
 	httpAddr := flag.String("http", ":8080", "HTTP listen address")
 	shards := flag.Int("ingest-shards", 0, "ingest pipeline shards (0 = default)")
 	queueDepth := flag.Int("ingest-queue", 0, "per-shard ingest queue depth (0 = default)")
+	traceCap := flag.Int("trace-capacity", 0, "span ring-buffer capacity for GET /trace (0 = tracing off)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
-	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *verbose); err != nil {
+	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *traceCap, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mqttAddr, httpAddr string, shards, queueDepth int, verbose bool) error {
+func run(mqttAddr, httpAddr string, shards, queueDepth, traceCap int, verbose bool) error {
 	var logger *slog.Logger
 	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
 	}
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: vclock.NewReal(), Logger: logger})
+	// One registry (and optionally one tracer) spans the broker and the
+	// middleware so GET /metrics shows the whole deployment.
+	clock := vclock.NewReal()
+	metrics := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if traceCap > 0 {
+		tracer = obs.NewTracer(clock, traceCap)
+	}
+
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: clock, Logger: logger, Metrics: metrics, Tracer: tracer})
 	mqttL, err := net.Listen("tcp", mqttAddr)
 	if err != nil {
 		return fmt.Errorf("mqtt listen: %w", err)
@@ -57,13 +72,15 @@ func run(mqttAddr, httpAddr string, shards, queueDepth int, verbose bool) error 
 	}()
 
 	mgr, err := server.New(server.Options{
-		Clock:            vclock.NewReal(),
+		Clock:            clock,
 		Broker:           broker,
 		Places:           geo.EuropeanCities(),
 		PersistItems:     true,
 		Logger:           logger,
 		IngestShards:     shards,
 		IngestQueueDepth: queueDepth,
+		Metrics:          metrics,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		return err
@@ -80,7 +97,7 @@ func run(mqttAddr, httpAddr string, shards, queueDepth int, verbose bool) error 
 		}
 	}()
 
-	fmt.Printf("sensocial-server: MQTT on %s, HTTP on %s (GET /stats for pipeline counters; Ctrl-C to stop)\n",
+	fmt.Printf("sensocial-server: MQTT on %s, HTTP on %s (GET /metrics, /trace, /stats; Ctrl-C to stop)\n",
 		mqttL.Addr(), httpL.Addr())
 
 	sig := make(chan os.Signal, 1)

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	sensocial-sim [-users 10] [-hours 2] [-speedup 600] [-rate 4]
+//	sensocial-sim [-users 10] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096]
+//
+// With -trace N the deployment records up to N spans in a ring buffer and
+// dumps the canonical trace (see docs/OBSERVABILITY.md) after the run.
 package main
 
 import (
@@ -29,14 +32,15 @@ func main() {
 	hours := flag.Float64("hours", 1, "virtual hours to simulate")
 	speedup := flag.Float64("speedup", 600, "virtual seconds per real second")
 	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour")
+	traceCap := flag.Int("trace", 0, "span ring-buffer capacity; dump the trace after the run (0 = off)")
 	flag.Parse()
-	if err := run(*users, *hours, *speedup, *rate); err != nil {
+	if err := run(*users, *hours, *speedup, *rate, *traceCap); err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(users int, hours, speedup, rate float64) error {
+func run(users int, hours, speedup float64, rate float64, traceCap int) error {
 	if users < 1 {
 		return fmt.Errorf("need at least one user")
 	}
@@ -48,6 +52,7 @@ func run(users int, hours, speedup, rate float64) error {
 		FacebookDelay:         &fbDelay,
 		ServerProcessingDelay: 8500 * time.Millisecond,
 		PersistItems:          true,
+		TraceCapacity:         traceCap,
 	})
 	if err != nil {
 		return err
@@ -160,6 +165,13 @@ func run(users int, hours, speedup, rate float64) error {
 		}
 		fmt.Printf("  %s: active=%.0f%% sentiment=%+.2f wellbeing=%.2f actions=%d cities=%v topics=%v\n",
 			u, s.ActiveFraction*100, s.SentimentBalance, s.Wellbeing, s.OSNActions, s.Cities, s.TopTopics)
+	}
+
+	if tr := deployment.Tracer; tr != nil {
+		fmt.Println("\ntrace (canonical span dump, offsets from tracer start):")
+		if err := tr.WriteText(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -137,6 +137,10 @@ func filterUses(f core.Filter, ctxModality string) bool {
 // upload transmits an item to the server over MQTT, charging transmission
 // energy. Offline managers drop server-bound items (and log).
 func (m *Manager) upload(item core.Item) {
+	sp := m.dev.Tracer().Start("mobile.upload", 0)
+	defer sp.End()
+	sp.SetAttr("stream", item.StreamID)
+	sp.SetAttr("modality", item.Modality)
 	payload, err := item.Encode()
 	if err != nil {
 		m.logf("item encode failed", "stream", item.StreamID, "err", err)

@@ -2,10 +2,10 @@ package server
 
 import (
 	"log/slog"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/docstore"
+	"repro/internal/obs"
 )
 
 // DeliveryHub is the output stage of the ingest pipeline: it persists an
@@ -19,23 +19,47 @@ type DeliveryHub struct {
 	hub     *core.Hub
 	persist bool
 	logger  *slog.Logger
-	// refresh is invoked after publication (the manager wires multicast
-	// membership refresh here); nil disables.
-	refresh func(core.Item)
+	tracer  *obs.Tracer
+	// refresh is invoked after publication with the delivery span as
+	// parent (the manager wires multicast membership refresh here); nil
+	// disables.
+	refresh func(core.Item, obs.SpanID)
 
-	persisted atomic.Uint64
-	published atomic.Uint64
+	persisted       *obs.Counter
+	published       *obs.Counter
+	persistFailures *obs.Counter
 }
 
-// NewDeliveryHub builds the output stage.
-func NewDeliveryHub(store *docstore.Store, hub *core.Hub, persist bool, logger *slog.Logger, refresh func(core.Item)) *DeliveryHub {
-	return &DeliveryHub{store: store, hub: hub, persist: persist, logger: logger, refresh: refresh}
+// NewDeliveryHub builds the output stage. Counters register against
+// metrics (families sensocial_delivery_*); nil metrics uses a private
+// registry. A nil tracer disables the delivery.deliver span.
+func NewDeliveryHub(store *docstore.Store, hub *core.Hub, persist bool, logger *slog.Logger,
+	refresh func(core.Item, obs.SpanID), metrics *obs.Registry, tracer *obs.Tracer) *DeliveryHub {
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	return &DeliveryHub{
+		store:   store,
+		hub:     hub,
+		persist: persist,
+		logger:  logger,
+		tracer:  tracer,
+		refresh: refresh,
+		persisted: metrics.Counter("sensocial_delivery_persisted_total",
+			"Items written to the document store."),
+		published: metrics.Counter("sensocial_delivery_published_total",
+			"Items fanned out on the publish-subscribe hub."),
+		persistFailures: metrics.Counter("sensocial_delivery_persist_failures_total",
+			"Item writes the document store rejected."),
+	}
 }
 
 // Deliver runs the output stage for one accepted item. hooks is the
 // immutable hook slice from the filter-table snapshot current at filter
-// time.
-func (d *DeliveryHub) Deliver(item core.Item, hooks []func(core.Item)) {
+// time; parent is the enclosing ingest.process span (0 outside a trace).
+func (d *DeliveryHub) Deliver(item core.Item, hooks []func(core.Item), parent obs.SpanID) {
+	sp := d.tracer.Start("delivery.deliver", parent)
+	sp.SetAttr("stream", item.StreamID)
 	if d.persist {
 		d.persistItem(item)
 	}
@@ -43,10 +67,11 @@ func (d *DeliveryHub) Deliver(item core.Item, hooks []func(core.Item)) {
 		h(item)
 	}
 	d.hub.Publish(item)
-	d.published.Add(1)
+	d.published.Inc()
 	if d.refresh != nil {
-		d.refresh(item)
+		d.refresh(item, sp.ID())
 	}
+	sp.End()
 }
 
 // persistItem stores one item in the document store (Facebook Sensor Map's
@@ -71,12 +96,13 @@ func (d *DeliveryHub) persistItem(item core.Item) {
 		doc["raw"] = string(item.Raw)
 	}
 	if _, err := d.store.Collection(itemsCollection).Insert(doc); err != nil {
+		d.persistFailures.Inc()
 		if d.logger != nil {
 			d.logger.Debug("persist item failed", "stream", item.StreamID, "err", err)
 		}
 		return
 	}
-	d.persisted.Add(1)
+	d.persisted.Inc()
 }
 
 // DeliveryStats are the output-stage counters.
@@ -85,9 +111,16 @@ type DeliveryStats struct {
 	Published uint64 `json:"published"`
 	// Persisted counts items written to the document store.
 	Persisted uint64 `json:"persisted"`
+	// PersistFailures counts item writes the store rejected.
+	PersistFailures uint64 `json:"persist_failures"`
 }
 
-// Stats samples the delivery counters.
+// Stats samples the delivery counters (the same obs series served on
+// /metrics).
 func (d *DeliveryHub) Stats() DeliveryStats {
-	return DeliveryStats{Published: d.published.Load(), Persisted: d.persisted.Load()}
+	return DeliveryStats{
+		Published:       d.published.Value(),
+		Persisted:       d.persisted.Value(),
+		PersistFailures: d.persistFailures.Value(),
+	}
 }

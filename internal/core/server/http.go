@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/osn"
 )
 
@@ -16,7 +17,9 @@ import (
 //	POST /osn/action      — OSN plug-in webhook (FacebookReceiver.php)
 //	POST /register        — user/device registration
 //	GET  /streams?device= — stream configuration download (FilterDownloader)
-//	GET  /stats           — ingest pipeline / registry / delivery counters
+//	GET  /stats           — JSON counter snapshot (registry-backed façade)
+//	GET  /metrics         — full metric registry, Prometheus text format
+//	GET  /trace           — canonical span-ring dump (503 when disabled)
 //	GET  /healthz         — liveness
 func (m *Manager) HTTPHandler() http.Handler {
 	mux := http.NewServeMux()
@@ -24,6 +27,8 @@ func (m *Manager) HTTPHandler() http.Handler {
 	mux.HandleFunc("POST /register", m.handleRegister)
 	mux.HandleFunc("GET /streams", m.handleStreamsDownload)
 	mux.HandleFunc("GET /stats", m.handleStats)
+	mux.Handle("GET /metrics", obs.MetricsHandler(m.metrics))
+	mux.Handle("GET /trace", obs.TraceHandler(m.tracer))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok")

@@ -11,12 +11,20 @@
 // surface backpressure. This mirrors how MOSDEN-style collaborative sensing
 // platforms separate collection from processing with bounded hand-off
 // buffers between the stages.
+//
+// Counters are backed by the obs metrics registry (families
+// sensocial_ingest_*); Stats reads the same counters, so the JSON façade
+// and a Prometheus scrape can never disagree.
 package ingest
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/vclock"
 )
 
 // Default sizing used when the caller passes non-positive values.
@@ -25,29 +33,55 @@ const (
 	DefaultQueueDepth = 1024
 )
 
+// config carries optional pipeline dependencies.
+type config struct {
+	metrics *obs.Registry
+	clock   vclock.Clock
+}
+
+// Option customizes a Pipeline.
+type Option func(*config)
+
+// WithMetrics registers the pipeline's counters against reg instead of a
+// private registry, making them visible on the deployment's /metrics.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithClock supplies the clock used to time process invocations for the
+// sensocial_ingest_process_duration_seconds histogram. Defaults to the
+// real clock.
+func WithClock(clock vclock.Clock) Option {
+	return func(c *config) { c.clock = clock }
+}
+
 // Pipeline partitions values across sharded worker queues by key.
 type Pipeline[T any] struct {
 	key     func(T) string
 	process func(T)
+	clock   vclock.Clock
+	procDur *obs.Histogram
 	shards  []*shard[T]
 	quit    chan struct{}
 	wg      sync.WaitGroup
 	closed  atomic.Bool
 }
 
-// shard is one worker's bounded queue plus its counters.
+// shard is one worker's bounded queue plus its counters. The counters are
+// obs registry series resolved once at construction, so the hot path is a
+// single atomic add with no map lookups.
 type shard[T any] struct {
 	queue     chan T
-	enqueued  atomic.Uint64
-	dropped   atomic.Uint64
-	processed atomic.Uint64
+	enqueued  *obs.Counter
+	dropped   *obs.Counter
+	processed *obs.Counter
 }
 
 // New builds and starts a pipeline of nShards workers with bounded queues
 // of the given depth. key partitions values (equal keys are processed in
 // order by one worker); process is invoked once per accepted value from the
 // owning worker goroutine. Non-positive sizes fall back to the defaults.
-func New[T any](nShards, depth int, key func(T) string, process func(T)) (*Pipeline[T], error) {
+func New[T any](nShards, depth int, key func(T) string, process func(T), opts ...Option) (*Pipeline[T], error) {
 	if key == nil {
 		return nil, fmt.Errorf("ingest: nil key function")
 	}
@@ -60,15 +94,49 @@ func New[T any](nShards, depth int, key func(T) string, process func(T)) (*Pipel
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.metrics == nil {
+		cfg.metrics = obs.NewRegistry()
+	}
+	if cfg.clock == nil {
+		cfg.clock = vclock.NewReal()
+	}
 	p := &Pipeline[T]{
 		key:     key,
 		process: process,
+		clock:   cfg.clock,
 		shards:  make([]*shard[T], nShards),
 		quit:    make(chan struct{}),
 	}
+	enq := cfg.metrics.CounterVec("sensocial_ingest_enqueued_total",
+		"Items accepted into a shard queue.", "shard")
+	drop := cfg.metrics.CounterVec("sensocial_ingest_dropped_total",
+		"Items rejected because the shard queue was full or the pipeline closed.", "shard")
+	proc := cfg.metrics.CounterVec("sensocial_ingest_processed_total",
+		"Items the shard worker finished processing.", "shard")
+	p.procDur = cfg.metrics.Histogram("sensocial_ingest_process_duration_seconds",
+		"Time spent in the process callback per item.", obs.LatencyBuckets)
 	for i := range p.shards {
-		p.shards[i] = &shard[T]{queue: make(chan T, depth)}
+		label := strconv.Itoa(i)
+		p.shards[i] = &shard[T]{
+			queue:     make(chan T, depth),
+			enqueued:  enq.WithLabelValues(label),
+			dropped:   drop.WithLabelValues(label),
+			processed: proc.WithLabelValues(label),
+		}
 	}
+	cfg.metrics.GaugeFunc("sensocial_ingest_backlog",
+		"Items waiting in shard queues (all shards).",
+		func() float64 {
+			total := 0
+			for _, sh := range p.shards {
+				total += len(sh.queue)
+			}
+			return float64(total)
+		})
 	p.wg.Add(nShards)
 	for _, sh := range p.shards {
 		go p.worker(sh)
@@ -82,15 +150,15 @@ func New[T any](nShards, depth int, key func(T) string, process func(T)) (*Pipel
 func (p *Pipeline[T]) Enqueue(v T) bool {
 	sh := p.shards[shardIndex(p.key(v), len(p.shards))]
 	if p.closed.Load() {
-		sh.dropped.Add(1)
+		sh.dropped.Inc()
 		return false
 	}
 	select {
 	case sh.queue <- v:
-		sh.enqueued.Add(1)
+		sh.enqueued.Inc()
 		return true
 	default:
-		sh.dropped.Add(1)
+		sh.dropped.Inc()
 		return false
 	}
 }
@@ -108,20 +176,26 @@ func (p *Pipeline[T]) worker(sh *shard[T]) {
 	for {
 		select {
 		case v := <-sh.queue:
-			p.process(v)
-			sh.processed.Add(1)
+			p.runOne(sh, v)
 		case <-p.quit:
 			for {
 				select {
 				case v := <-sh.queue:
-					p.process(v)
-					sh.processed.Add(1)
+					p.runOne(sh, v)
 				default:
 					return
 				}
 			}
 		}
 	}
+}
+
+// runOne times and counts one process invocation.
+func (p *Pipeline[T]) runOne(sh *shard[T], v T) {
+	start := p.clock.Now()
+	p.process(v)
+	p.procDur.Observe(p.clock.Now().Sub(start).Seconds())
+	sh.processed.Inc()
 }
 
 // Close stops accepting new values, drains the accepted backlog, and waits
@@ -161,6 +235,7 @@ type Stats struct {
 
 // Stats samples the per-shard counters. Totals are sums of independently
 // sampled atomics: consistent per counter, approximate across counters.
+// The counters are the same obs registry series served on /metrics.
 func (p *Pipeline[T]) Stats() Stats {
 	s := Stats{
 		Shards:     len(p.shards),
@@ -169,9 +244,9 @@ func (p *Pipeline[T]) Stats() Stats {
 	}
 	for i, sh := range p.shards {
 		ss := ShardStats{
-			Enqueued:  sh.enqueued.Load(),
-			Dropped:   sh.dropped.Load(),
-			Processed: sh.processed.Load(),
+			Enqueued:  sh.enqueued.Value(),
+			Dropped:   sh.dropped.Value(),
+			Processed: sh.processed.Value(),
 			Backlog:   len(sh.queue),
 		}
 		s.PerShard[i] = ss

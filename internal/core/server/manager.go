@@ -17,6 +17,14 @@
 //     distinct users process in parallel, with an explicit drop-on-overflow
 //     policy.
 //   - DeliveryHub: persist + hub publish + multicast refresh output stage.
+//
+// Every subcomponent registers its counters against the obs metrics
+// registry passed in Options.Metrics (families sensocial_*, served on
+// GET /metrics), and the item path is traced end to end when
+// Options.Tracer is set: ingest.enqueue on broker receipt, then
+// ingest.process → filter.eval → delivery.deliver → multicast.refresh on
+// the shard worker. Stats() and GET /stats read the same registry-backed
+// counters, so the JSON façade and a Prometheus scrape always agree.
 package server
 
 import (
@@ -32,6 +40,7 @@ import (
 	"repro/internal/docstore"
 	"repro/internal/geo"
 	"repro/internal/mqtt"
+	"repro/internal/obs"
 	"repro/internal/osn"
 	"repro/internal/vclock"
 )
@@ -80,16 +89,30 @@ type Options struct {
 	// rather than blocking the broker. Non-positive selects
 	// ingest.DefaultQueueDepth.
 	IngestQueueDepth int
+	// Metrics is the observability registry every subcomponent registers
+	// its counters against (served on GET /metrics). Nil creates a private
+	// registry, so Stats always works; share one registry across broker and
+	// server to get a single scrape surface.
+	Metrics *obs.Registry
+	// Tracer records spans along the item path (served on GET /trace). Nil
+	// disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Manager is the server-side SenSocial Manager: a thin façade wiring the
 // context registry, filter table, ingest pipeline and delivery hub
 // together over the document store and the MQTT broker.
 type Manager struct {
-	clock  vclock.Clock
-	store  *docstore.Store
-	places *geo.PlaceDB
-	logger *slog.Logger
+	clock   vclock.Clock
+	store   *docstore.Store
+	places  *geo.PlaceDB
+	logger  *slog.Logger
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+
+	filterRejected     *obs.Counter
+	multicastRefreshes *obs.Counter
+	triggerSent        *obs.CounterVec
 
 	procDelay  time.Duration
 	procJitter time.Duration
@@ -130,22 +153,45 @@ func New(opts Options) (*Manager, error) {
 	if shards <= 0 {
 		shards = ingest.DefaultShards
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	m := &Manager{
 		clock:      opts.Clock,
 		store:      opts.Store,
 		places:     opts.Places,
 		logger:     opts.Logger,
+		metrics:    metrics,
+		tracer:     opts.Tracer,
 		procDelay:  opts.ProcessingDelay,
 		procJitter: opts.ProcessingJitter,
 		persist:    opts.PersistItems,
 		hub:        core.NewHub(),
-		registry:   NewContextRegistry(shards),
+		registry:   NewContextRegistry(shards, metrics),
 		filters:    NewFilterTable(),
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		multicasts: make(map[string]*MulticastStream),
 	}
-	m.delivery = NewDeliveryHub(m.store, m.hub, m.persist, m.logger, m.refreshMulticastsFor)
-	pipeline, err := ingest.New(shards, opts.IngestQueueDepth, partitionKey, m.processItem)
+	m.filterRejected = metrics.Counter("sensocial_filter_rejected_total",
+		"Items dropped by cross-user filter conditions.")
+	m.multicastRefreshes = metrics.Counter("sensocial_multicast_refreshes_total",
+		"Multicast membership refreshes triggered by location items.")
+	m.triggerSent = metrics.CounterVec("sensocial_trigger_sent_total",
+		"Triggers published to devices, by trigger kind.", "kind")
+	metrics.GaugeFunc("sensocial_filter_streams",
+		"Stream filters installed in the copy-on-write filter table.",
+		func() float64 { return float64(m.filters.Len()) })
+	metrics.GaugeFunc("sensocial_multicast_streams",
+		"Live multicast streams.",
+		func() float64 {
+			m.mcMu.Lock()
+			defer m.mcMu.Unlock()
+			return float64(len(m.multicasts))
+		})
+	m.delivery = NewDeliveryHub(m.store, m.hub, m.persist, m.logger, m.refreshMulticastsFor, metrics, m.tracer)
+	pipeline, err := ingest.New(shards, opts.IngestQueueDepth, partitionKey, m.processItem,
+		ingest.WithMetrics(metrics), ingest.WithClock(m.clock))
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -208,6 +254,13 @@ func (m *Manager) currentBroker() *mqtt.Broker {
 // Store exposes the underlying document store (applications run their own
 // queries against it, as Facebook Sensor Map does).
 func (m *Manager) Store() *docstore.Store { return m.store }
+
+// Metrics exposes the observability registry the server's counters live in
+// (served on GET /metrics).
+func (m *Manager) Metrics() *obs.Registry { return m.metrics }
+
+// Tracer exposes the span tracer; nil when tracing is disabled.
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // RegisterUser adds a user to the registry; idempotent.
 func (m *Manager) RegisterUser(userID string) error {
@@ -417,7 +470,9 @@ type Stats struct {
 }
 
 // Stats returns a point-in-time sample of pipeline, registry and delivery
-// counters (served on GET /stats).
+// counters (served on GET /stats). The values are read from the same
+// obs registry series exported on GET /metrics, so the two surfaces can
+// never disagree.
 func (m *Manager) Stats() Stats {
 	return Stats{
 		Pipeline: m.pipeline.Stats(),

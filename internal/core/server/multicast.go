@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/sensors"
 )
 
@@ -289,8 +290,8 @@ func (ms *MulticastStream) dropUser(user string) error {
 // refreshMulticastsFor triggers membership refresh of geo-based multicast
 // streams when a location item arrives (user movement). Runs on the item's
 // ingest shard worker; the modality check keeps the non-location fast path
-// lock-free.
-func (m *Manager) refreshMulticastsFor(item core.Item) {
+// lock-free. parent is the enclosing delivery span (0 outside a trace).
+func (m *Manager) refreshMulticastsFor(item core.Item, parent obs.SpanID) {
 	if item.Modality != sensors.ModalityLocation {
 		return
 	}
@@ -302,9 +303,16 @@ func (m *Manager) refreshMulticastsFor(item core.Item) {
 		}
 	}
 	m.mcMu.Unlock()
+	if len(todo) == 0 {
+		return
+	}
+	sp := m.tracer.Start("multicast.refresh", parent)
+	sp.SetAttr("user", item.UserID)
 	for _, ms := range todo {
+		m.multicastRefreshes.Inc()
 		if err := ms.Refresh(); err != nil {
 			m.logf("multicast refresh failed", "multicast", ms.id, "err", err)
 		}
 	}
+	sp.End()
 }

@@ -3,10 +3,10 @@ package server
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/obs"
 )
 
 // ContextRegistry is the server's cross-user context cache plus the
@@ -19,8 +19,8 @@ import (
 type ContextRegistry struct {
 	shards []ctxShard
 
-	locationWrites atomic.Uint64
-	locationSkips  atomic.Uint64
+	locationWrites *obs.Counter
+	locationSkips  *obs.Counter
 }
 
 // ctxShard holds the state of the users hashing onto it.
@@ -40,16 +40,37 @@ type lastLocation struct {
 }
 
 // NewContextRegistry builds a registry with n shards (non-positive falls
-// back to the pipeline default).
-func NewContextRegistry(n int) *ContextRegistry {
+// back to the pipeline default). Counters register against metrics (the
+// families sensocial_context_*); nil metrics uses a private registry so
+// the counters always exist.
+func NewContextRegistry(n int, metrics *obs.Registry) *ContextRegistry {
 	if n <= 0 {
 		n = 8
+	}
+	if metrics == nil {
+		metrics = obs.NewRegistry()
 	}
 	r := &ContextRegistry{shards: make([]ctxShard, n)}
 	for i := range r.shards {
 		r.shards[i].users = make(map[string]map[string]string)
 		r.shards[i].loc = make(map[string]lastLocation)
 	}
+	r.locationWrites = metrics.Counter("sensocial_context_location_writes_total",
+		"Location documents actually written to the user registry.")
+	r.locationSkips = metrics.Counter("sensocial_context_location_skips_total",
+		"Location updates elided because point and city were unchanged.")
+	metrics.GaugeFunc("sensocial_context_users",
+		"Users with at least one context entry in the cache.",
+		func() float64 {
+			total := 0
+			for i := range r.shards {
+				sh := &r.shards[i]
+				sh.mu.Lock()
+				total += len(sh.users)
+				sh.mu.Unlock()
+			}
+			return float64(total)
+		})
 	return r
 }
 
@@ -171,7 +192,7 @@ func (r *ContextRegistry) LocationUnchanged(userID string, pt geo.Point, city st
 	last, ok := sh.loc[userID]
 	sh.mu.Unlock()
 	if ok && last.pt == pt && last.city == city {
-		r.locationSkips.Add(1)
+		r.locationSkips.Inc()
 		return true
 	}
 	return false
@@ -184,7 +205,7 @@ func (r *ContextRegistry) RememberLocation(userID string, pt geo.Point, city str
 	sh.mu.Lock()
 	sh.loc[userID] = lastLocation{pt: pt, city: city}
 	sh.mu.Unlock()
-	r.locationWrites.Add(1)
+	r.locationWrites.Inc()
 }
 
 // RegistryStats are the location-write counters.
@@ -198,11 +219,12 @@ type RegistryStats struct {
 	ContextShards int `json:"context_shards"`
 }
 
-// Stats samples the registry counters.
+// Stats samples the registry counters (the same obs series served on
+// /metrics, so the façade and a scrape can never disagree).
 func (r *ContextRegistry) Stats() RegistryStats {
 	return RegistryStats{
-		LocationWrites: r.locationWrites.Load(),
-		LocationSkips:  r.locationSkips.Load(),
+		LocationWrites: r.locationWrites.Value(),
+		LocationSkips:  r.locationSkips.Value(),
 		ContextShards:  len(r.shards),
 	}
 }

@@ -180,23 +180,32 @@ func (m *Manager) sendTrigger(t core.Trigger) error {
 	if err != nil {
 		return err
 	}
-	return m.currentBroker().PublishLocal(mqtt.Message{
+	err = m.currentBroker().PublishLocal(mqtt.Message{
 		Topic:   core.DeviceTriggerTopic(t.DeviceID),
 		Payload: payload,
 		QoS:     1,
 	})
+	if err == nil {
+		m.triggerSent.WithLabelValues(string(t.Kind)).Inc()
+	}
+	return err
 }
 
 // onStreamData is the server Filter Manager's intake: every item uploaded
 // by any device arrives here via the broker and is handed to the sharded
 // ingest pipeline.
 func (m *Manager) onStreamData(msg mqtt.Message) {
+	sp := m.tracer.Start("ingest.enqueue", 0)
+	defer sp.End()
 	item, err := core.DecodeItem(msg.Payload)
 	if err != nil {
 		m.logf("bad stream item", "err", err)
 		return
 	}
+	sp.SetAttr("stream", item.StreamID)
+	sp.SetAttr("user", item.UserID)
 	if !m.Ingest(item) {
+		sp.SetAttr("dropped", "true")
 		m.logf("ingest overflow", "stream", item.StreamID, "user", item.UserID)
 	}
 }
@@ -214,6 +223,11 @@ func (m *Manager) Ingest(item core.Item) bool {
 // one item on its shard's worker goroutine. Items of one user are processed
 // in submission order; distinct users proceed in parallel.
 func (m *Manager) processItem(item core.Item) {
+	sp := m.tracer.Start("ingest.process", 0)
+	defer sp.End()
+	sp.SetAttr("stream", item.StreamID)
+	sp.SetAttr("user", item.UserID)
+
 	m.updateRegistryFromItem(item)
 	m.registry.ApplyItem(item)
 
@@ -224,18 +238,24 @@ func (m *Manager) processItem(item core.Item) {
 	// for the users the filter actually references.
 	snap := m.filters.Snapshot()
 	if cf, known := snap.filters[item.StreamID]; known && len(cf.crossUsers) > 0 {
+		fsp := m.tracer.Start("filter.eval", sp.ID())
+		fsp.SetAttr("stream", item.StreamID)
 		ctx := m.registry.SnapshotUsers(cf.crossUsers)
 		for _, c := range cf.filter.Conditions {
 			if c.UserID == "" {
 				continue
 			}
 			if !c.Eval(ctx) {
+				m.filterRejected.Inc()
+				fsp.SetAttr("rejected", "true")
+				fsp.End()
 				return
 			}
 		}
+		fsp.End()
 	}
 
-	m.delivery.Deliver(item, snap.hooks)
+	m.delivery.Deliver(item, snap.hooks, sp.ID())
 }
 
 // updateRegistryFromItem keeps the user location registry current from

@@ -18,6 +18,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/energy"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sensors"
 	"repro/internal/vclock"
 )
@@ -104,6 +105,13 @@ type Config struct {
 	BatteryMAh float64
 	// Seed makes sensor noise deterministic.
 	Seed int64
+	// Metrics registers the device counters (families sensocial_device_*,
+	// labelled by modality and shared across devices). Nil uses a private
+	// registry.
+	Metrics *obs.Registry
+	// Tracer records a device.sample span per acquisition; the mobile
+	// middleware reuses it (via Tracer) for its upload span. Nil disables.
+	Tracer *obs.Tracer
 }
 
 // Device is one simulated smartphone.
@@ -120,6 +128,12 @@ type Device struct {
 	battery *energy.Battery
 	cpu     *CPUMeter
 	cost    energy.CostModel
+
+	tracer      *obs.Tracer
+	samples     *obs.CounterVec
+	classifies  *obs.CounterVec
+	txMessages  *obs.CounterVec
+	txBytesByMd *obs.CounterVec
 
 	mu        sync.Mutex
 	idleSince time.Time
@@ -153,6 +167,10 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("device: %s: %w", cfg.ID, err)
 	}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
 	return &Device{
 		id:        cfg.ID,
 		userID:    cfg.UserID,
@@ -165,7 +183,16 @@ func New(cfg Config) (*Device, error) {
 		battery:   battery,
 		cpu:       &CPUMeter{},
 		cost:      cfg.CostModel,
+		tracer:    cfg.Tracer,
 		idleSince: cfg.Clock.Now(),
+		samples: metrics.CounterVec("sensocial_device_samples_total",
+			"Sensor readings acquired (all devices), by modality.", "modality"),
+		classifies: metrics.CounterVec("sensocial_device_classifications_total",
+			"On-device classification passes (all devices), by modality.", "modality"),
+		txMessages: metrics.CounterVec("sensocial_device_tx_messages_total",
+			"Uplink transmissions charged (all devices), by modality.", "modality"),
+		txBytesByMd: metrics.CounterVec("sensocial_device_tx_bytes_total",
+			"Uplink payload bytes charged (all devices), by modality.", "modality"),
 	}, nil
 }
 
@@ -190,6 +217,10 @@ func (d *Device) CPU() *CPUMeter { return d.cpu }
 // Suite exposes the raw sensor suite (tests assert against ground truth).
 func (d *Device) Suite() *sensors.Suite { return d.suite }
 
+// Tracer exposes the device's span tracer (nil when tracing is disabled);
+// the mobile middleware parents its upload spans on it.
+func (d *Device) Tracer() *obs.Tracer { return d.tracer }
+
 // Dial opens a connection from this device's host through its configured
 // network path (a custom dialer when set, otherwise the simulated fabric).
 func (d *Device) Dial(addr string) (net.Conn, error) {
@@ -212,6 +243,10 @@ func (d *Device) Dial(addr string) (net.Conn, error) {
 
 // Sample acquires one reading, charging sampling energy and CPU.
 func (d *Device) Sample(modality string) (sensors.Reading, error) {
+	sp := d.tracer.Start("device.sample", 0)
+	defer sp.End()
+	sp.SetAttr("device", d.id)
+	sp.SetAttr("modality", modality)
 	r, err := d.suite.Sample(modality, d.clock.Now())
 	if err != nil {
 		return sensors.Reading{}, fmt.Errorf("device: %s: %w", d.id, err)
@@ -222,6 +257,7 @@ func (d *Device) Sample(modality string) (sensors.Reading, error) {
 	}
 	d.charge(energy.TaskSampling, modality, cost)
 	d.cpu.AddBusy(cpuSampling)
+	d.samples.WithLabelValues(modality).Inc()
 	return r, nil
 }
 
@@ -241,6 +277,7 @@ func (d *Device) Classify(reg *classify.Registry, r sensors.Reading) (string, er
 	}
 	d.charge(energy.TaskClassification, r.Modality, cost)
 	d.cpu.AddBusy(cpuClassification)
+	d.classifies.WithLabelValues(r.Modality).Inc()
 	return label, nil
 }
 
@@ -254,6 +291,7 @@ func (d *Device) ChargeClassification(modality string) error {
 	}
 	d.charge(energy.TaskClassification, modality, cost)
 	d.cpu.AddBusy(cpuClassification)
+	d.classifies.WithLabelValues(modality).Inc()
 	return nil
 }
 
@@ -262,6 +300,8 @@ func (d *Device) ChargeClassification(modality string) error {
 func (d *Device) ChargeTransmission(modality string, payloadBytes int) {
 	d.charge(energy.TaskTransmission, modality, d.cost.TransmissionCost(payloadBytes))
 	d.cpu.AddBusy(cpuPerTxMessage + time.Duration(payloadBytes/1024)*cpuPerTxKB)
+	d.txMessages.WithLabelValues(modality).Inc()
+	d.txBytesByMd.WithLabelValues(modality).Add(uint64(payloadBytes))
 }
 
 // AccrueIdle charges baseline idle energy for the wall time elapsed since

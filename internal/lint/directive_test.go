@@ -46,7 +46,8 @@ func runSuite(t *testing.T, dir string) []string {
 
 func TestDirectiveWithReasonSuppresses(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 import "time"
 
@@ -64,7 +65,8 @@ func Stamp() time.Time {
 
 func TestDirectiveOnSameLineSuppresses(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 import "time"
 
@@ -81,7 +83,8 @@ func Stamp() time.Time {
 
 func TestDirectiveWithoutReasonIsRejected(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 import "time"
 
@@ -107,7 +110,8 @@ func Stamp() time.Time {
 
 func TestDirectiveWithoutRuleIsRejected(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 //lint:ignore
 var V = 1
@@ -121,7 +125,8 @@ var V = 1
 
 func TestUnusedDirectiveIsReported(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 //lint:ignore wallclock nothing on the next line actually reads the clock
 var V = 1
@@ -135,7 +140,8 @@ var V = 1
 
 func TestDirectiveRuleMismatchDoesNotSuppress(t *testing.T) {
 	dir := writeModule(t, map[string]string{
-		"x/x.go": `package x
+		"x/x.go": `// Package x is a directive-handling fixture.
+package x
 
 import "time"
 

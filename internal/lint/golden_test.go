@@ -46,6 +46,7 @@ func TestGolden(t *testing.T) {
 		{"layering", NewLayering("sandbox", sandboxLayering())},
 		{"droppederr", NewDroppederr()},
 		{"mutexhold", NewMutexhold()},
+		{"pkgdoc", NewPkgdoc()},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

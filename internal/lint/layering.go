@@ -39,10 +39,14 @@ func DefaultLayering() []LayerRule {
 		{From: "internal/loccount", Only: []string{},
 			Why: "loccount is a standalone tool library"},
 
-		// Infrastructure simulators: clock only.
-		{From: "internal/netsim", Only: []string{"internal/vclock"},
+		// Observability substrate: clock only, below everything it measures.
+		{From: "internal/obs", Only: []string{"internal/vclock"},
+			Why: "obs instruments every layer, so it must sit below all of them"},
+
+		// Infrastructure simulators: clock and observability only.
+		{From: "internal/netsim", Only: []string{"internal/obs", "internal/vclock"},
 			Why: "the network simulator sits below every component it connects"},
-		{From: "internal/mqtt", Only: []string{"internal/vclock"},
+		{From: "internal/mqtt", Only: []string{"internal/obs", "internal/vclock"},
 			Why: "the MQTT transport must not depend on middleware layers"},
 		{From: "internal/osn", Only: []string{"internal/vclock"},
 			Why: "the OSN simulator must not know about devices or the server"},
@@ -53,7 +57,8 @@ func DefaultLayering() []LayerRule {
 		{From: "internal/classify", Only: []string{"internal/geo", "internal/sensors"},
 			Why: "classifiers consume sensor data only"},
 		{From: "internal/device", Only: []string{"internal/classify", "internal/energy",
-			"internal/geo", "internal/netsim", "internal/sensors", "internal/vclock"},
+			"internal/geo", "internal/netsim", "internal/obs", "internal/sensors",
+			"internal/vclock"},
 			Why: "the simulated device must not see the OSN or server side"},
 		{From: "internal/sensing", Only: []string{"internal/device", "internal/geo",
 			"internal/sensors", "internal/vclock"},
@@ -73,7 +78,7 @@ func DefaultLayering() []LayerRule {
 		{From: "internal/behavior", Only: []string{"internal/classify", "internal/core",
 			"internal/geo", "internal/osn", "internal/sensors"},
 			Why: "behavior models translate OSN state into core terms"},
-		{From: "internal/core/server/ingest", Only: []string{},
+		{From: "internal/core/server/ingest", Only: []string{"internal/obs", "internal/vclock"},
 			Why: "the sharded ingest pipeline is generic infrastructure; it must not know the middleware it carries"},
 		{From: "internal/core/server/...", Deny: []string{"internal/core/mobile", "internal/sim",
 			"internal/experiments", "internal/baselineapps/...", "internal/device",

@@ -17,6 +17,8 @@
 //     flagged.
 //   - mutexhold:  channel sends and blocking calls made while a sync.Mutex
 //     or sync.RWMutex is held are flagged.
+//   - pkgdoc:     every package must carry a package doc comment opening
+//     with "Package <name>" (or "Command " for main packages).
 //
 // Legitimate exceptions are annotated at the call site with
 //
@@ -85,6 +87,7 @@ func Suite(modulePath string) []*Analyzer {
 		NewLayering(modulePath, DefaultLayering()),
 		NewDroppederr(),
 		NewMutexhold(),
+		NewPkgdoc(),
 	}
 }
 

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NewPkgdoc returns the analyzer requiring every package to carry a
+// package-level doc comment with the conventional opening: non-main
+// packages must open with "Package <name>", main packages with
+// "Command ". Exactly one non-test file needs the comment; with several,
+// the first in filename order is the one checked.
+//
+// The rule exists for the operator documentation suite: `go doc` and the
+// layering table in DESIGN.md are only trustworthy if each package states
+// its own role, so an undocumented package is a build failure rather than
+// a review nit.
+func NewPkgdoc() *Analyzer {
+	return &Analyzer{
+		Name: "pkgdoc",
+		Doc:  "require a package doc comment with the conventional opening",
+		Run: func(pkg *Package) []Diagnostic {
+			if len(pkg.Files) == 0 {
+				return nil
+			}
+			name := pkg.Files[0].Name.Name
+			for _, f := range pkg.Files {
+				if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+					continue
+				}
+				// Files are filename-sorted by the loader; the first
+				// documented one carries the package's doc.
+				text := f.Doc.Text()
+				want := "Package " + name
+				if name == "main" {
+					want = "Command"
+				}
+				if !strings.HasPrefix(text, want+" ") && !strings.HasPrefix(text, want+".") {
+					return []Diagnostic{{
+						Pos:  pkg.Fset.Position(f.Package),
+						Rule: "pkgdoc",
+						Message: "package doc comment must open with " +
+							strconv.Quote(want) + ", got " + strconv.Quote(firstWords(text, 4)),
+					}}
+				}
+				return nil
+			}
+			return []Diagnostic{{
+				Pos:  pkg.Fset.Position(pkg.Files[0].Package),
+				Rule: "pkgdoc",
+				Message: "package " + name +
+					" has no package doc comment on any non-test file",
+			}}
+		},
+	}
+}
+
+// firstWords returns up to n leading words of s for use in a diagnostic.
+func firstWords(s string, n int) string {
+	fields := strings.Fields(s)
+	if len(fields) > n {
+		fields = fields[:n]
+	}
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,4 @@
+package docsecond
+
+// A exists so the undocumented file has a member.
+func A() int { return 1 }

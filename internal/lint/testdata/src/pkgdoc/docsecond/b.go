@@ -1,0 +1,6 @@
+// Package docsecond keeps its doc comment in a later file; any one
+// non-test file satisfies pkgdoc.
+package docsecond
+
+// B exists so the documented file has a member.
+func B() int { return 2 }

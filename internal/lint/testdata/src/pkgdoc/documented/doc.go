@@ -1,0 +1,6 @@
+// Package documented opens with the conventional prefix, so pkgdoc has
+// nothing to say about it.
+package documented
+
+// Role exists so the package has a member.
+func Role() string { return "documented" }

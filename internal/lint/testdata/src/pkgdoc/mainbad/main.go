@@ -1,0 +1,4 @@
+// Package mainbad misuses the library convention in a command.
+package main // want "must open with"
+
+func main() {}

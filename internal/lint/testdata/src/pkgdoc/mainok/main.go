@@ -1,0 +1,4 @@
+// Command mainok demonstrates the opening convention for main packages.
+package main
+
+func main() {}

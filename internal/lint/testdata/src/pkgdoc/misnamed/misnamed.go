@@ -1,0 +1,5 @@
+// The opening sentence forgets the conventional prefix entirely.
+package misnamed // want "must open with"
+
+// F exists so the package has a member.
+func F() int { return 2 }

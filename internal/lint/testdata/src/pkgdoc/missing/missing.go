@@ -1,0 +1,4 @@
+package missing // want "has no package doc comment"
+
+// F exists so the package has a member.
+func F() int { return 1 }

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"log/slog"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -42,6 +44,12 @@ type BrokerOptions struct {
 	// KeepaliveGrace multiplies the client keepalive to obtain the read
 	// deadline (default 1.5, per MQTT 3.1.1).
 	KeepaliveGrace float64
+	// Metrics registers the broker's counters (families sensocial_mqtt_*).
+	// Nil uses a private registry, so Stats always works; share the
+	// deployment registry to surface the broker on /metrics.
+	Metrics *obs.Registry
+	// Tracer records an mqtt.route span per routed PUBLISH; nil disables.
+	Tracer *obs.Tracer
 }
 
 // Broker is a Mosquitto-equivalent MQTT broker. It can serve any number of
@@ -51,12 +59,16 @@ type Broker struct {
 	clock  vclock.Clock
 	logger *slog.Logger
 	grace  float64
+	tracer *obs.Tracer
+
+	connects  *obs.Counter
+	published *obs.Counter
+	delivered *obs.Counter
 
 	mu        sync.Mutex
 	sessions  map[string]*session
 	retained  map[string]Message
 	localSubs []localSub
-	stats     BrokerStats
 	closed    bool
 
 	wg   sync.WaitGroup
@@ -73,14 +85,42 @@ func NewBroker(opts BrokerOptions) *Broker {
 	if grace <= 0 {
 		grace = 1.5
 	}
-	return &Broker{
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	b := &Broker{
 		clock:    clock,
 		logger:   opts.Logger,
 		grace:    grace,
+		tracer:   opts.Tracer,
 		sessions: make(map[string]*session),
 		retained: make(map[string]Message),
 		done:     make(chan struct{}),
 	}
+	b.connects = metrics.Counter("sensocial_mqtt_connects_total",
+		"CONNECT packets accepted over the broker's lifetime.")
+	b.published = metrics.Counter("sensocial_mqtt_published_total",
+		"PUBLISH packets received from network clients.")
+	b.delivered = metrics.Counter("sensocial_mqtt_delivered_total",
+		"PUBLISH packets fanned out to subscribers (network sessions and local handlers).")
+	// Gauge funcs replace on re-registration, so a restarted broker
+	// repoints the live gauges at itself.
+	metrics.GaugeFunc("sensocial_mqtt_connections",
+		"Currently connected clients.",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.sessions))
+		})
+	metrics.GaugeFunc("sensocial_mqtt_retained",
+		"Retained messages held.",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.retained))
+		})
+	return b
 }
 
 // Serve accepts connections from l until l fails or the broker closes.
@@ -128,13 +168,18 @@ func (b *Broker) Close() error {
 	return nil
 }
 
-// Stats returns a snapshot of broker counters.
+// Stats returns a snapshot of broker counters. The counts are read from
+// the same obs registry series served on /metrics.
 func (b *Broker) Stats() BrokerStats {
+	st := BrokerStats{
+		TotalConnections: int(b.connects.Value()),
+		Published:        int(b.published.Value()),
+		Delivered:        int(b.delivered.Value()),
+	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	st := b.stats
 	st.Connections = len(b.sessions)
 	st.Retained = len(b.retained)
+	b.mu.Unlock()
 	return st
 }
 
@@ -227,8 +272,8 @@ func (b *Broker) handleConn(conn net.Conn) {
 	// clean-session takeover semantics).
 	old := b.sessions[c.clientID]
 	b.sessions[c.clientID] = s
-	b.stats.TotalConnections++
 	b.mu.Unlock()
+	b.connects.Inc()
 	if old != nil {
 		old.close()
 	}
@@ -278,9 +323,7 @@ func (s *session) readLoop() {
 					return
 				}
 			}
-			s.broker.mu.Lock()
-			s.broker.stats.Published++
-			s.broker.mu.Unlock()
+			s.broker.published.Inc()
 			s.broker.route(Message{Topic: p.topic, Payload: p.payload, QoS: p.qos, Retain: p.retain})
 		case packetSubscribe:
 			p, err := decodeSubscribe(pkt.body, true)
@@ -347,6 +390,9 @@ func (s *session) readLoop() {
 // route fans a published message out to matching sessions and updates the
 // retained store.
 func (b *Broker) route(m Message) {
+	sp := b.tracer.Start("mqtt.route", 0)
+	defer sp.End()
+	sp.SetAttr("topic", m.Topic)
 	if m.Retain {
 		b.mu.Lock()
 		if len(m.Payload) == 0 {
@@ -383,8 +429,9 @@ func (b *Broker) route(m Message) {
 			locals = append(locals, ls.handler)
 		}
 	}
-	b.stats.Delivered += len(targets) + len(locals)
 	b.mu.Unlock()
+	b.delivered.Add(uint64(len(targets) + len(locals)))
+	sp.SetAttr("fanout", strconv.Itoa(len(targets)+len(locals)))
 
 	for _, t := range targets {
 		t.s.deliver(m, t.subQoS)

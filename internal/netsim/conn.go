@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -20,6 +21,7 @@ type conn struct {
 	link          Link
 	clock         vclock.Clock
 	rng           func() float64
+	txBytes       *obs.Counter
 
 	out *deliveryQueue // chunks travelling to the peer
 	in  *deliveryQueue // chunks arriving from the peer
@@ -35,11 +37,11 @@ var _ net.Conn = (*conn)(nil)
 
 // linkedPair builds two connected endpoints with independent per-direction
 // link profiles.
-func linkedPair(clock vclock.Clock, rng func() float64, fwd, rev Link, clientAddr, serverAddr net.Addr) (client, server net.Conn) {
+func linkedPair(clock vclock.Clock, rng func() float64, fwd, rev Link, clientAddr, serverAddr net.Addr, txBytes *obs.Counter) (client, server net.Conn) {
 	c2s := newDeliveryQueue(clock)
 	s2c := newDeliveryQueue(clock)
-	c := &conn{local: clientAddr, remote: serverAddr, link: fwd, clock: clock, rng: rng, out: c2s, in: s2c}
-	s := &conn{local: serverAddr, remote: clientAddr, link: rev, clock: clock, rng: rng, out: s2c, in: c2s}
+	c := &conn{local: clientAddr, remote: serverAddr, link: fwd, clock: clock, rng: rng, txBytes: txBytes, out: c2s, in: s2c}
+	s := &conn{local: serverAddr, remote: clientAddr, link: rev, clock: clock, rng: rng, txBytes: txBytes, out: s2c, in: c2s}
 	return c, s
 }
 
@@ -55,6 +57,7 @@ func (c *conn) Write(p []byte) (int, error) {
 	if err := c.out.enqueue(cp, deliverAt); err != nil {
 		return 0, fmt.Errorf("netsim: write %s->%s: %w", c.local, c.remote, err)
 	}
+	c.txBytes.Add(uint64(len(p)))
 	return len(p), nil
 }
 

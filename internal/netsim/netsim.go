@@ -15,8 +15,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -62,7 +64,8 @@ func (a Addr) String() string { return a.Host }
 // Network is a fabric of named hosts. Listeners bind to "host:port" style
 // names; dials connect through a Link profile.
 type Network struct {
-	clock vclock.Clock
+	clock    vclock.Clock
+	counters atomic.Pointer[fabricCounters]
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -71,15 +74,44 @@ type Network struct {
 	closed    bool
 }
 
+// fabricCounters are the fabric-wide obs series; swapped wholesale when
+// the network is re-instrumented.
+type fabricCounters struct {
+	dials   *obs.Counter
+	txBytes *obs.Counter
+}
+
+func newFabricCounters(reg *obs.Registry) *fabricCounters {
+	return &fabricCounters{
+		dials: reg.Counter("sensocial_netsim_dials_total",
+			"Connections established through the simulated fabric."),
+		txBytes: reg.Counter("sensocial_netsim_tx_bytes_total",
+			"Bytes written into simulated links (both directions)."),
+	}
+}
+
 // NewNetwork creates a fabric using the given clock for link delays and a
 // deterministic seed for jitter.
 func NewNetwork(clock vclock.Clock, seed int64) *Network {
-	return &Network{
+	n := &Network{
 		clock:     clock,
 		rng:       rand.New(rand.NewSource(seed)),
 		listeners: make(map[string]*listener),
 		links:     make(map[string]Link),
 	}
+	n.counters.Store(newFabricCounters(obs.NewRegistry()))
+	return n
+}
+
+// Instrument re-registers the fabric's counters (families
+// sensocial_netsim_*) against the deployment registry so they appear on
+// its /metrics. Call before traffic starts: connections resolve the
+// counters at dial time.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.counters.Store(newFabricCounters(reg))
 }
 
 // SetDefaultLink sets the conditions applied to every connection without a
@@ -153,8 +185,10 @@ func (n *Network) Dial(srcHost, dstAddr string) (net.Conn, error) {
 		return nil, fmt.Errorf("netsim: dial %q from %q: %w", dstAddr, srcHost, ErrConnectionRefused)
 	}
 
+	fc := n.counters.Load()
+	fc.dials.Inc()
 	clientEnd, serverEnd := linkedPair(n.clock, n.randFloat, fwd, rev,
-		Addr{Host: srcHost}, Addr{Host: dstAddr})
+		Addr{Host: srcHost}, Addr{Host: dstAddr}, fc.txBytes)
 
 	select {
 	case l.accept <- serverEnd:

@@ -1,0 +1,41 @@
+// Package obs is the unified observability substrate: a typed metrics
+// registry (counters, gauges, histograms with fixed bucket layouts) exposed
+// in Prometheus text format, and lightweight span tracing driven by an
+// injected vclock.Clock so traces are deterministic under virtual time.
+//
+// The package sits at the bottom of the architecture DAG, below every
+// component it instruments (broker, network fabric, device, ingest
+// pipeline, server): it may import only internal/vclock. Components create
+// their metrics against a *Registry handed in through their options —
+// typically one registry shared across a whole deployment — and fall back
+// to a private registry when none is given, so instrumentation code is
+// unconditional and branch-free on the hot path.
+//
+// Design rules, enforced by this package's tests:
+//
+//   - Counter/Gauge/Histogram updates are single atomic operations: no
+//     locks, no allocations, safe inside the zero-alloc ingest fast path.
+//   - Registration is get-or-create and idempotent: re-registering an
+//     identical family returns the existing collectors (a broker restart
+//     re-attaches to the same counters). Registering the same name with a
+//     different type, help, label set or bucket layout is a programmer
+//     error and panics — the one place this package panics, because two
+//     definitions of one family cannot both be exported.
+//   - GaugeFunc re-registration replaces the sampling function, so a
+//     rebuilt component (e.g. a restarted broker) repoints its live gauges
+//     at the new instance.
+//   - Span timestamps come exclusively from the injected Clock; a nil
+//     *Tracer is a valid no-op tracer, and Span is a value type so the
+//     disabled path allocates nothing.
+//
+// Exposition: Registry.WritePrometheus emits the text format served on
+// GET /metrics (see MetricsHandler); Registry.Snapshot returns the same
+// data as Go structs for tests. Tracer.WriteText dumps the span ring in a
+// canonical order (served on GET /trace and by the sim CLI): spans are
+// sorted by start time and renumbered, so two runs that produce the same
+// spans produce byte-identical dumps regardless of goroutine interleaving.
+//
+// The full metric inventory and a worked trace example live in
+// docs/OBSERVABILITY.md; the obscheck command keeps that document and the
+// code in lockstep.
+package obs

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Registry holds metric families keyed by name. One registry is typically
+// shared by every component in a deployment; components that are handed a
+// nil registry create a private one so instrumentation never branches.
+//
+// Registration is get-or-create: asking for a family that already exists
+// with an identical definition returns the existing collectors. Asking for
+// a family whose definition conflicts (different type, help, labels or
+// buckets) panics — two definitions of one exported family is a programmer
+// error, analogous to a duplicate pattern in http.ServeMux.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// metricType is the exposition type of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one named metric family with zero or more labelled children.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu       sync.RWMutex
+	children map[string]*series // keyed by joined label values
+	fn       func() float64     // gauge-func families sample this instead
+}
+
+// series is one (labelValues, collector) pair within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+}
+
+// A Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// A Gauge is a float64 that can go up and down. All methods are safe for
+// concurrent use and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (CAS loop; fine off the hot path).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// A Histogram counts observations into fixed buckets. Bucket bounds are
+// inclusive upper limits; an implicit +Inf bucket catches the rest.
+// Observe is lock-free: one atomic add for the bucket, one for the count,
+// and a CAS loop for the sum.
+type Histogram struct {
+	upper  []float64 // finite upper bounds
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	placed := false
+	for i, ub := range h.upper {
+		if v <= ub {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// LatencyBuckets is the standard bucket layout for durations in seconds,
+// spanning 100µs to ~100s. Shared by every *_duration_seconds family so
+// dashboards can compare stages directly.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// SizeBuckets is the standard bucket layout for payload sizes in bytes,
+// powers of four from 64B to 16MiB.
+var SizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// Counter registers (or fetches) an unlabelled counter family and returns
+// its single series.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, typeCounter, nil, nil)
+	return f.series().counter
+}
+
+// Gauge registers (or fetches) an unlabelled gauge family and returns its
+// single series.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, typeGauge, nil, nil)
+	return f.series().gauge
+}
+
+// GaugeFunc registers a gauge family whose value is sampled by calling fn
+// at scrape time. Re-registering the same name REPLACES the function: a
+// rebuilt component (e.g. a restarted broker) repoints the gauge at its
+// new instance. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic(fmt.Sprintf("obs: GaugeFunc %q: nil function", name))
+	}
+	f := r.family(name, help, typeGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or fetches) an unlabelled histogram family with the
+// given bucket upper bounds (strictly increasing, finite; +Inf is implicit)
+// and returns its single series.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q: no buckets", name))
+	}
+	for i, b := range buckets {
+		if math.IsInf(b, 0) || math.IsNaN(b) {
+			panic(fmt.Sprintf("obs: histogram %q: bucket %v not finite", name, b))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q: buckets not strictly increasing at %v", name, b))
+		}
+	}
+	f := r.family(name, help, typeHistogram, nil, buckets)
+	return f.series().hist
+}
+
+// A CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	f *family
+}
+
+// CounterVec registers (or fetches) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("obs: counter vec %q: no labels (use Counter)", name))
+	}
+	return &CounterVec{f: r.family(name, help, typeCounter, labels, nil)}
+}
+
+// WithLabelValues returns the counter for the given label values,
+// creating it on first use. The result should be cached by hot paths.
+func (v *CounterVec) WithLabelValues(values ...string) *Counter {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s: got %d label values, want %d", v.f.name, len(values), len(v.f.labels)))
+	}
+	return v.f.child(values).counter
+}
+
+// family gets or creates a family, validating the definition.
+func (r *Registry) family(name, help string, typ metricType, labels []string, buckets []float64) *family {
+	if err := validateName(name); err != nil {
+		panic(fmt.Sprintf("obs: %v", err))
+	}
+	for _, l := range labels {
+		if err := validateName(l); err != nil {
+			panic(fmt.Sprintf("obs: family %q: label: %v", name, err))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("obs: family %q re-registered as %s, was %s", name, typ, f.typ))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("obs: family %q re-registered with different help", name))
+		}
+		if !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: family %q re-registered with labels %v, was %v", name, labels, f.labels))
+		}
+		if !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: family %q re-registered with different buckets", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// series returns the single unlabelled series, creating it on first use.
+func (f *family) series() *series { return f.child(nil) }
+
+// child returns the series for the given label values, creating it on
+// first use.
+func (f *family) child(values []string) *series {
+	key := strings.Join(values, "\xff")
+	f.mu.RLock()
+	s, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.children[key]; ok {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		h := &Histogram{upper: f.buckets}
+		h.counts = make([]atomic.Uint64, len(f.buckets))
+		s.hist = h
+	}
+	f.children[key] = s
+	return s
+}
+
+// sortedFamilies returns the families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series in label-value order, plus the
+// gauge function if one is set.
+func (f *family) sortedSeries() ([]*series, func() float64) {
+	f.mu.RLock()
+	out := make([]*series, 0, len(f.children))
+	for _, s := range f.children {
+		out = append(out, s)
+	}
+	fn := f.fn
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].labelValues, "\xff") < strings.Join(out[j].labelValues, "\xff")
+	})
+	return out, fn
+}
+
+// validateName enforces the Prometheus metric/label name charset.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

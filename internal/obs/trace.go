@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// SpanID identifies a span within one Tracer. Zero means "no span" and is
+// the parent of every root span.
+type SpanID uint64
+
+// maxSpanAttrs is the fixed attribute capacity of a Span. Spans are value
+// types so starting one allocates nothing; four key/value pairs cover every
+// instrumented site in the repo.
+const maxSpanAttrs = 4
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// SpanRecord is one completed span as stored in the ring buffer and
+// returned by Dump.
+type SpanRecord struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  []Attr
+}
+
+// A Tracer records completed spans into a fixed-capacity ring buffer.
+// Timestamps come exclusively from the injected vclock.Clock, so under a
+// manual clock two identical runs produce identical spans. A nil *Tracer
+// is a valid disabled tracer: Start returns a no-op Span and Dump returns
+// nothing.
+type Tracer struct {
+	clock vclock.Clock
+	epoch time.Time
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	ring    []ringSlot
+	next    int // next write position
+	filled  bool
+	dropped uint64
+}
+
+// ringSlot stores a completed span without per-span heap allocation.
+type ringSlot struct {
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	end    time.Time
+	nattrs int
+	attrs  [maxSpanAttrs]Attr
+}
+
+// NewTracer returns a tracer that stamps spans from clock and retains the
+// most recent capacity spans (older ones are overwritten and counted as
+// dropped). The tracer's epoch — the zero point for dump offsets — is the
+// clock's current time.
+func NewTracer(clock vclock.Clock, capacity int) *Tracer {
+	if clock == nil {
+		clock = vclock.NewReal()
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{
+		clock: clock,
+		epoch: clock.Now(),
+		ring:  make([]ringSlot, capacity),
+	}
+}
+
+// A Span is an in-flight operation. It is a value type: the zero Span (and
+// any span from a nil Tracer) is a valid no-op, and ending a real span
+// copies it into the tracer's ring without allocating.
+type Span struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	nattrs int
+	attrs  [maxSpanAttrs]Attr
+}
+
+// Start begins a span. parent is the enclosing span's ID, or 0 for a root
+// span. Safe on a nil tracer (returns a no-op span).
+func (t *Tracer) Start(name string, parent SpanID) Span {
+	if t == nil {
+		return Span{}
+	}
+	id := SpanID(t.nextID.Add(1))
+	return Span{t: t, id: id, parent: parent, name: name, start: t.clock.Now()}
+}
+
+// ID returns the span's identifier for use as a child's parent; 0 for
+// no-op spans.
+func (s *Span) ID() SpanID {
+	return s.id
+}
+
+// SetAttr annotates the span. At most maxSpanAttrs attributes are kept;
+// extras are silently ignored. No-op on a disabled span.
+func (s *Span) SetAttr(key, value string) {
+	if s.t == nil || s.nattrs >= maxSpanAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Value: value}
+	s.nattrs++
+}
+
+// End completes the span and records it. No-op on a disabled span.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	end := t.clock.Now()
+	t.mu.Lock()
+	slot := &t.ring[t.next]
+	if t.filled {
+		t.dropped++
+	}
+	slot.id = s.id
+	slot.parent = s.parent
+	slot.name = s.name
+	slot.start = s.start
+	slot.end = end
+	slot.nattrs = s.nattrs
+	slot.attrs = s.attrs
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports how many spans are currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// Dump returns the retained spans in canonical order: sorted by start
+// time (ties broken by end time, name, attributes), with IDs renumbered
+// 1..n in that order and parent links remapped to the new IDs. Raw span
+// IDs depend on goroutine interleaving; the canonical form does not, so
+// two runs that produce the same spans dump identically. A parent that
+// fell out of the ring maps to 0.
+func (t *Tracer) Dump() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	n := t.next
+	if t.filled {
+		n = len(t.ring)
+	}
+	recs := make([]SpanRecord, 0, n)
+	for i := 0; i < n; i++ {
+		slot := &t.ring[i]
+		rec := SpanRecord{
+			ID:     slot.id,
+			Parent: slot.parent,
+			Name:   slot.name,
+			Start:  slot.start,
+			End:    slot.end,
+		}
+		if slot.nattrs > 0 {
+			rec.Attrs = append(rec.Attrs, slot.attrs[:slot.nattrs]...)
+		}
+		recs = append(recs, rec)
+	}
+	t.mu.Unlock()
+
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		if !a.End.Equal(b.End) {
+			return a.End.Before(b.End)
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		ak, bk := attrKey(a.Attrs), attrKey(b.Attrs)
+		if ak != bk {
+			return ak < bk
+		}
+		return a.ID < b.ID
+	})
+	remap := make(map[SpanID]SpanID, len(recs))
+	for i := range recs {
+		remap[recs[i].ID] = SpanID(i + 1)
+	}
+	for i := range recs {
+		recs[i].ID = SpanID(i + 1)
+		recs[i].Parent = remap[recs[i].Parent] // missing parent -> 0
+	}
+	return recs
+}
+
+func attrKey(attrs []Attr) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+		b.WriteByte(' ')
+	}
+	return b.String()
+}
+
+// WriteText writes the canonical dump as human-readable text. Offsets are
+// relative to the tracer's epoch, so under a manual clock the output is
+// byte-identical across same-seed runs. Format, one span per line:
+//
+//	+<start offset> <duration> <name> id=<n> parent=<n> [key=value ...]
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "# tracing disabled\n")
+		return err
+	}
+	recs := t.Dump()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace: %d spans, %d dropped\n", len(recs), t.Dropped()); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if _, err := fmt.Fprintf(bw, "+%s %s %s id=%d parent=%d",
+			rec.Start.Sub(t.epoch), rec.End.Sub(rec.Start), rec.Name, rec.ID, rec.Parent); err != nil {
+			return err
+		}
+		for _, a := range rec.Attrs {
+			if _, err := fmt.Fprintf(bw, " %s=%s", a.Key, a.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

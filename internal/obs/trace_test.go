@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestSpanParentChildAndAttrs(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	tr := NewTracer(clock, 16)
+
+	root := tr.Start("ingest.process", 0)
+	clock.Advance(2 * time.Millisecond)
+	child := tr.Start("delivery.deliver", root.ID())
+	child.SetAttr("user", "alice")
+	clock.Advance(1 * time.Millisecond)
+	child.End()
+	root.End()
+
+	recs := tr.Dump()
+	if len(recs) != 2 {
+		t.Fatalf("got %d spans, want 2", len(recs))
+	}
+	// Canonical order: sorted by start time, renumbered from 1.
+	if recs[0].Name != "ingest.process" || recs[0].ID != 1 || recs[0].Parent != 0 {
+		t.Fatalf("root span wrong: %+v", recs[0])
+	}
+	if recs[1].Name != "delivery.deliver" || recs[1].Parent != 1 {
+		t.Fatalf("child span not linked to canonical parent id: %+v", recs[1])
+	}
+	if got := recs[1].End.Sub(recs[1].Start); got != time.Millisecond {
+		t.Fatalf("child duration = %v, want 1ms", got)
+	}
+	if len(recs[1].Attrs) != 1 || recs[1].Attrs[0] != (Attr{"user", "alice"}) {
+		t.Fatalf("child attrs = %v", recs[1].Attrs)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("anything", 0)
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Fatal("no-op span must have ID 0")
+	}
+	if tr.Dump() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+	var b strings.Builder
+	if err := tr.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "tracing disabled") {
+		t.Fatalf("nil tracer dump = %q", b.String())
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	tr := NewTracer(clock, 4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("s", 0)
+		clock.Advance(time.Second)
+		sp.End()
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	recs := tr.Dump()
+	// The four most recent spans survive; the oldest retained ended at 7s.
+	if first := recs[0].End; !first.Equal(time.Unix(7, 0)) {
+		t.Fatalf("oldest retained span ends at %v, want 7s", first)
+	}
+}
+
+// TestParentEvictedMapsToZero: a child whose parent fell out of the ring
+// dumps as a root span rather than dangling.
+func TestParentEvictedMapsToZero(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	tr := NewTracer(clock, 2)
+	parent := tr.Start("parent", 0)
+	parent.End()
+	child := tr.Start("child", parent.ID())
+	child.End()
+	// Two more spans evict the parent.
+	for i := 0; i < 2; i++ {
+		clock.Advance(time.Second)
+		sp := tr.Start("filler", 0)
+		sp.End()
+	}
+	for _, rec := range tr.Dump() {
+		if rec.Name == "child" && rec.Parent != 0 {
+			t.Fatalf("evicted parent should map to 0, got %d", rec.Parent)
+		}
+	}
+}
+
+// TestDumpCanonicalAcrossInterleavings: the same logical spans recorded in
+// different goroutine orders must dump identically — the property the
+// deterministic sim-trace test builds on.
+func TestDumpCanonicalAcrossInterleavings(t *testing.T) {
+	build := func(order []int) string {
+		clock := vclock.NewManual(time.Unix(0, 0))
+		tr := NewTracer(clock, 16)
+		spans := make([]Span, 3)
+		names := []string{"a", "b", "c"}
+		for _, idx := range order {
+			spans[idx] = tr.Start(names[idx], 0)
+		}
+		clock.Advance(time.Second)
+		for _, idx := range order {
+			spans[idx].End()
+		}
+		var b strings.Builder
+		if err := tr.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := build([]int{0, 1, 2})
+	second := build([]int{2, 0, 1})
+	if first != second {
+		t.Fatalf("dumps differ across interleavings:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "# trace: 3 spans, 0 dropped") {
+		t.Fatalf("missing header in:\n%s", first)
+	}
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := NewTracer(vclock.NewManual(time.Unix(0, 0)), 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := tr.Start("conc", 0)
+				sp.SetAttr("i", "x")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != 800 {
+		t.Fatalf("retained+dropped = %d, want 800", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mqtt"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/osn"
 	"repro/internal/sensors"
 	"repro/internal/vclock"
@@ -66,6 +67,16 @@ type Options struct {
 	// server receives it (the Table 3 experiment timestamps server
 	// receipt with it).
 	ActionTap func(osn.Action)
+	// Metrics is the deployment-wide observability registry shared by the
+	// fabric, broker, server and every device. Nil creates a fresh one;
+	// either way it is exposed as Simulation.Metrics and served on
+	// GET /metrics once StartHTTP runs.
+	Metrics *obs.Registry
+	// TraceCapacity enables span tracing with a ring buffer of that many
+	// spans (served on GET /trace and readable via Simulation.Tracer).
+	// Zero leaves tracing off, which keeps the ingest fast path
+	// allocation-free.
+	TraceCapacity int
 }
 
 // Simulation is a running deployment.
@@ -80,6 +91,11 @@ type Simulation struct {
 	Twitter  *osn.Network
 	FBPlugin *osn.PushPlugin
 	TWPlugin *osn.PollPlugin
+	// Metrics aggregates every component's series; WritePrometheus or the
+	// /metrics endpoint render it.
+	Metrics *obs.Registry
+	// Tracer is nil unless Options.TraceCapacity was positive.
+	Tracer *obs.Tracer
 
 	classifiers *classify.Registry
 	seed        int64
@@ -119,10 +135,20 @@ func New(opts Options) (*Simulation, error) {
 		opts.TwitterPollPeriod = 15 * time.Second
 	}
 
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if opts.TraceCapacity > 0 {
+		tracer = obs.NewTracer(opts.Clock, opts.TraceCapacity)
+	}
+
 	fabric := netsim.NewNetwork(opts.Clock, opts.Seed)
 	fabric.SetDefaultLink(link)
+	fabric.Instrument(metrics)
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock})
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer})
 	brokerL, err := fabric.Listen(BrokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -139,6 +165,8 @@ func New(opts Options) (*Simulation, error) {
 		Seed:             opts.Seed + 1,
 		IngestShards:     opts.IngestShards,
 		IngestQueueDepth: opts.IngestQueueDepth,
+		Metrics:          metrics,
+		Tracer:           tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -168,6 +196,8 @@ func New(opts Options) (*Simulation, error) {
 		Graph:    graph,
 		Facebook: facebook,
 		Twitter:  twitter,
+		Metrics:  metrics,
+		Tracer:   tracer,
 
 		classifiers: classifiers,
 		seed:        opts.Seed,
@@ -250,6 +280,8 @@ func (s *Simulation) AddUserWithPrivacy(userID string, profile *sensors.Profile,
 		Profile: profile,
 		Fabric:  s.Fabric,
 		Seed:    seed,
+		Metrics: s.Metrics,
+		Tracer:  s.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -349,7 +381,10 @@ func (s *Simulation) RestartBroker() error {
 	if oldB != nil {
 		_ = oldB.Close()
 	}
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock})
+	// Re-registering against the shared registry repoints the connection
+	// gauges at the fresh broker and lets its counters continue the same
+	// series — a restart is invisible on /metrics except for the dip.
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer})
 	l, err := s.Fabric.Listen(BrokerAddr)
 	if err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
