@@ -28,10 +28,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Smoke-run the ingest scaling benches (one iteration each): catches
-# compile rot and harness deadlocks without paying full benchmark time.
+# Smoke-run the ingest scaling and broker fan-out benches (one iteration
+# each): catches compile rot and harness deadlocks without paying full
+# benchmark time.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkIngest' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
 
 # Boot a simulated deployment, scrape GET /metrics, and fail unless the
 # exported family set matches docs/OBSERVABILITY.md exactly.

@@ -17,8 +17,8 @@ go run ./cmd/sensolint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> go test -bench BenchmarkIngest -benchtime 1x ."
-go test -run '^$' -bench 'BenchmarkIngest' -benchtime 1x .
+echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x ."
+go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
 
 echo "==> go run ./cmd/obscheck"
 go run ./cmd/obscheck

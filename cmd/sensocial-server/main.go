@@ -35,16 +35,17 @@ func main() {
 	httpAddr := flag.String("http", ":8080", "HTTP listen address")
 	shards := flag.Int("ingest-shards", 0, "ingest pipeline shards (0 = default)")
 	queueDepth := flag.Int("ingest-queue", 0, "per-shard ingest queue depth (0 = default)")
+	fanoutQueue := flag.Int("mqtt-fanout-queue", 0, "per-session MQTT delivery queue bound (0 = default)")
 	traceCap := flag.Int("trace-capacity", 0, "span ring-buffer capacity for GET /trace (0 = tracing off)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
-	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *traceCap, *verbose); err != nil {
+	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *fanoutQueue, *traceCap, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mqttAddr, httpAddr string, shards, queueDepth, traceCap int, verbose bool) error {
+func run(mqttAddr, httpAddr string, shards, queueDepth, fanoutQueue, traceCap int, verbose bool) error {
 	var logger *slog.Logger
 	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
@@ -59,7 +60,7 @@ func run(mqttAddr, httpAddr string, shards, queueDepth, traceCap int, verbose bo
 		tracer = obs.NewTracer(clock, traceCap)
 	}
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: clock, Logger: logger, Metrics: metrics, Tracer: tracer})
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: clock, Logger: logger, Metrics: metrics, Tracer: tracer, FanoutQueue: fanoutQueue})
 	mqttL, err := net.Listen("tcp", mqttAddr)
 	if err != nil {
 		return fmt.Errorf("mqtt listen: %w", err)

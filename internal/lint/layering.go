@@ -46,7 +46,10 @@ func DefaultLayering() []LayerRule {
 		// Infrastructure simulators: clock and observability only.
 		{From: "internal/netsim", Only: []string{"internal/obs", "internal/vclock"},
 			Why: "the network simulator sits below every component it connects"},
-		{From: "internal/mqtt", Only: []string{"internal/obs", "internal/vclock"},
+		{From: "internal/mqtt/topictrie", Only: []string{},
+			Why: "the topic-matching index is pure data structure at the bottom of the DAG"},
+		{From: "internal/mqtt", Only: []string{"internal/mqtt/topictrie",
+			"internal/obs", "internal/vclock"},
 			Why: "the MQTT transport must not depend on middleware layers"},
 		{From: "internal/osn", Only: []string{"internal/vclock"},
 			Why: "the OSN simulator must not know about devices or the server"},

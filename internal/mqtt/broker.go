@@ -1,6 +1,7 @@
 package mqtt
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -9,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/mqtt/topictrie"
 	"repro/internal/obs"
 	"repro/internal/vclock"
 )
@@ -33,6 +35,12 @@ type BrokerStats struct {
 	Delivered int
 	// Retained is the number of retained messages held.
 	Retained int
+	// Filters is the number of subscription filters currently indexed
+	// (network sessions and local handlers combined).
+	Filters int
+	// FanoutDropped counts deliveries dropped because a session's
+	// outbound queue was full (backpressure on a slow subscriber).
+	FanoutDropped int
 }
 
 // BrokerOptions configures a Broker.
@@ -44,6 +52,11 @@ type BrokerOptions struct {
 	// KeepaliveGrace multiplies the client keepalive to obtain the read
 	// deadline (default 1.5, per MQTT 3.1.1).
 	KeepaliveGrace float64
+	// FanoutQueue bounds each session's outbound delivery queue (default
+	// 256). A publish never blocks on a slow session: deliveries beyond
+	// the bound are dropped and counted in
+	// sensocial_mqtt_fanout_dropped_total.
+	FanoutQueue int
 	// Metrics registers the broker's counters (families sensocial_mqtt_*).
 	// Nil uses a private registry, so Stats always works; share the
 	// deployment registry to surface the broker on /metrics.
@@ -55,21 +68,37 @@ type BrokerOptions struct {
 // Broker is a Mosquitto-equivalent MQTT broker. It can serve any number of
 // listeners concurrently and routes PUBLISH packets among sessions with
 // retained-message and wildcard support.
+//
+// Routing is built for fan-out scale: all subscriptions (network sessions
+// and in-process handlers) share one copy-on-write topic trie, so matching
+// a publish is lock-free and proportional to the matching population, not
+// the session count; the PUBLISH frame is encoded once per message (one
+// variant per effective QoS) and shared by every matched session; and each
+// session drains its own bounded outbound queue on a dedicated writer, so
+// one slow subscriber never stalls the publisher or its peers.
 type Broker struct {
-	clock  vclock.Clock
-	logger *slog.Logger
-	grace  float64
-	tracer *obs.Tracer
+	clock       vclock.Clock
+	logger      *slog.Logger
+	grace       float64
+	fanoutQueue int
+	tracer      *obs.Tracer
 
-	connects  *obs.Counter
-	published *obs.Counter
-	delivered *obs.Counter
+	connects      *obs.Counter
+	published     *obs.Counter
+	delivered     *obs.Counter
+	matchNodes    *obs.Counter
+	fanoutDropped *obs.Counter
+	routeSeconds  *obs.Histogram
 
-	mu        sync.Mutex
-	sessions  map[string]*session
-	retained  map[string]Message
-	localSubs []localSub
-	closed    bool
+	// subs indexes every subscription filter; retained indexes retained
+	// messages by topic. Both are internally synchronized — route never
+	// takes b.mu.
+	subs     *topictrie.FilterTrie[subEntry]
+	retained *topictrie.TopicTrie[Message]
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
 
 	wg   sync.WaitGroup
 	done chan struct{}
@@ -85,18 +114,24 @@ func NewBroker(opts BrokerOptions) *Broker {
 	if grace <= 0 {
 		grace = 1.5
 	}
+	queue := opts.FanoutQueue
+	if queue <= 0 {
+		queue = 256
+	}
 	metrics := opts.Metrics
 	if metrics == nil {
 		metrics = obs.NewRegistry()
 	}
 	b := &Broker{
-		clock:    clock,
-		logger:   opts.Logger,
-		grace:    grace,
-		tracer:   opts.Tracer,
-		sessions: make(map[string]*session),
-		retained: make(map[string]Message),
-		done:     make(chan struct{}),
+		clock:       clock,
+		logger:      opts.Logger,
+		grace:       grace,
+		fanoutQueue: queue,
+		tracer:      opts.Tracer,
+		subs:        topictrie.NewFilterTrie[subEntry](),
+		retained:    topictrie.NewTopicTrie[Message](),
+		sessions:    make(map[string]*session),
+		done:        make(chan struct{}),
 	}
 	b.connects = metrics.Counter("sensocial_mqtt_connects_total",
 		"CONNECT packets accepted over the broker's lifetime.")
@@ -104,6 +139,13 @@ func NewBroker(opts BrokerOptions) *Broker {
 		"PUBLISH packets received from network clients.")
 	b.delivered = metrics.Counter("sensocial_mqtt_delivered_total",
 		"PUBLISH packets fanned out to subscribers (network sessions and local handlers).")
+	b.matchNodes = metrics.Counter("sensocial_mqtt_match_nodes_total",
+		"Subscription-trie nodes visited while matching published topics; per-publish work, independent of non-matching session count.")
+	b.fanoutDropped = metrics.Counter("sensocial_mqtt_fanout_dropped_total",
+		"Deliveries dropped because a session's bounded outbound queue was full.")
+	b.routeSeconds = metrics.Histogram("sensocial_mqtt_route_duration_seconds",
+		"Broker-side routing latency per publish: trie match, frame encode and fan-out enqueue (plus synchronous local handlers).",
+		obs.LatencyBuckets)
 	// Gauge funcs replace on re-registration, so a restarted broker
 	// repoints the live gauges at itself.
 	metrics.GaugeFunc("sensocial_mqtt_connections",
@@ -115,11 +157,10 @@ func NewBroker(opts BrokerOptions) *Broker {
 		})
 	metrics.GaugeFunc("sensocial_mqtt_retained",
 		"Retained messages held.",
-		func() float64 {
-			b.mu.Lock()
-			defer b.mu.Unlock()
-			return float64(len(b.retained))
-		})
+		func() float64 { return float64(b.retained.Len()) })
+	metrics.GaugeFunc("sensocial_mqtt_match_filters",
+		"Subscription filters currently indexed in the topic trie.",
+		func() float64 { return float64(b.subs.Len()) })
 	return b
 }
 
@@ -175,20 +216,14 @@ func (b *Broker) Stats() BrokerStats {
 		TotalConnections: int(b.connects.Value()),
 		Published:        int(b.published.Value()),
 		Delivered:        int(b.delivered.Value()),
+		FanoutDropped:    int(b.fanoutDropped.Value()),
+		Retained:         b.retained.Len(),
+		Filters:          b.subs.Len(),
 	}
 	b.mu.Lock()
 	st.Connections = len(b.sessions)
-	st.Retained = len(b.retained)
 	b.mu.Unlock()
 	return st
-}
-
-// localSub is an in-process subscription for a component colocated with the
-// broker (the SenSocial server runs in the same process as Mosquitto's
-// stand-in, so it skips the loopback TCP connection).
-type localSub struct {
-	filter  string
-	handler Handler
 }
 
 // SubscribeLocal registers an in-process handler for a topic filter.
@@ -200,9 +235,7 @@ func (b *Broker) SubscribeLocal(filter string, h Handler) error {
 	if h == nil {
 		return fmt.Errorf("mqtt: subscribe local %q: nil handler", filter)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.localSubs = append(b.localSubs, localSub{filter: filter, handler: h})
+	b.subs.Subscribe(filter, subEntry{local: h})
 	return nil
 }
 
@@ -226,11 +259,22 @@ type session struct {
 	conn     net.Conn
 	clientID string
 
+	// out is the bounded delivery queue drained by writeLoop; done is
+	// closed exactly once by close(). The queue itself is never closed —
+	// stragglers enqueued after shutdown are dropped by refcount.
+	out  chan *frame
+	done chan struct{}
+
+	// nextID and scratch belong to writeLoop alone: packet identifiers
+	// are assigned where the frame is written, so a QoS 1 delivery takes
+	// no session lock beyond writeMu.
+	nextID  uint16
+	scratch []byte
+
 	writeMu sync.Mutex
 
 	mu      sync.Mutex
-	subs    map[string]byte // filter -> max qos
-	nextID  uint16
+	subs    map[string]byte // filter -> granted max qos
 	closed  bool
 	timeout time.Duration // read deadline window; 0 disables
 }
@@ -257,6 +301,8 @@ func (b *Broker) handleConn(conn net.Conn) {
 		broker:   b,
 		conn:     conn,
 		clientID: c.clientID,
+		out:      make(chan *frame, b.fanoutQueue),
+		done:     make(chan struct{}),
 		subs:     make(map[string]byte),
 	}
 	if c.keepAliveSec > 0 {
@@ -277,6 +323,11 @@ func (b *Broker) handleConn(conn net.Conn) {
 	if old != nil {
 		old.close()
 	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		s.writeLoop()
+	}()
 
 	if err := writePacket(conn, packetConnack, 0, []byte{0, connAccepted}); err != nil {
 		b.removeSession(s)
@@ -295,6 +346,18 @@ func (b *Broker) removeSession(s *session) {
 	}
 	b.mu.Unlock()
 	s.close()
+	// Trie cleanup runs on the session's own handleConn goroutine after
+	// readLoop returned, so no further subscribes from this session can
+	// race it back in.
+	s.mu.Lock()
+	filters := make([]string, 0, len(s.subs))
+	for f := range s.subs {
+		filters = append(filters, f)
+	}
+	s.mu.Unlock()
+	for _, f := range filters {
+		b.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
+	}
 }
 
 func (s *session) readLoop() {
@@ -341,21 +404,29 @@ func (s *session) readLoop() {
 					q = 1
 				}
 				s.mu.Lock()
+				_, resub := s.subs[f]
 				s.subs[f] = q
 				s.mu.Unlock()
+				if resub {
+					// Re-subscribing replaces the granted QoS, so the old
+					// trie entry must go before the new one lands.
+					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
+				}
+				s.broker.subs.Subscribe(f, subEntry{sess: s, qos: q})
 				codes[i] = q
 			}
 			body := append(encodeUint16Body(p.packetID), codes...)
 			if err := s.write(packetSuback, 0, body); err != nil {
 				return
 			}
-			// Deliver retained messages matching the new filters.
+			// Replay retained messages matching the new filters, resolved
+			// through the retained topic trie rather than a full scan.
 			for i, f := range p.filters {
 				if codes[i] == 0x80 {
 					continue
 				}
-				for _, m := range s.broker.retainedMatching(f) {
-					s.deliver(m, p.qoss[i])
+				for _, e := range s.broker.retained.MatchFilter(f) {
+					s.deliver(e.Value, codes[i])
 				}
 			}
 		case packetUnsubscribe:
@@ -363,11 +434,15 @@ func (s *session) readLoop() {
 			if err != nil {
 				return
 			}
-			s.mu.Lock()
 			for _, f := range p.filters {
+				s.mu.Lock()
+				_, had := s.subs[f]
 				delete(s.subs, f)
+				s.mu.Unlock()
+				if had {
+					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
+				}
 			}
-			s.mu.Unlock()
 			if err := s.write(packetUnsuback, 0, encodeUint16Body(p.packetID)); err != nil {
 				return
 			}
@@ -388,77 +463,126 @@ func (s *session) readLoop() {
 }
 
 // route fans a published message out to matching sessions and updates the
-// retained store.
+// retained store. It holds no broker-wide lock: matching walks the
+// copy-on-write trie, the PUBLISH body is encoded at most once per
+// effective QoS, and deliveries are handed to each session's bounded
+// writer queue so a slow subscriber never blocks the publisher.
 func (b *Broker) route(m Message) {
+	start := b.clock.Now()
 	sp := b.tracer.Start("mqtt.route", 0)
-	defer sp.End()
 	sp.SetAttr("topic", m.Topic)
 	if m.Retain {
-		b.mu.Lock()
 		if len(m.Payload) == 0 {
-			delete(b.retained, m.Topic) // empty retained payload clears
+			b.retained.Delete(m.Topic) // empty retained payload clears
 		} else {
-			b.retained[m.Topic] = m
+			b.retained.Set(m.Topic, m)
 		}
-		b.mu.Unlock()
 	}
-	b.mu.Lock()
-	type target struct {
-		s      *session
-		subQoS byte
-	}
-	var targets []target
-	for _, s := range b.sessions {
-		s.mu.Lock()
-		best := byte(0xff)
-		for f, q := range s.subs {
-			if TopicMatches(f, m.Topic) {
-				if best == 0xff || q > best {
-					best = q
-				}
+
+	c := scratchPool.Get().(*routeScratch)
+	var visited int
+	c.entries, visited = b.subs.Match(m.Topic, c.entries[:0])
+	b.matchNodes.Add(uint64(visited))
+	c.split()
+
+	if len(c.targets) > 0 {
+		var byQoS [2]*frame // encode once per effective QoS actually needed
+		for _, t := range c.targets {
+			qos := m.QoS
+			if t.qos < qos {
+				qos = t.qos
+			}
+			f := byQoS[qos]
+			if f == nil {
+				f = newPublishFrame(m, qos)
+				byQoS[qos] = f
+			}
+			t.s.enqueue(f)
+		}
+		for _, f := range byQoS {
+			if f != nil {
+				f.release()
 			}
 		}
-		s.mu.Unlock()
-		if best != 0xff {
-			targets = append(targets, target{s: s, subQoS: best})
-		}
 	}
-	var locals []Handler
-	for _, ls := range b.localSubs {
-		if TopicMatches(ls.filter, m.Topic) {
-			locals = append(locals, ls.handler)
-		}
+	fanout := len(c.targets) + len(c.locals)
+	b.delivered.Add(uint64(fanout))
+	if b.tracer != nil {
+		sp.SetAttr("fanout", strconv.Itoa(fanout))
 	}
-	b.mu.Unlock()
-	b.delivered.Add(uint64(len(targets) + len(locals)))
-	sp.SetAttr("fanout", strconv.Itoa(len(targets)+len(locals)))
-
-	for _, t := range targets {
-		t.s.deliver(m, t.subQoS)
-	}
-	for _, h := range locals {
+	for _, h := range c.locals {
 		h(m)
 	}
+	scratchPool.Put(c)
+	b.routeSeconds.Observe(b.clock.Now().Sub(start).Seconds())
+	sp.End()
 }
 
-// deliver sends m to this session at min(m.QoS, subQoS).
+// deliver encodes m for this session alone (retained replay on SUBSCRIBE)
+// and hands it to the session's writer queue, keeping it ordered with any
+// concurrent route fan-out.
 func (s *session) deliver(m Message, subQoS byte) {
 	qos := m.QoS
 	if subQoS < qos {
 		qos = subQoS
 	}
-	p := publishPacket{topic: m.Topic, payload: m.Payload, qos: qos, retain: m.Retain}
-	if qos == 1 {
-		s.mu.Lock()
+	f := newPublishFrame(m, qos)
+	s.enqueue(f)
+	f.release()
+}
+
+// enqueue hands a shared frame to the session's writer, taking a
+// reference. A full queue drops the delivery (counted) instead of
+// blocking the publisher.
+func (s *session) enqueue(f *frame) {
+	f.refs.Add(1)
+	select {
+	case s.out <- f:
+	default:
+		f.release()
+		s.broker.fanoutDropped.Inc()
+	}
+}
+
+// writeLoop is the session's only PUBLISH writer. It owns nextID and the
+// scratch buffer: QoS 0 frames go to the wire as-is, QoS 1 frames are
+// copied to scratch and get this session's packet identifier patched in,
+// so the shared encode-once buffer stays immutable.
+func (s *session) writeLoop() {
+	for {
+		select {
+		case f := <-s.out:
+			s.writeFrame(f)
+			f.release()
+		case <-s.done:
+			for {
+				select {
+				case f := <-s.out:
+					f.release()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// writeFrame puts one delivery on the wire; failures surface as the
+// session dying, exactly like the old synchronous path.
+func (s *session) writeFrame(f *frame) {
+	buf := f.buf
+	if f.qos == 1 {
+		s.scratch = append(s.scratch[:0], f.buf...)
 		s.nextID++
 		if s.nextID == 0 {
 			s.nextID = 1
 		}
-		p.packetID = s.nextID
-		s.mu.Unlock()
+		binary.BigEndian.PutUint16(s.scratch[f.idOff:], s.nextID)
+		buf = s.scratch
 	}
-	flags, body := encodePublish(p)
-	_ = s.write(packetPublish, flags, body) // failed deliveries surface as the session dying
+	s.writeMu.Lock()
+	_, _ = s.conn.Write(buf)
+	s.writeMu.Unlock()
 }
 
 func (s *session) write(ptype, flags byte, body []byte) error {
@@ -473,20 +597,9 @@ func (s *session) close() {
 	s.closed = true
 	s.mu.Unlock()
 	if !already {
+		close(s.done)
 		_ = s.conn.Close()
 	}
-}
-
-func (b *Broker) retainedMatching(filter string) []Message {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	var out []Message
-	for topic, m := range b.retained {
-		if TopicMatches(filter, topic) {
-			out = append(out, m)
-		}
-	}
-	return out
 }
 
 func (b *Broker) logf(msg string, args ...any) {

@@ -1,0 +1,138 @@
+package mqtt
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the broker's fan-out fast path: the subscriber index
+// entries stored in the shared topic trie, the reference-counted
+// encode-once PUBLISH frames shared by every matched session, and the
+// pooled per-publish match routeScratch. Together they make routing a
+// QoS 0 publish allocation-free in steady state (pinned by
+// TestFanoutQoS0NoAlloc).
+
+// subEntry is one subscriber indexed in the broker's filter trie: either
+// a network session (with the subscription's granted max QoS) or an
+// in-process local handler.
+type subEntry struct {
+	sess  *session
+	qos   byte
+	local Handler
+}
+
+// target is one deduplicated session delivery: a session subscribed via
+// several matching filters receives a single copy at the highest granted
+// QoS, exactly as the old linear scan computed it.
+type target struct {
+	s   *session
+	qos byte
+}
+
+// frame is one fully encoded PUBLISH wire frame (fixed header, remaining
+// length, body), shared by every session it is queued to and returned to
+// the pool when the last reference drops. For QoS 1 the packet identifier
+// is left zero at idOff; each session's writer patches its own identifier
+// into a session-owned copy, so the shared buffer is never mutated after
+// publication.
+type frame struct {
+	refs  atomic.Int32
+	qos   byte
+	idOff int
+	buf   []byte
+}
+
+// maxPooledFrame caps the buffer size the pool retains; occasional huge
+// payloads should be garbage collected, not pinned forever.
+const maxPooledFrame = 64 << 10
+
+var framePool = sync.Pool{New: func() any { return &frame{} }}
+
+// newPublishFrame encodes m once at the given effective QoS. The caller
+// holds one reference; each enqueue takes its own.
+func newPublishFrame(m Message, qos byte) *frame {
+	f := framePool.Get().(*frame)
+	f.refs.Store(1)
+	f.qos = qos
+	f.idOff = 0
+
+	flags := qos << 1
+	if m.Retain {
+		flags |= 1
+	}
+	bodyLen := 2 + len(m.Topic) + len(m.Payload)
+	if qos == 1 {
+		bodyLen += 2
+	}
+	buf := append(f.buf[:0], packetPublish<<4|flags)
+	n := bodyLen
+	for {
+		b := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b |= 0x80
+		}
+		buf = append(buf, b)
+		if n == 0 {
+			break
+		}
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Topic)))
+	buf = append(buf, m.Topic...)
+	if qos == 1 {
+		f.idOff = len(buf)
+		buf = append(buf, 0, 0)
+	}
+	buf = append(buf, m.Payload...)
+	f.buf = buf
+	return f
+}
+
+// release drops one reference and recycles the frame when the last
+// holder lets go.
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 && cap(f.buf) <= maxPooledFrame {
+		framePool.Put(f)
+	}
+}
+
+// routeScratch is the per-publish scratch state for route: the raw trie
+// match results, the deduplicated session targets, and the local
+// handlers. Pooled and reused so a steady-state publish allocates
+// nothing; the best map retains its buckets across uses (clear keeps
+// capacity).
+type routeScratch struct {
+	entries []subEntry
+	targets []target
+	locals  []Handler
+	best    map[*session]int
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &routeScratch{best: make(map[*session]int)}
+}}
+
+// split partitions the matched entries into deduplicated session targets
+// and local handlers.
+func (c *routeScratch) split() {
+	c.targets = c.targets[:0]
+	c.locals = c.locals[:0]
+	for _, e := range c.entries {
+		if e.sess == nil {
+			c.locals = append(c.locals, e.local)
+			continue
+		}
+		if i, ok := c.best[e.sess]; ok {
+			if e.qos > c.targets[i].qos {
+				c.targets[i].qos = e.qos
+			}
+		} else {
+			c.best[e.sess] = len(c.targets)
+			c.targets = append(c.targets, target{s: e.sess, qos: e.qos})
+		}
+	}
+	if len(c.best) > 0 {
+		clear(c.best)
+	}
+}

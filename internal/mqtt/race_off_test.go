@@ -1,0 +1,8 @@
+//go:build !race
+
+package mqtt
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which intentionally drops sync.Pool puts and so invalidates
+// allocation pinning.
+const raceEnabled = false

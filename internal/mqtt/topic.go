@@ -3,6 +3,8 @@ package mqtt
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/mqtt/topictrie"
 )
 
 // Topic names and filters (MQTT 3.1.1 §4.7): levels separated by '/',
@@ -46,19 +48,9 @@ func ValidateTopicFilter(filter string) error {
 }
 
 // TopicMatches reports whether a concrete topic name matches a filter.
+// Matching walks both strings by level index without splitting them, so
+// it allocates nothing; the mqtt fuzz test pins its equivalence to the
+// historical strings.Split formulation.
 func TopicMatches(filter, topic string) bool {
-	fl := strings.Split(filter, "/")
-	tl := strings.Split(topic, "/")
-	for i, f := range fl {
-		if f == "#" {
-			return true
-		}
-		if i >= len(tl) {
-			return false
-		}
-		if f != "+" && f != tl[i] {
-			return false
-		}
-	}
-	return len(fl) == len(tl)
+	return topictrie.Matches(filter, topic)
 }

@@ -1,0 +1,19 @@
+// Package topictrie indexes MQTT topic filters and topic names for the
+// broker's hot path. It provides three pieces:
+//
+//   - Matches, an allocation-free single-filter matcher that walks topic
+//     levels with index arithmetic instead of strings.Split;
+//   - FilterTrie, a level-segmented index over many subscription filters
+//     with `+`/`#` wildcard edges. Readers are lock-free: the root is an
+//     atomic pointer to an immutable node graph and every mutation
+//     copies the touched path (copy-on-write), so matching a publish
+//     never blocks on subscribe/unsubscribe traffic;
+//   - TopicTrie, a mutable index over concrete topic names (the broker's
+//     retained-message store) answering the reverse question — which
+//     stored topics match a subscription filter — without scanning every
+//     retained message.
+//
+// The package is pure data structure: no clocks, no I/O, no in-module
+// imports, so it sits at the bottom of the layering DAG next to geo and
+// vclock.
+package topictrie

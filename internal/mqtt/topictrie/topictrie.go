@@ -1,0 +1,160 @@
+package topictrie
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// tnode is one level of a TopicTrie. Unlike FilterTrie nodes these are
+// mutable: the store is read on the SUBSCRIBE path only, so a plain
+// RWMutex is cheaper than copy-on-write churn on every retained publish.
+type tnode[T any] struct {
+	children map[string]*tnode[T]
+	val      T
+	set      bool
+}
+
+// TopicTrie maps concrete topic names to values and answers the reverse
+// of FilterTrie.Match: given a subscription filter, which stored topics
+// match it. The MQTT broker uses it as the retained-message store, so a
+// SUBSCRIBE replays retained state in work proportional to the matching
+// subtree rather than a scan of every retained topic.
+type TopicTrie[T any] struct {
+	mu   sync.RWMutex
+	root tnode[T]
+	size int
+}
+
+// NewTopicTrie returns an empty store.
+func NewTopicTrie[T any]() *TopicTrie[T] {
+	return &TopicTrie[T]{}
+}
+
+// Len reports the number of topics stored.
+func (t *TopicTrie[T]) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Set stores v under topic, replacing any previous value.
+func (t *TopicTrie[T]) Set(topic string, v T) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := &t.root
+	for pos, more := 0, true; more; {
+		var seg string
+		seg, pos, more = NextLevel(topic, pos)
+		if n.children == nil {
+			n.children = make(map[string]*tnode[T], 1)
+		}
+		child := n.children[seg]
+		if child == nil {
+			child = &tnode[T]{}
+			n.children[seg] = child
+		}
+		n = child
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Delete removes topic from the store, pruning emptied nodes. Deleting an
+// absent topic is a no-op.
+func (t *TopicTrie[T]) Delete(topic string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deleteFrom(&t.root, topic, 0) {
+		t.size--
+	}
+}
+
+// deleteFrom clears topic[pos:] below n and reports whether a value was
+// actually removed. Children left empty are unlinked on the way out.
+func (t *TopicTrie[T]) deleteFrom(n *tnode[T], topic string, pos int) bool {
+	seg, next, more := NextLevel(topic, pos)
+	child := n.children[seg]
+	if child == nil {
+		return false
+	}
+	removed := false
+	if more {
+		removed = t.deleteFrom(child, topic, next)
+	} else if child.set {
+		var zero T
+		child.val, child.set = zero, false
+		removed = true
+	}
+	if removed && !child.set && len(child.children) == 0 {
+		delete(n.children, seg)
+		if len(n.children) == 0 {
+			n.children = nil
+		}
+	}
+	return removed
+}
+
+// Entry is one (topic, value) pair returned by MatchFilter.
+type Entry[T any] struct {
+	Topic string
+	Value T
+}
+
+// MatchFilter returns the stored topics matching filter, sorted by topic
+// name so replay order is deterministic regardless of map iteration. A
+// literal level follows one edge, `+` fans over all children of a level,
+// and a trailing `#` collects the whole remaining subtree (including the
+// parent level itself, per §4.7.1.2).
+func (t *TopicTrie[T]) MatchFilter(filter string) []Entry[T] {
+	t.mu.RLock()
+	var out []Entry[T]
+	t.matchFrom(&t.root, filter, 0, nil, &out)
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}
+
+// matchFrom matches filter[pos:] below n; path holds the topic levels
+// walked so far.
+func (t *TopicTrie[T]) matchFrom(n *tnode[T], filter string, pos int, path []string, out *[]Entry[T]) {
+	seg, next, more := NextLevel(filter, pos)
+	if seg == "#" && !more {
+		if n.set {
+			*out = append(*out, Entry[T]{Topic: strings.Join(path, "/"), Value: n.val})
+		}
+		for childSeg, child := range n.children {
+			t.collectSubtree(child, append(path, childSeg), out)
+		}
+		return
+	}
+	step := func(childSeg string, child *tnode[T]) {
+		childPath := append(path, childSeg)
+		if more {
+			t.matchFrom(child, filter, next, childPath, out)
+		} else if child.set {
+			*out = append(*out, Entry[T]{Topic: strings.Join(childPath, "/"), Value: child.val})
+		}
+	}
+	if seg == "+" {
+		for childSeg, child := range n.children {
+			step(childSeg, child)
+		}
+		return
+	}
+	if child := n.children[seg]; child != nil {
+		step(seg, child)
+	}
+}
+
+// collectSubtree appends every value stored at or below n.
+func (t *TopicTrie[T]) collectSubtree(n *tnode[T], path []string, out *[]Entry[T]) {
+	if n.set {
+		*out = append(*out, Entry[T]{Topic: strings.Join(path, "/"), Value: n.val})
+	}
+	for seg, child := range n.children {
+		t.collectSubtree(child, append(path, seg), out)
+	}
+}

@@ -59,6 +59,10 @@ type Options struct {
 	// pipeline (zero keeps the server defaults).
 	IngestShards     int
 	IngestQueueDepth int
+	// BrokerFanoutQueue bounds each MQTT session's outbound delivery
+	// queue (0 = broker default). Deliveries beyond the bound are dropped
+	// and counted rather than blocking the publisher.
+	BrokerFanoutQueue int
 	// DeliverViaHTTP routes Facebook plug-in notifications through the
 	// server's HTTP webhook over the fabric (full fidelity) instead of the
 	// direct in-process call.
@@ -99,6 +103,9 @@ type Simulation struct {
 
 	classifiers *classify.Registry
 	seed        int64
+	// brokerFanoutQueue is remembered so RestartBroker rebuilds the broker
+	// with the same per-session queue bound.
+	brokerFanoutQueue int
 
 	mu      sync.Mutex
 	handles map[string]*Handle
@@ -148,7 +155,7 @@ func New(opts Options) (*Simulation, error) {
 	fabric.SetDefaultLink(link)
 	fabric.Instrument(metrics)
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer})
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer, FanoutQueue: opts.BrokerFanoutQueue})
 	brokerL, err := fabric.Listen(BrokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -201,7 +208,9 @@ func New(opts Options) (*Simulation, error) {
 
 		classifiers: classifiers,
 		seed:        opts.Seed,
-		handles:     make(map[string]*Handle),
+
+		brokerFanoutQueue: opts.BrokerFanoutQueue,
+		handles:           make(map[string]*Handle),
 	}
 	s.brokerL = brokerL
 	s.closers = append(s.closers, func() {
@@ -384,7 +393,7 @@ func (s *Simulation) RestartBroker() error {
 	// Re-registering against the shared registry repoints the connection
 	// gauges at the fresh broker and lets its counters continue the same
 	// series — a restart is invisible on /metrics except for the dip.
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer})
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer, FanoutQueue: s.brokerFanoutQueue})
 	l, err := s.Fabric.Listen(BrokerAddr)
 	if err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
