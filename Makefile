@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-smoke metrics-smoke experiments examples loc clean
+.PHONY: all build vet lint lockgraph test race bench bench-smoke fuzz-smoke metrics-smoke experiments examples loc clean
 
-all: build vet lint test
+all: build vet lint test fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,10 +13,14 @@ vet:
 	$(GO) vet ./...
 
 # Project-invariant analyzers: wallclock, globalrand, layering, droppederr,
-# mutexhold, pkgdoc. Also enforced by internal/lint/selfcheck_test.go under
-# `make test`.
+# mutexhold, pkgdoc, goroutineleak, lockorder, chandiscipline, hotpath.
+# Also enforced by internal/lint/selfcheck_test.go under `make test`.
 lint:
 	$(GO) run ./cmd/sensolint ./...
+
+# Print the cross-package mutex-acquisition DAG inferred by lockorder.
+lockgraph:
+	$(GO) run ./cmd/sensolint -lockgraph ./...
 
 test:
 	$(GO) test ./...
@@ -33,6 +37,13 @@ bench:
 # benchmark time.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
+
+# Short coverage-guided runs of the wire-format fuzzer and the topic-trie
+# match cross-check: catches decode panics and trie/matcher divergence
+# without a dedicated fuzz farm.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeItem$$' -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzTopicMatchConsistency$$' -fuzztime 10s ./internal/mqtt
 
 # Boot a simulated deployment, scrape GET /metrics, and fail unless the
 # exported family set matches docs/OBSERVABILITY.md exactly.

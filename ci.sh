@@ -17,6 +17,12 @@ go run ./cmd/sensolint ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> fuzz-smoke: FuzzDecodeItem (10s)"
+go test -run '^$' -fuzz '^FuzzDecodeItem$' -fuzztime 10s ./internal/core
+
+echo "==> fuzz-smoke: FuzzTopicMatchConsistency (10s)"
+go test -run '^$' -fuzz '^FuzzTopicMatchConsistency$' -fuzztime 10s ./internal/mqtt
+
 echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x ."
 go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
 

@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	sensolint [-list] [pattern ...]
+//	sensolint [-list] [-lockgraph] [pattern ...]
 //
 // Patterns are go-tool style: "./..." (the default) lints every package,
 // "./internal/mqtt" lints one package, "./internal/core/..." lints a
-// subtree. Exit status is 0 when the module is clean, 1 when any diagnostic
-// fires, and 2 when the module cannot be loaded.
+// subtree. -lockgraph additionally prints the mutex-acquisition graph the
+// lockorder analyzer inferred across the linted packages. Exit status is 0
+// when the module is clean, 1 when any diagnostic fires, and 2 when the
+// module cannot be loaded.
+//
+// The whole-program analyzers (goroutineleak, lockorder, hotpath) merge
+// per-package facts, so pattern-limited runs judge only the facts of the
+// selected packages; CI always lints the full module.
 package main
 
 import (
@@ -23,15 +29,16 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	lockgraph := flag.Bool("lockgraph", false, "print the inferred mutex-acquisition graph")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: sensolint [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: sensolint [-list] [-lockgraph] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*list, flag.Args()))
+	os.Exit(run(*list, *lockgraph, flag.Args()))
 }
 
-func run(list bool, patterns []string) int {
+func run(list, lockgraph bool, patterns []string) int {
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensolint:", err)
@@ -42,7 +49,7 @@ func run(list bool, patterns []string) int {
 		fmt.Fprintln(os.Stderr, "sensolint:", err)
 		return 2
 	}
-	suite := lint.Suite(loader.ModulePath)
+	suite := lint.Suite(loader.ModulePath, root)
 	if list {
 		for _, a := range suite {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
@@ -63,9 +70,12 @@ func run(list bool, patterns []string) int {
 		fmt.Fprintf(os.Stderr, "sensolint: no packages match %v\n", patterns)
 		return 2
 	}
-	diags := lint.Run(pkgs, suite, lint.RunOptions{EnforceDirectives: true})
+	diags, facts := lint.RunWithFacts(pkgs, suite, lint.RunOptions{EnforceDirectives: true})
 	for _, d := range diags {
 		fmt.Println(d)
+	}
+	if lockgraph {
+		fmt.Print(lint.FormatLockGraph(facts))
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "sensolint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -57,6 +57,8 @@ func NewDeliveryHub(store *docstore.Store, hub *core.Hub, persist bool, logger *
 // Deliver runs the output stage for one accepted item. hooks is the
 // immutable hook slice from the filter-table snapshot current at filter
 // time; parent is the enclosing ingest.process span (0 outside a trace).
+//
+//sensolint:hotpath
 func (d *DeliveryHub) Deliver(item core.Item, hooks []func(core.Item), parent obs.SpanID) {
 	sp := d.tracer.Start("delivery.deliver", parent)
 	sp.SetAttr("stream", item.StreamID)

@@ -44,6 +44,8 @@ func NewFilterTable() *FilterTable {
 }
 
 // Snapshot returns the current immutable view.
+//
+//sensolint:hotpath
 func (t *FilterTable) Snapshot() *filterSnapshot { return t.snap.Load() }
 
 // Set installs (or replaces) a stream's filter.

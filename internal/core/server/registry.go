@@ -75,6 +75,8 @@ func NewContextRegistry(n int, metrics *obs.Registry) *ContextRegistry {
 }
 
 // shardOf returns the shard owning a user.
+//
+//sensolint:hotpath
 func (r *ContextRegistry) shardOf(userID string) *ctxShard {
 	h := uint32(2166136261)
 	for i := 0; i < len(userID); i++ {
@@ -108,6 +110,8 @@ func (sh *ctxShard) setLocked(userID, modality, value string) {
 // single shard lock: the classified value (re-keyed by the producing
 // sensor's context modality) and every same-user entry of the carried
 // context snapshot land atomically.
+//
+//sensolint:hotpath
 func (r *ContextRegistry) ApplyItem(item core.Item) {
 	if item.UserID == "" {
 		return
@@ -125,12 +129,14 @@ func (r *ContextRegistry) ApplyItem(item core.Item) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if classifiedMod != "" {
+		//lint:ignore hotpath setLocked's inlined map init runs once per new user, never steady-state
 		sh.setLocked(item.UserID, classifiedMod, item.Classified)
 	}
 	for k, v := range item.Context {
 		// Only same-user context entries (plain modality keys) are re-keyed
 		// under the item's user.
 		if core.ValidContextModality(k) {
+			//lint:ignore hotpath setLocked's inlined map init runs once per new user, never steady-state
 			sh.setLocked(item.UserID, k, v)
 		}
 	}
@@ -186,6 +192,8 @@ func (r *ContextRegistry) Users() []string {
 // LocationUnchanged reports whether a pending registry write for the user
 // matches the last successfully written point and city, i.e. would be a
 // no-op. The skip is counted.
+//
+//sensolint:hotpath
 func (r *ContextRegistry) LocationUnchanged(userID string, pt geo.Point, city string) bool {
 	sh := r.shardOf(userID)
 	sh.mu.Lock()

@@ -222,6 +222,8 @@ func (m *Manager) Ingest(item core.Item) bool {
 // processItem runs registry updates, cross-user filtering and delivery for
 // one item on its shard's worker goroutine. Items of one user are processed
 // in submission order; distinct users proceed in parallel.
+//
+//sensolint:hotpath
 func (m *Manager) processItem(item core.Item) {
 	sp := m.tracer.Start("ingest.process", 0)
 	defer sp.End()

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// escapeFinding is one heap allocation reported by the compiler's escape
+// analysis: `<file>:<line>:<col>: <expr> escapes to heap`.
+type escapeFinding struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// runEscapeAnalysis compiles one package with -gcflags=<pkg>=-m=1 and
+// returns the heap-allocation diagnostics. The pattern-scoped gcflags keep
+// dependencies quiet, and the Go build cache replays compiler diagnostics
+// on cache hits, so repeated lint runs stay fast without -a.
+func runEscapeAnalysis(dir, pkgPath string) ([]escapeFinding, error) {
+	cmd := exec.Command("go", "build", "-gcflags="+pkgPath+"=-m=1", pkgPath)
+	cmd.Dir = dir
+	outBytes, err := cmd.CombinedOutput()
+	output := string(outBytes)
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m %s: %v\n%s", pkgPath, err, strings.TrimSpace(output))
+	}
+	var out []escapeFinding
+	for _, line := range strings.Split(output, "\n") {
+		f, ok := parseEscapeLine(dir, line)
+		if !ok {
+			continue
+		}
+		if strings.Contains(f.msg, "escapes to heap") || strings.Contains(f.msg, "moved to heap") {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// parseEscapeLine splits one `file:line:col: message` compiler line,
+// resolving the file relative to dir (the go tool prints module-relative
+// paths).
+func parseEscapeLine(dir, line string) (escapeFinding, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return escapeFinding{}, false
+	}
+	// file:line:col: msg — find ": " after two numeric fields.
+	rest := line
+	colon1 := strings.Index(rest, ".go:")
+	if colon1 < 0 {
+		return escapeFinding{}, false
+	}
+	file := rest[:colon1+3]
+	rest = rest[colon1+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return escapeFinding{}, false
+	}
+	ln, err1 := strconv.Atoi(parts[0])
+	col, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return escapeFinding{}, false
+	}
+	if !filepath.IsAbs(file) {
+		file = filepath.Join(dir, file)
+	}
+	return escapeFinding{
+		file: file,
+		line: ln,
+		col:  col,
+		msg:  strings.TrimSpace(parts[2]),
+	}, true
+}
+
+// position builds a token.Position for synthetic diagnostics.
+func position(file string, line, col int) token.Position {
+	return token.Position{Filename: file, Line: line, Column: col}
+}

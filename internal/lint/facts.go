@@ -1,0 +1,50 @@
+package lint
+
+import "sort"
+
+// Facts is the cross-package fact store shared by the two-phase analyzers.
+// During the Export phase each analyzer records per-package facts under its
+// own namespace; during the Finish phase it reads the merged store for the
+// whole module. This is the stdlib-only analogue of go/analysis facts: the
+// per-package results are serializable values keyed by stable identifiers
+// (function or mutex-class keys), merged "at link time" before judgment.
+//
+// Facts is not safe for concurrent use; Run drives it sequentially.
+type Facts struct {
+	byAnalyzer map[string]map[string]any
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{byAnalyzer: make(map[string]map[string]any)}
+}
+
+// Put records a fact under the analyzer's namespace. Re-putting a key
+// overwrites; exporters use globally unique keys (qualified function names)
+// so packages never collide.
+func (f *Facts) Put(analyzer, key string, value any) {
+	m := f.byAnalyzer[analyzer]
+	if m == nil {
+		m = make(map[string]any)
+		f.byAnalyzer[analyzer] = m
+	}
+	m[key] = value
+}
+
+// Get returns the fact stored under analyzer/key.
+func (f *Facts) Get(analyzer, key string) (any, bool) {
+	v, ok := f.byAnalyzer[analyzer][key]
+	return v, ok
+}
+
+// Keys returns the sorted fact keys in the analyzer's namespace, so Finish
+// phases iterate deterministically.
+func (f *Facts) Keys(analyzer string) []string {
+	m := f.byAnalyzer[analyzer]
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

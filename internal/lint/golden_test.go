@@ -47,6 +47,13 @@ func TestGolden(t *testing.T) {
 		{"droppederr", NewDroppederr()},
 		{"mutexhold", NewMutexhold()},
 		{"pkgdoc", NewPkgdoc()},
+		{"goroutineleak", NewGoroutineleak("sandbox")},
+		{"lockorder", NewLockorder("sandbox")},
+		{"chandiscipline", NewChandiscipline()},
+		// sandboxDir as the suite dir arms the escape gate: the hotpath
+		// packages are a real module (testdata/src/go.mod) the go tool can
+		// compile with -gcflags=-m.
+		{"hotpath", NewHotpath(sandboxDir)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

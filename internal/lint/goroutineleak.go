@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewGoroutineleak returns the whole-program analyzer that requires every go
+// statement to have a visible termination path. A goroutine terminates
+// visibly when the spawned function
+//
+//   - receives a stop signal: it reads from a channel (receive, select
+//     receive, or range over a channel) or takes a context.Context or
+//     channel parameter it can be cancelled through; or
+//   - is joined: it calls (sync.WaitGroup).Done, so an owner can Wait; or
+//   - provably runs to completion: it has no condition-less for loop, and
+//     every module-internal function it statically calls terminates too
+//     (propagated as facts through the module call graph to a fixpoint).
+//
+// Anything else — typically `go func() { for { ... } }()` with no done
+// channel — can outlive its owner, which in this codebase means goroutines
+// piling up across simulated restarts and leaking into other tests'
+// -race windows. Calls that cannot be resolved statically (function values,
+// interface methods) and calls out of the module are assumed terminating;
+// the rule is a leak detector, not an escape-proof.
+//
+// The analyzer runs in two phases: Export records one termination summary
+// per function plus every spawn site; Finish computes the terminating set
+// module-wide and judges the spawn sites against it.
+func NewGoroutineleak(modulePath string) *Analyzer {
+	return &Analyzer{
+		Name: "goroutineleak",
+		Doc:  "require every go statement to have a visible termination path",
+		Export: func(pkg *Package, facts *Facts) {
+			exportGoroutineFacts(modulePath, pkg, facts)
+		},
+		Finish: finishGoroutineleak,
+	}
+}
+
+// goroutineFactNS is the Facts namespace; keys are qualified function names
+// (types.Func.FullName) for summaries and "spawns/<pkg>" for spawn lists.
+const goroutineFactNS = "goroutineleak"
+
+// funcTermFact is the per-function termination summary exported per package.
+type funcTermFact struct {
+	// signal is true when the body reads from a channel or the signature
+	// takes a context.Context or channel parameter.
+	signal bool
+	// wgDone is true when the body calls (sync.WaitGroup).Done, directly or
+	// deferred, so an owner can join the goroutine.
+	wgDone bool
+	// unbounded is true when the body contains a for loop with no condition.
+	unbounded bool
+	// callees are the qualified names of module-internal functions the body
+	// statically calls; termination propagates through them.
+	callees []string
+}
+
+// spawnFact is one go statement: where it is, what it runs, and the local
+// summary of an inline literal (named spawns are resolved via the global
+// summary table at Finish time).
+type spawnFact struct {
+	pos    token.Position
+	desc   string        // rendering of the spawned callee for the message
+	callee string        // qualified name when the spawn target is a named module function
+	lit    *funcTermFact // summary of an inline func literal, nil otherwise
+}
+
+func exportGoroutineFacts(modulePath string, pkg *Package, facts *Facts) {
+	c := &goroutineCollector{modulePath: modulePath, pkg: pkg}
+	var spawns []*spawnFact
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fact := c.summarize(fd.Type, fd.Body)
+			facts.Put(goroutineFactNS, fn.FullName(), fact)
+			spawns = append(spawns, c.collectSpawns(fd.Body)...)
+		}
+	}
+	if len(spawns) > 0 {
+		facts.Put(goroutineFactNS, "spawns/"+pkg.Path, spawns)
+	}
+}
+
+type goroutineCollector struct {
+	modulePath string
+	pkg        *Package
+}
+
+// summarize builds the termination summary for one function body (named or
+// literal). Nested literals are excluded: a receive inside a nested
+// goroutine is not a signal for this body.
+func (c *goroutineCollector) summarize(ft *ast.FuncType, body *ast.BlockStmt) *funcTermFact {
+	fact := &funcTermFact{}
+	if ft != nil && ft.Params != nil {
+		for _, p := range ft.Params.List {
+			if t := c.pkg.Info.TypeOf(p.Type); t != nil && isSignalType(t) {
+				fact.signal = true
+			}
+		}
+	}
+	seen := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fact.signal = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					fact.signal = true
+				}
+			}
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				fact.unbounded = true
+			}
+		case *ast.CallExpr:
+			if fn := c.calledFunc(n); fn != nil {
+				if isWaitGroupDone(fn) {
+					fact.wgDone = true
+				}
+				if key, ok := c.moduleFuncKey(fn); ok && !seen[key] {
+					seen[key] = true
+					fact.callees = append(fact.callees, key)
+				}
+			}
+		}
+		return true
+	})
+	sort.Strings(fact.callees)
+	return fact
+}
+
+// collectSpawns finds every go statement in the body, including those inside
+// nested literals (a leaky spawn is leaky wherever it is written).
+func (c *goroutineCollector) collectSpawns(body *ast.BlockStmt) []*spawnFact {
+	var out []*spawnFact
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		sp := &spawnFact{pos: c.pkg.Fset.Position(g.Go)}
+		switch fun := ast.Unparen(g.Call.Fun).(type) {
+		case *ast.FuncLit:
+			sp.desc = "func literal"
+			sp.lit = c.summarize(fun.Type, fun.Body)
+			// Calls the literal makes still count; go helper() inside the
+			// literal is found by the enclosing Inspect.
+		default:
+			sp.desc = types.ExprString(g.Call.Fun)
+			if fn := c.calledFunc(g.Call); fn != nil {
+				if isWaitGroupDone(fn) {
+					// go wg.Done() is a join, not a leak.
+					sp.lit = &funcTermFact{wgDone: true}
+				} else if key, ok := c.moduleFuncKey(fn); ok {
+					sp.callee = key
+				} else {
+					// Out-of-module or interface callee: assumed terminating.
+					sp.lit = &funcTermFact{signal: true}
+				}
+			}
+		}
+		out = append(out, sp)
+		return true
+	})
+	return out
+}
+
+// calledFunc resolves the static callee of a call, or nil for function
+// values, interface methods without a concrete receiver, conversions, and
+// builtins.
+func (c *goroutineCollector) calledFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := c.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// moduleFuncKey returns the qualified fact key for a module-internal
+// function; interface methods are excluded (no body to summarize — assumed
+// terminating like out-of-module calls).
+func (c *goroutineCollector) moduleFuncKey(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	p := fn.Pkg().Path()
+	if p != c.modulePath && !strings.HasPrefix(p, c.modulePath+"/") {
+		return "", false
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if types.IsInterface(recv.Type()) {
+			return "", false
+		}
+	}
+	return fn.FullName(), true
+}
+
+// isSignalType reports whether a parameter of type t counts as a visible
+// termination signal: a channel, or a context.Context.
+func isSignalType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isWaitGroupDone reports whether fn is (*sync.WaitGroup).Done.
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// finishGoroutineleak computes the module-wide terminating set to a fixpoint
+// and reports every spawn whose target neither signals, joins, nor provably
+// terminates.
+func finishGoroutineleak(facts *Facts) []Diagnostic {
+	keys := facts.Keys(goroutineFactNS)
+	summaries := make(map[string]*funcTermFact)
+	var spawnLists []string
+	for _, k := range keys {
+		v, _ := facts.Get(goroutineFactNS, k)
+		switch v := v.(type) {
+		case *funcTermFact:
+			summaries[k] = v
+		case []*spawnFact:
+			spawnLists = append(spawnLists, k)
+		}
+	}
+
+	// terminating(f) = signal || (!unbounded && all callees terminating).
+	// Start optimistic (unknown callees terminate) and demote to a fixpoint;
+	// mutual recursion among bounded functions stays terminating.
+	term := make(map[string]bool, len(summaries))
+	for k, s := range summaries {
+		term[k] = s.signal || !s.unbounded
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, s := range summaries {
+			if !term[k] || s.signal {
+				continue
+			}
+			for _, callee := range s.callees {
+				if _, known := summaries[callee]; known && !term[callee] {
+					term[k] = false
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	ok := func(f *funcTermFact) bool {
+		if f.signal || f.wgDone {
+			return true
+		}
+		if f.unbounded {
+			return false
+		}
+		for _, callee := range f.callees {
+			if _, known := summaries[callee]; known && !term[callee] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out []Diagnostic
+	for _, k := range spawnLists {
+		v, _ := facts.Get(goroutineFactNS, k)
+		for _, sp := range v.([]*spawnFact) {
+			target := sp.lit
+			if target == nil && sp.callee != "" {
+				target = summaries[sp.callee]
+				if target == nil {
+					// Named module function whose package was not loaded
+					// (pattern-limited run): no fact to judge, trust it.
+					continue
+				}
+			}
+			if target != nil && ok(target) {
+				continue
+			}
+			why := "the spawned function has no stop channel, context, or WaitGroup and may loop forever"
+			if target == nil {
+				why = "the spawned callee cannot be resolved statically"
+			}
+			out = append(out, Diagnostic{
+				Pos:  sp.pos,
+				Rule: "goroutineleak",
+				Message: "goroutine running " + sp.desc + " has no visible termination path (" + why +
+					"); pass a done channel or context, register it with a sync.WaitGroup, or bound its loops",
+			})
+		}
+	}
+	return out
+}

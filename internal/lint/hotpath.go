@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotpathDirective marks a function whose body must not allocate on the
+// heap. It goes in the function's doc comment:
+//
+//	//sensolint:hotpath
+//	func (b *Broker) route(m Message) { ... }
+//
+// The hotpath analyzer checks every annotated function against the
+// compiler's escape analysis; chandiscipline additionally requires every
+// send inside one to be select-with-default.
+const hotpathDirective = "//sensolint:hotpath"
+
+// NewHotpath returns the analyzer backing the //sensolint:hotpath
+// annotation. The benchmarks and AllocsPerRun tests from PRs 2 and 5 pin
+// zero allocations for a handful of entry points; the annotation turns that
+// into a per-statement guarantee checked at lint time: the driver runs
+// `go build -gcflags=<pkg>=-m=1` for every package containing an annotated
+// function and fails if the compiler reports a heap allocation ("escapes to
+// heap", "moved to heap") inside an annotated body.
+//
+// dir is the module root to run the go tool in; an empty dir disables the
+// compile step (golden tests analyzing synthetic files), leaving only the
+// annotation-placement checks.
+//
+// Two placement rules keep the gate sound: the annotation must sit in a
+// function's doc comment (anywhere else it silently checks nothing), and it
+// must not be applied to generic code — uninstantiated generic bodies are
+// not compiled, so the compiler would have nothing to report and the gate
+// would pass vacuously.
+func NewHotpath(dir string) *Analyzer {
+	return &Analyzer{
+		Name:   "hotpath",
+		Doc:    "check //sensolint:hotpath functions against compiler escape analysis",
+		Run:    runHotpathPlacement,
+		Export: exportHotpathFacts,
+		Finish: func(facts *Facts) []Diagnostic { return finishHotpath(dir, facts) },
+	}
+}
+
+const hotpathFactNS = "hotpath"
+
+// hotpathFact is one annotated function: its package, file, and line range.
+type hotpathFact struct {
+	pkgPath   string
+	funcName  string
+	file      string
+	startLine int
+	endLine   int
+}
+
+// isHotpathFunc reports whether the function's doc comment carries the
+// //sensolint:hotpath directive.
+func isHotpathFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if isHotpathComment(c) {
+			return true
+		}
+	}
+	return false
+}
+
+func isHotpathComment(c *ast.Comment) bool {
+	if !strings.HasPrefix(c.Text, hotpathDirective) {
+		return false
+	}
+	rest := strings.TrimPrefix(c.Text, hotpathDirective)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// runHotpathPlacement validates where annotations appear.
+func runHotpathPlacement(pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		valid := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if !isHotpathComment(c) {
+					continue
+				}
+				valid[c] = true
+				if generic, how := genericFunc(pkg, fd); generic {
+					out = append(out, Diagnostic{
+						Pos:  pkg.Fset.Position(c.Pos()),
+						Rule: "hotpath",
+						Message: "//sensolint:hotpath on " + how + " is unsupported: uninstantiated " +
+							"generic bodies are not compiled, so escape analysis would check nothing",
+					})
+				} else if fd.Body == nil {
+					out = append(out, Diagnostic{
+						Pos:     pkg.Fset.Position(c.Pos()),
+						Rule:    "hotpath",
+						Message: "//sensolint:hotpath on a bodyless declaration checks nothing",
+					})
+				}
+			}
+		}
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if isHotpathComment(c) && !valid[c] {
+					out = append(out, Diagnostic{
+						Pos:  pkg.Fset.Position(c.Pos()),
+						Rule: "hotpath",
+						Message: "misplaced //sensolint:hotpath: the directive must be part of a " +
+							"function's doc comment to take effect",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// genericFunc reports whether fd is a generic function or a method of a
+// generic type.
+func genericFunc(pkg *Package, fd *ast.FuncDecl) (bool, string) {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return false, ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.TypeParams() != nil && sig.TypeParams().Len() > 0 {
+		return true, "a generic function"
+	}
+	if sig.RecvTypeParams() != nil && sig.RecvTypeParams().Len() > 0 {
+		return true, "a method of a generic type"
+	}
+	return false, ""
+}
+
+// exportHotpathFacts records the line range of every validly annotated
+// function.
+func exportHotpathFacts(pkg *Package, facts *Facts) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathFunc(fd) {
+				continue
+			}
+			if generic, _ := genericFunc(pkg, fd); generic {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			name := fd.Name.Name
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				name = fn.FullName()
+			}
+			facts.Put(hotpathFactNS, pkg.Path+"#"+name, &hotpathFact{
+				pkgPath:   pkg.Path,
+				funcName:  name,
+				file:      start.Filename,
+				startLine: start.Line,
+				endLine:   end.Line,
+			})
+		}
+	}
+}
+
+// finishHotpath shells out to the compiler once per annotated package and
+// reports every heap allocation landing inside an annotated line range.
+func finishHotpath(dir string, facts *Facts) []Diagnostic {
+	if dir == "" {
+		return nil
+	}
+	byPkg := make(map[string][]*hotpathFact)
+	for _, k := range facts.Keys(hotpathFactNS) {
+		v, _ := facts.Get(hotpathFactNS, k)
+		f, ok := v.(*hotpathFact)
+		if !ok {
+			continue
+		}
+		byPkg[f.pkgPath] = append(byPkg[f.pkgPath], f)
+	}
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+
+	var out []Diagnostic
+	seen := map[string]bool{}
+	for _, pkgPath := range pkgs {
+		findings, err := runEscapeAnalysis(dir, pkgPath)
+		if err != nil {
+			out = append(out, Diagnostic{
+				Pos:     position(dir, 0, 0),
+				Rule:    "hotpath",
+				Message: "escape analysis of " + pkgPath + " failed: " + err.Error(),
+			})
+			continue
+		}
+		for _, fd := range findings {
+			for _, fact := range byPkg[pkgPath] {
+				if fd.file != fact.file || fd.line < fact.startLine || fd.line > fact.endLine {
+					continue
+				}
+				key := fd.file + ":" + itoa(fd.line) + ":" + itoa(fd.col) + ":" + fd.msg
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Diagnostic{
+					Pos:  position(fd.file, fd.line, fd.col),
+					Rule: "hotpath",
+					Message: "heap allocation in //sensolint:hotpath function " + fact.funcName +
+						": " + fd.msg,
+				})
+				break
+			}
+		}
+	}
+	return out
+}

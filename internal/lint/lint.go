@@ -20,6 +20,25 @@
 //   - pkgdoc:     every package must carry a package doc comment opening
 //     with "Package <name>" (or "Command " for main packages).
 //
+// On top of the per-package rules, a second generation of analyzers proves
+// whole-program concurrency and allocation discipline. They run in two
+// phases: an Export phase records per-package facts into a shared Facts
+// store, and a Finish phase merges the facts module-wide — the stdlib-only
+// equivalent of golang.org/x/tools go/analysis facts:
+//
+//   - goroutineleak: every go statement needs a visible termination path —
+//     a context/done-channel signal, a sync.WaitGroup registration, or a
+//     bounded-loop proof propagated through the module call graph.
+//   - lockorder:  the mutex-acquisition graph inferred across packages must
+//     be a DAG; cycles (potential deadlocks) fail the build, and the merged
+//     graph is printable on demand (sensolint -lockgraph).
+//   - chandiscipline: sends on unbuffered or unknown-capacity channels must
+//     be select-with-default; inside //sensolint:hotpath functions every
+//     send must be, matching the drop-instead-of-block policy.
+//   - hotpath:    functions annotated //sensolint:hotpath are checked
+//     against the compiler's escape analysis (go build -gcflags=-m); any
+//     heap allocation inside an annotated function fails the run.
+//
 // Legitimate exceptions are annotated at the call site with
 //
 //	//lint:ignore <rule> <reason>
@@ -68,7 +87,9 @@ type Package struct {
 	Info *types.Info
 }
 
-// Analyzer is one named rule over a single package.
+// Analyzer is one named rule. Single-package rules implement Run only;
+// whole-program rules implement Export (record per-package facts) and
+// Finish (judge the merged facts). An analyzer may implement any subset.
 type Analyzer struct {
 	// Name is the rule name used in diagnostics and ignore directives.
 	Name string
@@ -76,11 +97,20 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and returns its findings.
 	Run func(pkg *Package) []Diagnostic
+	// Export records cross-package facts about one package. It runs for
+	// every package before any Finish runs.
+	Export func(pkg *Package, facts *Facts)
+	// Finish judges the merged fact store after every package has been
+	// exported, returning module-wide findings.
+	Finish func(facts *Facts) []Diagnostic
 }
 
 // Suite returns the full sensolint analyzer set configured for the module
-// rooted at modulePath (the repo uses "repro").
-func Suite(modulePath string) []*Analyzer {
+// rooted at modulePath (the repo uses "repro"). dir is the module root
+// directory on disk; it enables the hotpath escape-analysis gate, which
+// shells out to the go tool. An empty dir disables that gate (used by
+// golden tests that analyze a synthetic file set).
+func Suite(modulePath, dir string) []*Analyzer {
 	return []*Analyzer{
 		NewWallclock(modulePath + "/internal/vclock"),
 		NewGlobalrand(),
@@ -88,6 +118,10 @@ func Suite(modulePath string) []*Analyzer {
 		NewDroppederr(),
 		NewMutexhold(),
 		NewPkgdoc(),
+		NewGoroutineleak(modulePath),
+		NewLockorder(modulePath),
+		NewChandiscipline(),
+		NewHotpath(dir),
 	}
 }
 
@@ -104,20 +138,48 @@ type RunOptions struct {
 // //lint:ignore directives, and returns the surviving diagnostics sorted by
 // position.
 func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
-	var out []Diagnostic
+	out, _ := RunWithFacts(pkgs, analyzers, opts)
+	return out
+}
+
+// RunWithFacts is Run, additionally returning the merged fact store so
+// callers (sensolint -lockgraph) can render module-wide artifacts such as
+// the inferred lock-order graph.
+//
+// Directive matching is by filename and line, so one module-wide set is
+// equivalent to the old per-package sets for Run-phase findings — and it is
+// required for Finish-phase findings, which are emitted after every package
+// has been visited but must still honor (and mark used) the directives of
+// whichever package they point into.
+func RunWithFacts(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) ([]Diagnostic, *Facts) {
+	facts := NewFacts()
+	dirs := &directiveSet{}
+	var raw []Diagnostic
 	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg)
+		dirs.all = append(dirs.all, collectDirectives(pkg).all...)
 		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
-				if dirs.suppress(d) {
-					continue
-				}
-				out = append(out, d)
+			if a.Export != nil {
+				a.Export(pkg, facts)
+			}
+			if a.Run != nil {
+				raw = append(raw, a.Run(pkg)...)
 			}
 		}
-		if opts.EnforceDirectives {
-			out = append(out, dirs.problems()...)
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			raw = append(raw, a.Finish(facts)...)
 		}
+	}
+	var out []Diagnostic
+	for _, d := range raw {
+		if dirs.suppress(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	if opts.EnforceDirectives {
+		out = append(out, dirs.problems()...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
@@ -132,5 +194,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
+	return out, facts
 }

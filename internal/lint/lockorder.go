@@ -1,0 +1,581 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockorder returns the whole-program analyzer that infers the module's
+// mutex-acquisition graph and requires it to be a DAG. Mutexes are grouped
+// into classes by declaration site ("repro/internal/mqtt.Broker.mu" for a
+// field, "pkg.varname" for a package-level var); an edge A -> B means some
+// code path acquires B while holding A. Cycles are potential deadlocks: two
+// goroutines entering the cycle from different nodes can block each other
+// forever, which in this middleware would wedge the ingest or fan-out path
+// under exactly the load the paper's evaluation exercises.
+//
+// Export records, per function, the classes it acquires, the nested
+// acquisitions it performs directly, and the module-internal calls it makes
+// while holding locks. Finish closes the callee acquire sets transitively
+// (a call made under lock A to a function that eventually acquires B yields
+// the edge A -> B), merges all edges, and reports every edge participating
+// in a cycle. The merged graph is kept in the fact store so sensolint can
+// print it (-lockgraph).
+//
+// Like mutexhold, the walker is intra-procedurally conservative: branch
+// bodies see a copy of the held set, function literals are independent
+// bodies, and deferred unlocks keep the lock held to the end of the body.
+func NewLockorder(modulePath string) *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "require the cross-package mutex-acquisition graph to be a DAG",
+		Export: func(pkg *Package, facts *Facts) {
+			exportLockFacts(modulePath, pkg, facts)
+		},
+		Finish: finishLockorder,
+	}
+}
+
+const lockFactNS = "lockorder"
+
+// LockEdge is one inferred ordering constraint: To was acquired at Pos while
+// From was held.
+type LockEdge struct {
+	From, To string
+	Pos      token.Position
+}
+
+// LockGraph is the merged module-wide acquisition graph, exposed through the
+// fact store for sensolint -lockgraph.
+type LockGraph struct {
+	Edges []LockEdge
+}
+
+// lockCallFact is a module-internal call made while holding locks; the
+// callee's transitive acquire set becomes edges at Finish time.
+type lockCallFact struct {
+	held   []string
+	callee string
+	pos    token.Position
+}
+
+// lockFuncFact is the per-function summary exported to the fact store.
+type lockFuncFact struct {
+	acquires []string
+	callees  []string
+	edges    []LockEdge
+	calls    []lockCallFact
+}
+
+func exportLockFacts(modulePath string, pkg *Package, facts *Facts) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			w := &lockWalker{modulePath: modulePath, pkg: pkg, fact: &lockFuncFact{}}
+			w.walkStmts(fd.Body.List, nil)
+			facts.Put(lockFactNS, fn.FullName(), w.fact)
+			// Function literals are separate bodies: they neither inherit the
+			// enclosing held set (goroutines, stored callbacks) nor export
+			// callable summaries, but nested acquisitions inside them are
+			// still ordering constraints worth recording.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				lit, ok := n.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				lw := &lockWalker{modulePath: modulePath, pkg: pkg, fact: &lockFuncFact{}}
+				lw.walkStmts(lit.Body.List, nil)
+				if len(lw.fact.edges) > 0 || len(lw.fact.calls) > 0 {
+					pos := pkg.Fset.Position(lit.Pos())
+					key := fn.FullName() + "$lit:" + itoa(pos.Line)
+					facts.Put(lockFactNS, key, lw.fact)
+				}
+				return false
+			})
+		}
+	}
+}
+
+// heldLock is one acquisition on the walker's stack.
+type heldLock struct {
+	class string
+	pos   token.Position
+}
+
+type lockWalker struct {
+	modulePath string
+	pkg        *Package
+	fact       *lockFuncFact
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range stmts {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if class, op, ok := w.lockClassOp(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				pos := w.pkg.Fset.Position(s.Pos())
+				w.recordAcquire(class, pos, held)
+				return append(held, heldLock{class: class, pos: pos})
+			case "Unlock", "RUnlock":
+				return popHeld(held, class)
+			}
+			return held
+		}
+		w.recordCalls(s.X, held)
+	case *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.DeclStmt, *ast.SendStmt:
+		w.recordCalls(s, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the body;
+		// other deferred calls run at return with the then-current held set,
+		// approximated by the current one.
+		if _, _, ok := w.lockClassOp(s.Call); !ok {
+			w.recordCalls(s.Call, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine does not inherit this function's locks; its literal
+		// body (if any) is summarized separately by exportLockFacts.
+		return held
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.recordCalls(s.Cond, held)
+		w.walkStmts(s.Body.List, copyLocks(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyLocks(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.recordCalls(s.Cond, held)
+		}
+		w.walkStmts(s.Body.List, copyLocks(held))
+	case *ast.RangeStmt:
+		w.recordCalls(s.X, held)
+		w.walkStmts(s.Body.List, copyLocks(held))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			body = sw.Body
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyLocks(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyLocks(held))
+			}
+		}
+	}
+	return held
+}
+
+// recordAcquire notes that class was acquired at pos, adding one direct edge
+// per currently held class.
+func (w *lockWalker) recordAcquire(class string, pos token.Position, held []heldLock) {
+	w.fact.acquires = appendUnique(w.fact.acquires, class)
+	for _, h := range held {
+		w.fact.edges = append(w.fact.edges, LockEdge{From: h.class, To: class, Pos: pos})
+	}
+}
+
+// recordCalls registers the module-internal static callees reachable in n:
+// always into the callee list (for the transitive acquire closure), and as
+// held calls when locks are held. Function literals are skipped — they are
+// separate bodies.
+func (w *lockWalker) recordCalls(n ast.Node, held []heldLock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn *types.Func
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			fn, _ = w.pkg.Info.Uses[fun].(*types.Func)
+		case *ast.SelectorExpr:
+			fn, _ = w.pkg.Info.Uses[fun.Sel].(*types.Func)
+		}
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		p := fn.Pkg().Path()
+		if p != w.modulePath && !strings.HasPrefix(p, w.modulePath+"/") {
+			return true
+		}
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			return true
+		}
+		key := fn.FullName()
+		w.fact.callees = appendUnique(w.fact.callees, key)
+		if len(held) > 0 {
+			classes := make([]string, len(held))
+			for i, h := range held {
+				classes[i] = h.class
+			}
+			w.fact.calls = append(w.fact.calls, lockCallFact{
+				held:   classes,
+				callee: key,
+				pos:    w.pkg.Fset.Position(call.Pos()),
+			})
+		}
+		return true
+	})
+}
+
+// lockClassOp reports whether expr is a Lock/RLock/Unlock/RUnlock call on a
+// sync mutex, returning the mutex's declaration-site class.
+func (w *lockWalker) lockClassOp(expr ast.Expr) (class, op string, ok bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isSyncMutex(recv.Type()) {
+		return "", "", false
+	}
+	return w.mutexClass(sel.X), name, true
+}
+
+// mutexClass names the declaration site of the mutex expression: the owning
+// type and field for struct fields, the package path and name for
+// package-level vars, and a function-local key otherwise. Instances of one
+// class share one graph node — the hierarchy is between declaration sites,
+// not runtime objects.
+func (w *lockWalker) mutexClass(x ast.Expr) string {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.SelectorExpr:
+		if obj, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok {
+			if obj.IsField() {
+				if s, ok := w.pkg.Info.Selections[x]; ok {
+					return lockTypeKey(s.Recv()) + "." + obj.Name()
+				}
+				if t := w.pkg.Info.TypeOf(x.X); t != nil {
+					return lockTypeKey(t) + "." + obj.Name()
+				}
+			}
+			if obj.Pkg() != nil {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := w.pkg.Info.Uses[x].(*types.Var); ok && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			return obj.Pkg().Path() + ".local." + obj.Name()
+		}
+	}
+	// Embedded mutex promoted to the outer type (x.Lock()), or an
+	// expression we cannot attribute: fall back to the static type.
+	if t := w.pkg.Info.TypeOf(x); t != nil {
+		return lockTypeKey(t) + ".(embedded)"
+	}
+	return w.pkg.Path + ".(unknown)"
+}
+
+// lockTypeKey names a type for class keys: package path + base type name.
+func lockTypeKey(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return types.TypeString(t, nil)
+}
+
+func popHeld(held []heldLock, class string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class {
+			return append(held[:i:i], held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func copyLocks(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func appendUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// finishLockorder closes the acquire sets over the call graph, merges every
+// edge, stores the graph for -lockgraph, and reports cycles.
+func finishLockorder(facts *Facts) []Diagnostic {
+	keys := facts.Keys(lockFactNS)
+	summaries := make(map[string]*lockFuncFact, len(keys))
+	for _, k := range keys {
+		if v, _ := facts.Get(lockFactNS, k); v != nil {
+			if f, ok := v.(*lockFuncFact); ok {
+				summaries[k] = f
+			}
+		}
+	}
+
+	// Transitive acquires: acqAll(f) = acquires(f) ∪ ⋃ acqAll(callees).
+	acqAll := make(map[string]map[string]bool, len(summaries))
+	for k, f := range summaries {
+		set := make(map[string]bool, len(f.acquires))
+		for _, a := range f.acquires {
+			set[a] = true
+		}
+		acqAll[k] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, f := range summaries {
+			set := acqAll[k]
+			for _, c := range f.callees {
+				for a := range acqAll[c] {
+					if !set[a] {
+						set[a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	var edges []LockEdge
+	for _, k := range keys {
+		f, ok := summaries[k]
+		if !ok {
+			continue
+		}
+		edges = append(edges, f.edges...)
+		for _, call := range f.calls {
+			for to := range acqAll[call.callee] {
+				for _, from := range call.held {
+					edges = append(edges, LockEdge{From: from, To: to, Pos: call.pos})
+				}
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return posLess(a.Pos, b.Pos)
+	})
+	dedup := edges[:0]
+	for _, e := range edges {
+		if n := len(dedup); n > 0 && dedup[n-1].From == e.From && dedup[n-1].To == e.To {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	edges = dedup
+	facts.Put(lockFactNS, "__graph", &LockGraph{Edges: edges})
+
+	comp, compSize := sccComponents(edges)
+	var out []Diagnostic
+	for _, e := range edges {
+		if e.From != e.To {
+			// Only edges inside one strongly connected component of size
+			// >= 2 lie on a cycle; bridges between components do not.
+			if comp[e.From] != comp[e.To] || compSize[comp[e.From]] < 2 {
+				continue
+			}
+		}
+		if e.From == e.To {
+			out = append(out, Diagnostic{
+				Pos:  e.Pos,
+				Rule: "lockorder",
+				Message: "two " + e.From + " instances locked while one is already held; " +
+					"same-class nesting has no defined order — impose one (e.g. by index) or restructure",
+			})
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  e.Pos,
+			Rule: "lockorder",
+			Message: "lock-order cycle: " + e.To + " acquired while " + e.From +
+				" is held, and another path acquires them in the opposite order (run sensolint -lockgraph)",
+		})
+	}
+	return out
+}
+
+// sccComponents runs Tarjan's algorithm over the acquisition graph and
+// returns each node's strongly-connected-component id plus the component
+// sizes. Edges within one component of size >= 2 lie on a cycle.
+func sccComponents(edges []LockEdge) (map[string]int, map[int]int) {
+	adj := make(map[string][]string)
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		if _, ok := adj[e.To]; !ok {
+			adj[e.To] = nil
+		}
+	}
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	next := 0
+	comp := make(map[string]int)
+	compSize := make(map[int]int)
+	compID := 0
+
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	type frame struct {
+		node string
+		i    int
+	}
+	for _, root := range nodes {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		var callStack []frame
+		push := func(n string) {
+			index[n] = next
+			low[n] = next
+			next++
+			stack = append(stack, n)
+			onStack[n] = true
+			callStack = append(callStack, frame{node: n})
+		}
+		push(root)
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.i < len(adj[f.node]) {
+				child := adj[f.node][f.i]
+				f.i++
+				if _, seen := index[child]; !seen {
+					push(child)
+				} else if onStack[child] {
+					if index[child] < low[f.node] {
+						low[f.node] = index[child]
+					}
+				}
+				continue
+			}
+			// Node finished: pop its SCC if it is a root.
+			if low[f.node] == index[f.node] {
+				for {
+					n := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[n] = false
+					comp[n] = compID
+					compSize[compID]++
+					if n == f.node {
+						break
+					}
+				}
+				compID++
+			}
+			done := *f
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := &callStack[len(callStack)-1]
+				if low[done.node] < low[parent.node] {
+					low[parent.node] = low[done.node]
+				}
+			}
+		}
+	}
+	return comp, compSize
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// FormatLockGraph renders the merged acquisition graph from a fact store
+// produced by RunWithFacts, for sensolint -lockgraph.
+func FormatLockGraph(facts *Facts) string {
+	v, _ := facts.Get(lockFactNS, "__graph")
+	g, _ := v.(*LockGraph)
+	if g == nil || len(g.Edges) == 0 {
+		return "lock-order graph: no nested acquisitions found\n"
+	}
+	var b strings.Builder
+	b.WriteString("lock-order graph (A -> B: B acquired while A held):\n")
+	for _, e := range g.Edges {
+		b.WriteString("  ")
+		b.WriteString(e.From)
+		b.WriteString(" -> ")
+		b.WriteString(e.To)
+		b.WriteString("  # ")
+		b.WriteString(e.Pos.Filename)
+		b.WriteString(":")
+		b.WriteString(itoa(e.Pos.Line))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

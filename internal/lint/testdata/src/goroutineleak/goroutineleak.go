@@ -1,0 +1,107 @@
+// Package goroutineleak exercises the goroutineleak analyzer: spawns with a
+// stop signal, a WaitGroup join, or a bounded-loop proof pass; everything
+// else is flagged.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Positive: an inline literal looping forever with no signal.
+func spawnForever() {
+	go func() { // want "no visible termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// Positive: a named function that loops forever, resolved through the
+// module call graph.
+func spawnNamedForever() {
+	go forever() // want "no visible termination path"
+}
+
+func forever() {
+	for {
+		work()
+	}
+}
+
+// Positive: termination is contagious — a bounded wrapper around a
+// non-terminating callee leaks too.
+func spawnWrappedForever() {
+	go wrapsForever() // want "no visible termination path"
+}
+
+func wrapsForever() {
+	work()
+	forever()
+}
+
+// Positive: a function value cannot be proven to terminate.
+func spawnFuncValue(fn func()) {
+	go fn() // want "cannot be resolved statically"
+}
+
+// Negative: a done channel makes the loop stoppable.
+func spawnWithDone(done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Negative: a context parameter is a termination signal, found through the
+// named callee's exported fact.
+func spawnWithContext(ctx context.Context) {
+	go runUntil(ctx)
+}
+
+func runUntil(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Negative: a WaitGroup registration means an owner joins the goroutine.
+func spawnJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			work()
+		}
+	}()
+}
+
+// Negative: all loops bounded, all callees terminating.
+func spawnBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// Negative: range over a channel ends when the channel is closed.
+func spawnRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Suppressed: a process-lifetime daemon, excused with a reason.
+func spawnSuppressed() {
+	//lint:ignore goroutineleak process-lifetime daemon, reaped at exit
+	go forever()
+}

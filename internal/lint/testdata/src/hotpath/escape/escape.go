@@ -1,0 +1,44 @@
+// Package escape exercises the hotpath escape-analysis gate: the driver
+// compiles this package with -gcflags=-m and maps heap allocations back to
+// annotated line ranges.
+package escape
+
+var sink *int
+
+// Negative: arithmetic over a borrowed slice allocates nothing.
+//
+//sensolint:hotpath
+func clean(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Positive: the returned slice must live on the heap.
+//
+//sensolint:hotpath
+func allocates() []byte {
+	buf := make([]byte, 64) // want "heap allocation in //sensolint:hotpath function"
+	return buf
+}
+
+// Negative: the same allocation outside an annotated function is not the
+// hotpath analyzer's business.
+func coldAlloc() []byte {
+	buf := make([]byte, 64)
+	return buf
+}
+
+// Suppressed: a documented cold path inside a hot function.
+//
+//sensolint:hotpath
+func mostlyClean(fail bool) *int {
+	if fail {
+		//lint:ignore hotpath error path only, never taken steady-state
+		v := new(int)
+		sink = v
+	}
+	return sink
+}

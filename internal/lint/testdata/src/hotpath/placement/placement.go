@@ -1,0 +1,40 @@
+// Package placement exercises the hotpath annotation-placement rules: the
+// directive must sit in a non-generic function's doc comment.
+package placement
+
+// Negative: a correctly annotated function.
+//
+//sensolint:hotpath
+func annotated(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Positive: the directive inside a body attaches to nothing.
+func body() int {
+	//sensolint:hotpath // want "misplaced //sensolint:hotpath"
+	x := 1
+	return x
+}
+
+// Positive: uninstantiated generic bodies are not compiled, so the gate
+// would check nothing.
+//
+//sensolint:hotpath // want "generic function is unsupported"
+func generic[T any](v T) T { return v }
+
+type box[T any] struct{ v T }
+
+// Positive: methods of generic types are generic code too.
+//
+//sensolint:hotpath // want "method of a generic type is unsupported"
+func (b *box[T]) get() T { return b.v }
+
+// Positive: a free-floating directive between declarations.
+//
+//sensolint:hotpath // want "misplaced //sensolint:hotpath"
+
+var sink int

@@ -1,0 +1,66 @@
+// Package lockorder exercises the lockorder analyzer: opposite-order
+// acquisitions form a cycle and every edge on it is reported; consistent
+// hierarchies — including ones crossing function calls — pass.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// Positive: abOrder and baOrder acquire A.mu and B.mu in opposite orders.
+func abOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Positive: two instances of one class nested — no defined order.
+func selfNest(x, y *A) {
+	x.mu.Lock()
+	y.mu.Lock() // want "instances locked while one is already held"
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// Negative: a consistent hierarchy across a call — C.mu is always outer,
+// D.mu always inner (the edge comes from lockD's exported acquire set).
+func cdOuter(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d)
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Suppressed: an intentional inversion, excused on both edges with reasons.
+func efOrder(e *E, f *F) {
+	e.mu.Lock()
+	//lint:ignore lockorder init-time only, never concurrent with feOrder
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func feOrder(e *E, f *F) {
+	f.mu.Lock()
+	//lint:ignore lockorder init-time only, never concurrent with efOrder
+	e.mu.Lock()
+	e.mu.Unlock()
+	f.mu.Unlock()
+}

@@ -178,7 +178,18 @@ func (b *Broker) Serve(l net.Listener) error {
 				return fmt.Errorf("mqtt: accept: %w", err)
 			}
 		}
+		// The Add must be gated on closed under b.mu: a bare wg.Add(1) here
+		// races Close's wg.Wait — Add is not allowed to start the counter
+		// from zero concurrently with Wait, and an accept sneaking in after
+		// Close finished would leak an untracked session goroutine.
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
 		b.wg.Add(1)
+		b.mu.Unlock()
 		go func() {
 			defer b.wg.Done()
 			b.handleConn(conn)
@@ -467,6 +478,8 @@ func (s *session) readLoop() {
 // copy-on-write trie, the PUBLISH body is encoded at most once per
 // effective QoS, and deliveries are handed to each session's bounded
 // writer queue so a slow subscriber never blocks the publisher.
+//
+//sensolint:hotpath
 func (b *Broker) route(m Message) {
 	start := b.clock.Now()
 	sp := b.tracer.Start("mqtt.route", 0)
@@ -521,6 +534,8 @@ func (b *Broker) route(m Message) {
 // deliver encodes m for this session alone (retained replay on SUBSCRIBE)
 // and hands it to the session's writer queue, keeping it ordered with any
 // concurrent route fan-out.
+//
+//sensolint:hotpath
 func (s *session) deliver(m Message, subQoS byte) {
 	qos := m.QoS
 	if subQoS < qos {
@@ -534,6 +549,8 @@ func (s *session) deliver(m Message, subQoS byte) {
 // enqueue hands a shared frame to the session's writer, taking a
 // reference. A full queue drops the delivery (counted) instead of
 // blocking the publisher.
+//
+//sensolint:hotpath
 func (s *session) enqueue(f *frame) {
 	f.refs.Add(1)
 	select {
@@ -569,6 +586,8 @@ func (s *session) writeLoop() {
 
 // writeFrame puts one delivery on the wire; failures surface as the
 // session dying, exactly like the old synchronous path.
+//
+//sensolint:hotpath
 func (s *session) writeFrame(f *frame) {
 	buf := f.buf
 	if f.qos == 1 {

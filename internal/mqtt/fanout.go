@@ -51,6 +51,8 @@ var framePool = sync.Pool{New: func() any { return &frame{} }}
 
 // newPublishFrame encodes m once at the given effective QoS. The caller
 // holds one reference; each enqueue takes its own.
+//
+//sensolint:hotpath
 func newPublishFrame(m Message, qos byte) *frame {
 	f := framePool.Get().(*frame)
 	f.refs.Store(1)
@@ -91,6 +93,8 @@ func newPublishFrame(m Message, qos byte) *frame {
 
 // release drops one reference and recycles the frame when the last
 // holder lets go.
+//
+//sensolint:hotpath
 func (f *frame) release() {
 	if f.refs.Add(-1) == 0 && cap(f.buf) <= maxPooledFrame {
 		framePool.Put(f)
@@ -115,6 +119,8 @@ var scratchPool = sync.Pool{New: func() any {
 
 // split partitions the matched entries into deduplicated session targets
 // and local handlers.
+//
+//sensolint:hotpath
 func (c *routeScratch) split() {
 	c.targets = c.targets[:0]
 	c.locals = c.locals[:0]

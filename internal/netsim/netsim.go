@@ -192,6 +192,25 @@ func (n *Network) Dial(srcHost, dstAddr string) (net.Conn, error) {
 
 	select {
 	case l.accept <- serverEnd:
+		// The enqueue can race listener close: if close ran its stranded-conn
+		// drain before the send landed, the server end would sit in the queue
+		// forever. Re-checking closed under l.mu decides it — close holds the
+		// same lock, so either its drain saw our conn, or we see closed here
+		// and sweep the queue ourselves.
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			for {
+				select {
+				case c := <-l.accept:
+					_ = c.Close()
+				default:
+					_ = clientEnd.Close()
+					return nil, fmt.Errorf("netsim: dial %q: %w", dstAddr, ErrConnectionRefused)
+				}
+			}
+		}
 		return clientEnd, nil
 	case <-l.done:
 		_ = clientEnd.Close()
@@ -259,6 +278,18 @@ func (l *listener) close() {
 	if !l.closed {
 		l.closed = true
 		close(l.done)
+		// Dialers that won the race into the accept queue before done
+		// closed are still holding live client ends. Nothing will ever
+		// Accept them now, so close the queued server ends: the peers
+		// observe EOF instead of hanging until their read deadlines.
+		for {
+			select {
+			case c := <-l.accept:
+				_ = c.Close()
+			default:
+				return
+			}
+		}
 	}
 }
 

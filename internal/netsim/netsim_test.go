@@ -337,3 +337,73 @@ func TestLinkDelayComputation(t *testing.T) {
 		t.Fatalf("zero link delay = %v, want 0", d)
 	}
 }
+
+// TestListenerCloseClosesQueuedConns is the regression test for listener
+// close stranding never-accepted connections: a dial that lands in the
+// accept queue before Close must see its conn closed (EOF on read), not
+// hang until a read deadline fires.
+func TestListenerCloseClosesQueuedConns(t *testing.T) {
+	n := newTestNetwork(t)
+	l, err := n.Listen("server:1883")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	// Queue three dials without ever calling Accept.
+	conns := make([]net.Conn, 0, 3)
+	for i := 0; i < 3; i++ {
+		c, err := n.Dial("mobile", "server:1883")
+		if err != nil {
+			t.Fatalf("Dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, c := range conns {
+		if err := c.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatalf("SetReadDeadline %d: %v", i, err)
+		}
+		buf := make([]byte, 1)
+		_, err := c.Read(buf)
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("conn %d: read after listener close = %v, want EOF", i, err)
+		}
+		_ = c.Close()
+	}
+}
+
+// TestDialRacingListenerClose hammers the dial/close race: every dial must
+// either be refused outright or hand back a conn whose peer is eventually
+// closed — no connection may be stranded in the accept queue unobserved.
+func TestDialRacingListenerClose(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		n := newTestNetwork(t)
+		l, err := n.Listen("server:1883")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		var wg sync.WaitGroup
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := n.Dial("mobile", "server:1883")
+				if err != nil {
+					return // refused: fine
+				}
+				// Accepted into the queue but never served: the close
+				// sweep must deliver EOF.
+				_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+				buf := make([]byte, 1)
+				if _, rerr := c.Read(buf); !errors.Is(rerr, io.EOF) {
+					t.Errorf("iter %d: stranded dial: read = %v, want EOF", iter, rerr)
+				}
+				_ = c.Close()
+			}()
+		}
+		_ = l.Close()
+		wg.Wait()
+		_ = n.Close()
+	}
+}

@@ -111,10 +111,13 @@ func (m *Manager) SubscribeAdaptive(modality string, s Settings, policy *Adaptiv
 		done:     make(chan struct{}),
 	}
 	m.subs[sub.id] = sub
+	// Anchored before return for the same lost-cycle reason as Subscribe:
+	// the schedule must be fixed when the caller resumes.
+	anchor := m.dev.Clock().Now()
 	sub.wg.Add(1)
 	go func() {
 		defer sub.wg.Done()
-		sub.loop()
+		sub.loop(anchor)
 	}()
 	return sub, nil
 }

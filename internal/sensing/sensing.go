@@ -99,10 +99,16 @@ func (m *Manager) Subscribe(modality string, s Settings, fn func(sensors.Reading
 		done:     make(chan struct{}),
 	}
 	m.subs[sub.id] = sub
+	// The schedule anchor is captured before Subscribe returns. Anchoring
+	// inside the goroutine raced external clock advances: an advance landing
+	// between Subscribe returning and the goroutine's first instruction
+	// pushed the whole cycle schedule one interval late, silently losing a
+	// sample a caller had every right to expect.
+	anchor := m.dev.Clock().Now()
 	sub.wg.Add(1)
 	go func() {
 		defer sub.wg.Done()
-		sub.loop()
+		sub.loop(anchor)
 	}()
 	return sub, nil
 }
@@ -149,34 +155,54 @@ type Subscription struct {
 // Modality returns the sampled modality.
 func (s *Subscription) Modality() string { return s.modality }
 
-func (s *Subscription) loop() {
-	t := s.manager.dev.Clock().NewTicker(s.settings.Interval)
-	defer t.Stop()
+// loop runs one timer per cycle against an absolute schedule
+// (anchor + k*interval) instead of a ticker. A ticker's buffered channel
+// drops a tick whenever the previous one has not been consumed yet, so two
+// clock advances landing before this goroutine is scheduled would silently
+// lose a cycle; the absolute schedule runs every elapsed interval exactly
+// once, no matter how the advances interleave with this goroutine.
+func (s *Subscription) loop(anchor time.Time) {
+	clk := s.manager.dev.Clock()
+	next := anchor.Add(s.settings.Interval)
 	// Duty-cycle accumulator: run a cycle each time the accumulated credit
 	// crosses 1. DutyCycle 1 runs every cycle; 0.5 every other cycle.
 	credit := 0.0
 	for {
-		select {
-		case <-t.C():
-			duty := s.settings.DutyCycle
-			if s.policy != nil {
-				duty *= s.policy.FactorFor(s.manager.dev.Battery().LevelFraction())
-			}
-			credit += duty
-			if credit < 1 {
-				continue
-			}
-			credit -= 1
-			r, err := s.manager.dev.Sample(s.modality)
-			if err != nil {
-				// Sampling a known modality only fails if the suite is
-				// misconfigured; stop rather than spin.
+		if d := next.Sub(clk.Now()); d > 0 {
+			t := clk.NewTimer(d)
+			select {
+			case <-t.C():
+			case <-s.done:
+				t.Stop()
 				return
 			}
-			s.fn(r)
-		case <-s.done:
+		} else {
+			// The clock already passed the deadline (an advance landed while
+			// the previous cycle ran, or before this goroutine started): run
+			// the cycle immediately so the elapsed interval is not lost.
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+		}
+		next = next.Add(s.settings.Interval)
+		duty := s.settings.DutyCycle
+		if s.policy != nil {
+			duty *= s.policy.FactorFor(s.manager.dev.Battery().LevelFraction())
+		}
+		credit += duty
+		if credit < 1 {
+			continue
+		}
+		credit -= 1
+		r, err := s.manager.dev.Sample(s.modality)
+		if err != nil {
+			// Sampling a known modality only fails if the suite is
+			// misconfigured; stop rather than spin.
 			return
 		}
+		s.fn(r)
 	}
 }
 

@@ -128,11 +128,11 @@ func TestSubscribeDutyCycleSkipsCycles(t *testing.T) {
 		t.Fatalf("Subscribe: %v", err)
 	}
 	clock.BlockUntilWaiters(1)
-	// 10 ticks at duty 0.5: 5 samples.
+	// 10 cycles at duty 0.5: 5 samples. The loop runs an absolute schedule,
+	// so every advanced interval produces exactly one cycle even if the
+	// subscription goroutine lags the advances.
 	for i := 0; i < 10; i++ {
 		clock.Advance(time.Minute)
-		// Give the subscription goroutine a chance to drain the tick; the
-		// manual ticker drops ticks when the consumer lags.
 		waitForCount(t, &mu, &count, (i+1)/2)
 	}
 	mu.Lock()
@@ -293,5 +293,35 @@ func TestSubscribeAdaptiveValidation(t *testing.T) {
 	m.Close()
 	if _, err := m.SubscribeAdaptive(sensors.ModalityWiFi, ok, DefaultAdaptivePolicy(), func(sensors.Reading) {}); err == nil {
 		t.Fatal("closed manager accepted")
+	}
+}
+
+// TestSubscribeAnchorsScheduleBeforeReturn is the regression test for the
+// schedule-anchor race: the sampling schedule used to be anchored inside
+// the subscription goroutine, so a clock advance landing between Subscribe
+// returning and that goroutine's first instruction pushed every cycle one
+// interval late and the advanced interval's sample never arrived. The
+// anchor is now captured before Subscribe returns, so an immediate advance
+// — no synchronization whatsoever — must still produce its sample.
+func TestSubscribeAnchorsScheduleBeforeReturn(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		clock := vclock.NewManual(epoch)
+		m := newManager(t, clock)
+		var mu sync.Mutex
+		count := 0
+		sub, err := m.Subscribe(sensors.ModalityWiFi, Settings{Interval: time.Minute, DutyCycle: 1},
+			func(sensors.Reading) {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+		if err != nil {
+			t.Fatalf("Subscribe: %v", err)
+		}
+		// Deliberately no BlockUntilWaiters: the advance races the loop
+		// goroutine's startup.
+		clock.Advance(time.Minute)
+		waitForCount(t, &mu, &count, 1)
+		sub.Stop()
 	}
 }

@@ -107,11 +107,26 @@ type Simulation struct {
 	// with the same per-session queue bound.
 	brokerFanoutQueue int
 
+	// serveWG tracks every listener-serve goroutine (broker accept loops,
+	// the HTTP server) so Close joins them instead of leaking acceptors
+	// into whatever runs next in the process.
+	serveWG sync.WaitGroup
+
 	mu      sync.Mutex
 	handles map[string]*Handle
 	httpSrv *http.Server
 	brokerL net.Listener
 	closers []func()
+}
+
+// serve runs f on a tracked goroutine; Close waits for every tracked serve
+// loop after the listeners feeding them are closed.
+func (s *Simulation) serve(f func()) {
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		f()
+	}()
 }
 
 // Handle bundles one user's device and mobile middleware.
@@ -160,8 +175,6 @@ func New(opts Options) (*Simulation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
-	go func() { _ = broker.Serve(brokerL) }()
-
 	srv, err := server.New(server.Options{
 		Clock:            opts.Clock,
 		Broker:           broker,
@@ -213,6 +226,9 @@ func New(opts Options) (*Simulation, error) {
 		handles:           make(map[string]*Handle),
 	}
 	s.brokerL = brokerL
+	// The accept loop starts only now that the Simulation exists, so it can
+	// be tracked; nothing dials the broker before New returns.
+	s.serve(func() { _ = broker.Serve(brokerL) })
 	s.closers = append(s.closers, func() {
 		s.mu.Lock()
 		l := s.brokerL
@@ -335,7 +351,7 @@ func (s *Simulation) StartHTTP() error {
 		return fmt.Errorf("sim: http listen: %w", err)
 	}
 	srv := &http.Server{Handler: s.Server.HTTPHandler()}
-	go func() { _ = srv.Serve(l) }()
+	s.serve(func() { _ = srv.Serve(l) })
 	s.httpSrv = srv
 	s.closers = append(s.closers, func() {
 		_ = srv.Close()
@@ -398,7 +414,7 @@ func (s *Simulation) RestartBroker() error {
 	if err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
 	}
-	go func() { _ = broker.Serve(l) }()
+	s.serve(func() { _ = broker.Serve(l) })
 	if err := s.Server.AttachBroker(broker); err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
 	}
@@ -429,5 +445,10 @@ func (s *Simulation) Close() {
 		closers[i]()
 	}
 	_ = s.Broker.Close()
+	// The closers above shut every listener, so each tracked serve loop's
+	// Accept has failed by now; the join is what keeps repeated
+	// build-run-Close cycles (RestartBroker tests, experiment sweeps) from
+	// accumulating acceptor goroutines.
+	s.serveWG.Wait()
 	_ = s.Fabric.Close()
 }
