@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lockgraph test race bench bench-smoke fuzz-smoke metrics-smoke experiments examples loc clean
+.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke metrics-smoke experiments examples loc clean
 
 all: build vet lint test fuzz-smoke
 
@@ -32,11 +32,18 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-# Smoke-run the ingest scaling and broker fan-out benches (one iteration
-# each): catches compile rot and harness deadlocks without paying full
-# benchmark time.
+# Simulator scaling bench: pooled fleets at 1k/10k/100k devices on the
+# timer-wheel manual clock, recording devices vs ns/tick vs heap
+# bytes/device into BENCH_sim.json (see DESIGN.md §12).
+bench-sim:
+	BENCH_SIM_JSON=BENCH_sim.json BENCH_SIM_BENCHTIME=10x \
+		$(GO) test -run '^$$' -bench 'BenchmarkSimDevices' -benchtime 10x .
+
+# Smoke-run the ingest scaling, broker fan-out and simulator scaling
+# benches (one iteration each): catches compile rot and harness deadlocks
+# without paying full benchmark time.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
 
 # Short coverage-guided runs of the wire-format fuzzer and the topic-trie
 # match cross-check: catches decode panics and trie/matcher divergence

@@ -23,8 +23,8 @@ go test -run '^$' -fuzz '^FuzzDecodeItem$' -fuzztime 10s ./internal/core
 echo "==> fuzz-smoke: FuzzTopicMatchConsistency (10s)"
 go test -run '^$' -fuzz '^FuzzTopicMatchConsistency$' -fuzztime 10s ./internal/mqtt
 
-echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x ."
-go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout' -benchtime 1x .
+echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x ."
+go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
 
 echo "==> go run ./cmd/obscheck"
 go run ./cmd/obscheck

@@ -1,11 +1,22 @@
 // Command sensocial-sim drives a complete SenSocial deployment — server,
-// broker, simulated OSN and a population of simulated users — through a
-// configurable scenario on a compressed clock, printing live statistics.
-// It is the workload generator behind the scalability discussion of §5.5.
+// broker, simulated OSN and a population of simulated devices — through a
+// configurable scenario, printing live statistics and an end-of-run
+// summary. It is the workload generator behind the scalability discussion
+// of §5.5.
 //
 // Usage:
 //
-//	sensocial-sim [-users 10] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096]
+//	sensocial-sim [-devices 10] [-mode auto] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096]
+//
+// Two device modes exist (-mode auto picks by fleet size):
+//
+//   - full: one complete middleware stack per device on a scaled
+//     real-time clock, plus simulated OSN activity. Full fidelity; fleets
+//     up to a few hundred devices.
+//   - pooled: struct-of-arrays device pool running sampling,
+//     classification and upload as scheduled events on the timer-wheel
+//     manual clock, advancing virtual time as fast as the host allows.
+//     This is how `-devices 100000 -hours 1` completes in seconds.
 //
 // With -trace N the deployment records up to N spans in a ring buffer and
 // dumps the canonical trace (see docs/OBSERVABILITY.md) after the run.
@@ -15,12 +26,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/behavior"
 	"repro/internal/core"
 	"repro/internal/energy"
+	"repro/internal/netsim"
 	"repro/internal/osn"
 	"repro/internal/sensors"
 	"repro/internal/sim"
@@ -28,19 +41,153 @@ import (
 )
 
 func main() {
-	users := flag.Int("users", 10, "number of simulated users")
+	devices := flag.Int("devices", 0, "number of simulated devices")
+	users := flag.Int("users", 0, "deprecated alias for -devices")
+	mode := flag.String("mode", "auto", "device mode: auto, full, or pooled")
 	hours := flag.Float64("hours", 1, "virtual hours to simulate")
-	speedup := flag.Float64("speedup", 600, "virtual seconds per real second")
-	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour")
+	speedup := flag.Float64("speedup", 600, "virtual seconds per real second (full mode)")
+	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour (full mode)")
 	traceCap := flag.Int("trace", 0, "span ring-buffer capacity; dump the trace after the run (0 = off)")
 	flag.Parse()
-	if err := run(*users, *hours, *speedup, *rate, *traceCap); err != nil {
+
+	n := *devices
+	if n == 0 {
+		n = *users
+	}
+	if n == 0 {
+		n = 10
+	}
+	pooled := false
+	switch *mode {
+	case "pooled":
+		pooled = true
+	case "full":
+	case "auto":
+		// Beyond a few hundred full stacks the goroutine-per-device path
+		// stops being the interesting experiment; switch to the pool.
+		pooled = n > 500
+	default:
+		fmt.Fprintf(os.Stderr, "sensocial-sim: unknown -mode %q (want auto, full or pooled)\n", *mode)
+		os.Exit(2)
+	}
+
+	var err error
+	if pooled {
+		err = runPooled(n, *hours, *traceCap)
+	} else {
+		err = runFull(n, *hours, *speedup, *rate, *traceCap)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(users int, hours, speedup float64, rate float64, traceCap int) error {
+// runPooled drives a pooled fleet on the manual clock, advancing virtual
+// time as fast as the host executes the scheduled events.
+func runPooled(devices int, hours float64, traceCap int) error {
+	if devices < 1 {
+		return fmt.Errorf("need at least one device")
+	}
+	clock := vclock.NewManual(time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC))
+	deployment, err := sim.New(sim.Options{
+		Clock: clock,
+		Seed:  42,
+		// The pooled experiment measures scheduler and pipeline cost, not
+		// link latency; an instantaneous link also lets the shared MQTT
+		// handshakes finish without virtual-time advances.
+		MobileLink:    &netsim.Link{},
+		DeviceMode:    sim.DeviceModePooled,
+		TraceCapacity: traceCap,
+	})
+	if err != nil {
+		return err
+	}
+	defer deployment.Close()
+
+	if err := deployment.AddDevices(devices); err != nil {
+		return err
+	}
+	if err := deployment.StartPool(); err != nil {
+		return err
+	}
+	if err := deployment.Pool.WaitReady(30 * time.Second); err != nil {
+		return err
+	}
+
+	fmt.Printf("sensocial-sim: %d pooled devices, %.1f virtual hours on the manual clock\n", devices, hours)
+	minutes := int(hours * 60)
+	if minutes < 1 {
+		minutes = 1
+	}
+	var peakHeap uint64
+	var ms runtime.MemStats
+	//lint:ignore wallclock ns/tick reports real host cost per virtual tick; the virtual clock is the thing being driven
+	start := time.Now()
+	for m := 1; m <= minutes; m++ {
+		clock.Advance(time.Minute)
+		// Peak-heap sampling is cheap relative to a 100k-device minute but
+		// not free; every 8 virtual minutes still catches the flush peaks.
+		if m%8 == 0 || m == minutes {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peakHeap {
+				peakHeap = ms.HeapAlloc
+			}
+		}
+		if m%60 == 0 || m == minutes {
+			st := deployment.Pool.Stats()
+			fmt.Printf("  t=%-8s samples=%-9d published=%-9d processed=%-9d drops=%d\n",
+				time.Duration(m)*time.Minute, st.Samples, st.ItemsPublished,
+				deployment.Server.Stats().Pipeline.Processed, st.ItemsDropped)
+		}
+	}
+	//lint:ignore wallclock see above: real host cost measurement
+	elapsed := time.Since(start)
+
+	// Let the broker and ingest pipeline drain what the last advance
+	// published before reading the final counters.
+	drain := elapsed / 10
+	if drain < 200*time.Millisecond {
+		drain = 200 * time.Millisecond
+	}
+	//lint:ignore wallclock drain wait is real goroutine-scheduling time; the virtual clock is already final
+	time.Sleep(drain)
+
+	st := deployment.Pool.Stats()
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peakHeap {
+		peakHeap = ms.HeapAlloc
+	}
+	nsPerTick := float64(0)
+	if st.Ticks > 0 {
+		nsPerTick = float64(elapsed.Nanoseconds()) / float64(st.Ticks)
+	}
+	virt := time.Duration(minutes) * time.Minute
+	fmt.Printf("\nrun summary:\n")
+	fmt.Printf("  devices            %d (pooled, %d frames over %d connections)\n", st.Devices, st.Frames, st.Connections)
+	fmt.Printf("  virtual time       %s in %s real (%.0fx)\n",
+		virt, elapsed.Round(time.Millisecond), virt.Seconds()/elapsed.Seconds())
+	fmt.Printf("  ticks              %d (%.0f ns/tick)\n", st.Ticks, nsPerTick)
+	fmt.Printf("  peak heap          %d bytes (%.0f bytes/device)\n", peakHeap, float64(peakHeap)/float64(st.Devices))
+	fmt.Printf("  samples            %d\n", st.Samples)
+	fmt.Printf("  items published    %d (dropped %d, publish errors %d)\n", st.ItemsPublished, st.ItemsDropped, st.PublishErrors)
+	fmt.Printf("  items processed    %d\n", deployment.Server.Stats().Pipeline.Processed)
+	meter := deployment.Pool.Charger().Meter()
+	fmt.Printf("  fleet energy       %.1f µAh total, %.2f µAh/device\n",
+		meter.TotalMicroAh(), meter.TotalMicroAh()/float64(st.Devices))
+
+	if tr := deployment.Tracer; tr != nil {
+		fmt.Println("\ntrace (canonical span dump, offsets from tracer start):")
+		if err := tr.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFull is the original full-fidelity scenario: complete per-user
+// middleware stacks plus simulated OSN activity on a scaled clock.
+func runFull(users int, hours, speedup float64, rate float64, traceCap int) error {
 	if users < 1 {
 		return fmt.Errorf("need at least one user")
 	}
@@ -127,8 +274,16 @@ func run(users int, hours, speedup float64, rate float64, traceCap int) error {
 	//lint:ignore wallclock the live stats line paces on real seconds for the human watching, independent of the compressed virtual clock
 	ticker := time.NewTicker(time.Second)
 	defer ticker.Stop()
+	//lint:ignore wallclock real elapsed time feeds the end-of-run summary
+	realStart := time.Now()
+	var peakHeap uint64
+	var ms runtime.MemStats
 	for clock.Now().Before(end) {
 		<-ticker.C
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peakHeap {
+			peakHeap = ms.HeapAlloc
+		}
 		mu.Lock()
 		i, tr := items, triggers
 		mu.Unlock()
@@ -137,6 +292,22 @@ func run(users int, hours, speedup float64, rate float64, traceCap int) error {
 			clock.Since(start).Round(time.Second), i, tr, deployment.Facebook.ActionCount(),
 			st.Published, st.Delivered, st.Connections)
 	}
+	//lint:ignore wallclock see above: real elapsed time for the summary
+	elapsed := time.Since(realStart)
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > peakHeap {
+		peakHeap = ms.HeapAlloc
+	}
+
+	mu.Lock()
+	totalItems := items
+	mu.Unlock()
+	fmt.Printf("\nrun summary:\n")
+	fmt.Printf("  devices            %d (full middleware stacks)\n", users)
+	fmt.Printf("  virtual time       %s in %s real\n",
+		time.Duration(hours*float64(time.Hour)).Round(time.Second), elapsed.Round(time.Millisecond))
+	fmt.Printf("  peak heap          %d bytes (%.0f bytes/device)\n", peakHeap, float64(peakHeap)/float64(users))
+	fmt.Printf("  items processed    %d\n", totalItems)
 
 	// Final per-user energy summary (the §5.5 "each additional user merely
 	// adds the cost of a lightweight local library" argument).

@@ -185,7 +185,11 @@ func (q *deliveryQueue) dequeue(deadline <-chan struct{}) ([]byte, error) {
 		if len(q.queue) > 0 {
 			head := q.queue[0]
 			now := q.clock.Now()
-			if !head.deliverAt.After(now) {
+			// A closed connection delivers residual in-flight data
+			// immediately: the link is torn down, so nothing paces the
+			// remaining chunks, and waiting out their stamps would wedge
+			// the reader forever when the virtual clock has stopped.
+			if q.closed || !head.deliverAt.After(now) {
 				q.queue = q.queue[1:]
 				q.mu.Unlock()
 				return head.data, nil

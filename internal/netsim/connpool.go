@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ConnPool shares a bounded number of fabric connections among many
+// logical endpoints. The goroutine-per-device simulator dials one
+// connection per device, which at 100k devices means 100k conns, each with
+// its own delivery queue and reader goroutine; the pooled simulator
+// instead multiplexes every device in a frame over a handful of pooled
+// connections, with per-device framing (MQTT topics carrying the device
+// id) preserving attribution at the receiver.
+//
+// Connections are dialed lazily on first use of a slot and cached; Slot
+// maps an endpoint index to its slot deterministically, so same-seed runs
+// put every device on the same connection.
+type ConnPool struct {
+	dial func() (net.Conn, error)
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// NewConnPool builds a pool of at most size connections using dial.
+func NewConnPool(size int, dial func() (net.Conn, error)) (*ConnPool, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("netsim: conn pool size must be positive, got %d", size)
+	}
+	if dial == nil {
+		return nil, fmt.Errorf("netsim: conn pool requires a dial function")
+	}
+	return &ConnPool{dial: dial, conns: make([]net.Conn, size)}, nil
+}
+
+// Size returns the pool's connection budget.
+func (p *ConnPool) Size() int { return len(p.conns) }
+
+// Slot deterministically maps an endpoint index to a pool slot.
+func (p *ConnPool) Slot(i int) int {
+	if i < 0 {
+		i = -i
+	}
+	return i % len(p.conns)
+}
+
+// Get returns the slot's connection, dialing it on first use.
+func (p *ConnPool) Get(slot int) (net.Conn, error) {
+	if slot < 0 || slot >= len(p.conns) {
+		return nil, fmt.Errorf("netsim: conn pool slot %d out of range [0,%d)", slot, len(p.conns))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("netsim: conn pool closed")
+	}
+	if p.conns[slot] != nil {
+		return p.conns[slot], nil
+	}
+	conn, err := p.dial()
+	if err != nil {
+		return nil, fmt.Errorf("netsim: conn pool dial slot %d: %w", slot, err)
+	}
+	p.conns[slot] = conn
+	return conn, nil
+}
+
+// Invalidate drops a slot's cached connection (after a transport error) so
+// the next Get redials. The broken conn is closed and discarded.
+func (p *ConnPool) Invalidate(slot int) {
+	if slot < 0 || slot >= len(p.conns) {
+		return
+	}
+	p.mu.Lock()
+	conn := p.conns[slot]
+	p.conns[slot] = nil
+	p.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Close closes every dialed connection; subsequent Gets fail.
+func (p *ConnPool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	var first error
+	for i, c := range p.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		p.conns[i] = nil
+	}
+	return first
+}

@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func newPoolFixture(t *testing.T, size int) (*Network, *ConnPool) {
+	t.Helper()
+	clk := vclock.NewManual(time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC))
+	n := NewNetwork(clk, 1)
+	ln, err := n.Listen("server:1883")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		for {
+			if _, err := ln.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() { _ = n.Close() })
+	pool, err := NewConnPool(size, func() (net.Conn, error) {
+		return n.Dial("pool", "server:1883")
+	})
+	if err != nil {
+		t.Fatalf("NewConnPool: %v", err)
+	}
+	return n, pool
+}
+
+func TestConnPoolLazySharedDials(t *testing.T) {
+	_, pool := newPoolFixture(t, 4)
+	// Same slot returns the same connection; different slots differ.
+	c0, err := pool.Get(0)
+	if err != nil {
+		t.Fatalf("Get(0): %v", err)
+	}
+	again, err := pool.Get(0)
+	if err != nil {
+		t.Fatalf("Get(0) again: %v", err)
+	}
+	if c0 != again {
+		t.Fatal("slot 0 redialed instead of reusing its connection")
+	}
+	c1, err := pool.Get(1)
+	if err != nil {
+		t.Fatalf("Get(1): %v", err)
+	}
+	if c0 == c1 {
+		t.Fatal("distinct slots shared one connection")
+	}
+	if err := pool.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := pool.Get(2); err == nil {
+		t.Fatal("Get succeeded on a closed pool")
+	}
+}
+
+func TestConnPoolSlotDeterministic(t *testing.T) {
+	_, pool := newPoolFixture(t, 3)
+	defer pool.Close()
+	for i := 0; i < 100; i++ {
+		s := pool.Slot(i)
+		if s != i%3 {
+			t.Fatalf("Slot(%d) = %d, want %d", i, s, i%3)
+		}
+		if s != pool.Slot(i) {
+			t.Fatalf("Slot(%d) not stable", i)
+		}
+	}
+}
+
+func TestConnPoolInvalidateRedials(t *testing.T) {
+	_, pool := newPoolFixture(t, 2)
+	defer pool.Close()
+	c0, err := pool.Get(0)
+	if err != nil {
+		t.Fatalf("Get(0): %v", err)
+	}
+	pool.Invalidate(0)
+	c0b, err := pool.Get(0)
+	if err != nil {
+		t.Fatalf("Get(0) after Invalidate: %v", err)
+	}
+	if c0 == c0b {
+		t.Fatal("Invalidate did not drop the cached connection")
+	}
+}
+
+func TestConnPoolRejectsBadConfig(t *testing.T) {
+	if _, err := NewConnPool(0, func() (net.Conn, error) { return nil, nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewConnPool(1, nil); err == nil {
+		t.Fatal("nil dialer accepted")
+	}
+	_, pool := newPoolFixture(t, 1)
+	defer pool.Close()
+	if _, err := pool.Get(5); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+}

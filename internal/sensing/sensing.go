@@ -155,20 +155,19 @@ type Subscription struct {
 // Modality returns the sampled modality.
 func (s *Subscription) Modality() string { return s.modality }
 
-// loop runs one timer per cycle against an absolute schedule
+// loop runs one timer per cycle against a Cadence's absolute schedule
 // (anchor + k*interval) instead of a ticker. A ticker's buffered channel
 // drops a tick whenever the previous one has not been consumed yet, so two
 // clock advances landing before this goroutine is scheduled would silently
 // lose a cycle; the absolute schedule runs every elapsed interval exactly
-// once, no matter how the advances interleave with this goroutine.
+// once, no matter how the advances interleave with this goroutine. The
+// pooled device simulator shares the same Cadence type, so both execution
+// modes keep identical sampling semantics.
 func (s *Subscription) loop(anchor time.Time) {
 	clk := s.manager.dev.Clock()
-	next := anchor.Add(s.settings.Interval)
-	// Duty-cycle accumulator: run a cycle each time the accumulated credit
-	// crosses 1. DutyCycle 1 runs every cycle; 0.5 every other cycle.
-	credit := 0.0
+	cad := NewCadence(anchor, s.settings.Interval)
 	for {
-		if d := next.Sub(clk.Now()); d > 0 {
+		if d := cad.Next.Sub(clk.Now()); d > 0 {
 			t := clk.NewTimer(d)
 			select {
 			case <-t.C():
@@ -186,16 +185,13 @@ func (s *Subscription) loop(anchor time.Time) {
 			default:
 			}
 		}
-		next = next.Add(s.settings.Interval)
 		duty := s.settings.DutyCycle
 		if s.policy != nil {
 			duty *= s.policy.FactorFor(s.manager.dev.Battery().LevelFraction())
 		}
-		credit += duty
-		if credit < 1 {
+		if !cad.Tick(duty) {
 			continue
 		}
-		credit -= 1
 		r, err := s.manager.dev.Sample(s.modality)
 		if err != nil {
 			// Sampling a known modality only fails if the suite is

@@ -108,6 +108,86 @@ func TestTraceDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+// deterministicPooledTraceRun is the pooled-mode twin of
+// deterministicTraceRun: one frame of pooled devices over a single shared
+// connection, quiescing between advances. A single connection and a single
+// ingest shard pin every ordering source, so the dump must be stable.
+func deterministicPooledTraceRun(t *testing.T) string {
+	t.Helper()
+	clock := vclock.NewManual(time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC))
+	s, err := New(Options{
+		Clock:      clock,
+		Seed:       7,
+		MobileLink: &netsim.Link{},
+		DeviceMode: DeviceModePooled,
+		Pool: PoolOptions{
+			Connections:    1,
+			FrameSize:      32, // one frame: ticks and flushes are a single ordered sequence
+			SampleInterval: time.Minute,
+			UploadBatch:    2,
+		},
+		IngestShards:  1,
+		TraceCapacity: 4096,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	const devices = 12
+	if err := s.AddDevices(devices); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if err := s.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	// The shared client's handshake happens on a background goroutine; wait
+	// for it before advancing so every flush lands at a deterministic
+	// virtual time.
+	if err := s.Pool.WaitReady(30 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+
+	// UploadBatch=2: every second cycle publishes 2 items per device.
+	const steps = 3
+	for i := 1; i <= steps; i++ {
+		clock.Advance(2 * time.Minute)
+		deadline := time.Now().Add(30 * time.Second)
+		want := uint64(devices * 2 * i)
+		for s.Server.Stats().Pipeline.Processed < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("step %d: processed=%d within 30s, want %d",
+					i, s.Server.Stats().Pipeline.Processed, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	s.Close()
+	var buf bytes.Buffer
+	if err := s.Tracer.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+// TestPooledTraceDeterministicAcrossRuns extends the determinism
+// acceptance check to DeviceModePooled: same-seed pooled runs must stay
+// byte-identical on the canonical /trace dump.
+func TestPooledTraceDeterministicAcrossRuns(t *testing.T) {
+	first := deterministicPooledTraceRun(t)
+	second := deterministicPooledTraceRun(t)
+	if first != second {
+		t.Fatalf("pooled trace dumps differ across same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+	}
+	// Pooled uploads skip the device/mobile spans but must still cover the
+	// broker and server pipeline.
+	for _, span := range []string{"mqtt.route", "ingest.enqueue", "ingest.process"} {
+		if !strings.Contains(first, span) {
+			t.Fatalf("pooled trace missing %s spans:\n%s", span, first)
+		}
+	}
+}
+
 // TestMetricsAndTraceOverHTTP scrapes GET /metrics and GET /trace through
 // the simulated fabric, pinning the exposition basics end to end (format
 // header, a family from each instrumented component).

@@ -1,0 +1,626 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/energy"
+	"repro/internal/mqtt"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sensing"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// DeviceMode selects how simulated devices execute.
+type DeviceMode int
+
+const (
+	// DeviceModeFull runs one device.Device + mobile.Manager per user:
+	// full-fidelity goroutine-per-device simulation, the right choice for
+	// small populations and every behaviour that needs real per-device
+	// middleware (privacy filters, OSN-coupled streams, reconnect logic).
+	DeviceModeFull DeviceMode = iota
+	// DeviceModePooled keeps per-device state in struct-of-arrays form and
+	// runs sampling/classification/upload as scheduled events on pooled
+	// frames, multiplexed over a bounded number of fabric connections.
+	// It trades middleware fidelity for footprint: ~150 bytes of pool
+	// state per device instead of goroutines, buffers and a sensor suite,
+	// which is what makes -devices 100000 runnable in one process.
+	DeviceModePooled
+)
+
+// PoolOptions tunes the pooled device scheduler.
+type PoolOptions struct {
+	// Connections bounds the fabric connections shared by the whole pooled
+	// fleet (default 8). Devices map to connections deterministically by
+	// frame, so same-seed runs put every device on the same connection.
+	Connections int
+	// FrameSize is the number of devices ticked per scheduled event
+	// (default 64). Frames are staggered across the sample interval so the
+	// load on the broker is smooth rather than phase-locked.
+	FrameSize int
+	// SampleInterval is the virtual-time sampling cadence (default 1m).
+	SampleInterval time.Duration
+	// UploadBatch is how many classified samples a device buffers before
+	// its frame publishes them (default 4), mirroring the mobile
+	// middleware's store-and-forward batching.
+	UploadBatch int
+	// MaxBacklog caps a device's pending-upload backlog while its
+	// connection is still handshaking or broken (default 64). Overflow is
+	// dropped and counted, never allocated.
+	MaxBacklog int
+	// DutyCycle is the sampling duty cycle in (0,1] (default 1).
+	DutyCycle float64
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Connections <= 0 {
+		o.Connections = 8
+	}
+	if o.FrameSize <= 0 {
+		o.FrameSize = 64
+	}
+	if o.SampleInterval <= 0 {
+		o.SampleInterval = time.Minute
+	}
+	if o.UploadBatch <= 0 {
+		o.UploadBatch = 4
+	}
+	if o.MaxBacklog < o.UploadBatch {
+		o.MaxBacklog = 64
+		if o.MaxBacklog < o.UploadBatch {
+			o.MaxBacklog = o.UploadBatch
+		}
+	}
+	if o.DutyCycle <= 0 || o.DutyCycle > 1 {
+		o.DutyCycle = 1
+	}
+	return o
+}
+
+// poolActivityCycle is the ground-truth activity schedule for pooled
+// devices: a device's phase offsets a 30-minute rotation through the same
+// labels the full-fidelity activity classifier emits.
+var poolActivityLabels = [...]string{"still", "walking", "running"}
+
+const poolActivityPeriod = 30 * time.Minute
+
+func poolActivity(phase uint32, t time.Time) string {
+	slot := uint64(t.UnixNano()/int64(poolActivityPeriod)) + uint64(phase)
+	return poolActivityLabels[slot%3]
+}
+
+// PoolStats is a point-in-time snapshot of pool progress.
+type PoolStats struct {
+	Devices        int
+	Frames         int
+	Connections    int
+	Ticks          uint64
+	Samples        uint64
+	ItemsPublished uint64
+	ItemsDropped   uint64
+	PublishErrors  uint64
+}
+
+// DevicePool runs a large fleet of simulated devices as scheduled events
+// instead of parked goroutines.
+//
+// Per-device state lives in parallel struct-of-arrays slices: identity,
+// location, sampler phase (the activity ground truth), sampling cadence,
+// pending-upload backlog and battery drain. Devices are grouped into frames
+// of FrameSize; each frame is one vclock event that fires once per sample
+// interval, scans its slice of the arrays, and re-arms itself. On an
+// EventScheduler clock (vclock.Manual) frames run synchronously inside
+// Advance in deterministic (deadline, sequence) order; on real/scaled
+// clocks each frame falls back to one goroutine — still a 64x reduction
+// over goroutine-per-device.
+//
+// Uploads preserve the wire protocol of the full path: classified items are
+// encoded exactly like mobile's pipeline and published QoS 0 to
+// core.StreamDataTopic(deviceID) over MQTT, so the broker, the server
+// ingest pipeline and every downstream consumer see pooled devices as
+// indistinguishable from full ones. The fleet shares Connections fabric
+// conns via netsim.ConnPool; per-device attribution rides in the topic.
+type DevicePool struct {
+	clock   vclock.Clock
+	fabric  *netsim.Network
+	charger *device.BulkCharger
+	conns   *netsim.ConnPool
+
+	frameSize   int
+	interval    time.Duration
+	uploadBatch int
+	maxBacklog  int
+	duty        float64
+	modality    string
+	streamID    string
+
+	devicesGauge *obs.Gauge
+	tickDur      *obs.Histogram
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	// Struct-of-arrays device state. ids/users/lat/lon/phase are written
+	// only before Start; cads/backlog/drained are mutated under mu by
+	// frame ticks.
+	ids     []string
+	users   []string
+	lat     []float32
+	lon     []float32
+	phase   []uint32
+	backlog []uint16
+	drained []float64
+	cads    []sensing.Cadence
+
+	frames  []*poolFrame
+	clients []atomic.Pointer[mqtt.Client]
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	ticks          atomic.Uint64
+	samples        atomic.Uint64
+	itemsPublished atomic.Uint64
+	itemsDropped   atomic.Uint64
+	publishErrs    atomic.Uint64
+}
+
+// poolFrame is one scheduled span [lo,hi) of the pool's device arrays. The
+// scratch slices are reused every tick so the steady-state tick loop does
+// not allocate; a frame is only ever ticked by one goroutine at a time
+// (serially inside Advance on a Manual clock, or by its own fallback
+// goroutine otherwise), so they need no locking.
+type poolFrame struct {
+	pool *DevicePool
+	lo   int
+	hi   int
+	slot int
+	next time.Time
+	ev   vclock.Event
+
+	sampled  []int32  // device indices that sampled this tick
+	flushIdx []int32  // device indices drained this tick
+	flushCnt []uint16 // backlog depth drained per flushIdx entry
+}
+
+// newDevicePool wires a pool into a simulation's fabric and registries.
+func newDevicePool(s *Simulation, opts PoolOptions) (*DevicePool, error) {
+	opts = opts.withDefaults()
+	conns, err := netsim.NewConnPool(opts.Connections, func() (net.Conn, error) {
+		return s.Fabric.Dial("device-pool", BrokerAddr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: device pool: %w", err)
+	}
+	p := &DevicePool{
+		clock:   s.Clock,
+		fabric:  s.Fabric,
+		charger: device.NewBulkCharger(energy.CostModel{}, s.Metrics),
+		conns:   conns,
+
+		frameSize:   opts.FrameSize,
+		interval:    opts.SampleInterval,
+		uploadBatch: opts.UploadBatch,
+		maxBacklog:  opts.MaxBacklog,
+		duty:        opts.DutyCycle,
+		modality:    sensors.ModalityAccelerometer,
+		streamID:    "pool-activity",
+
+		devicesGauge: s.simDevices,
+		tickDur:      s.simTickDur,
+
+		clients: make([]atomic.Pointer[mqtt.Client], opts.Connections),
+		done:    make(chan struct{}),
+	}
+	return p, nil
+}
+
+// AddDevices appends n pooled devices. Must be called before Start.
+// Devices are named "pool<idx>" / "pool<idx>-phone" and placed on a
+// deterministic grid around the place database's cities; their activity
+// ground truth is a phase-shifted rotation through the classifier labels.
+func (p *DevicePool) AddDevices(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sim: device pool: AddDevices(%d)", n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return fmt.Errorf("sim: device pool: AddDevices after Start")
+	}
+	base := len(p.ids)
+	for k := 0; k < n; k++ {
+		idx := base + k
+		user := "pool" + itoaPadded(idx)
+		p.ids = append(p.ids, user+"-phone")
+		p.users = append(p.users, user)
+		// A coarse deterministic grid around central France; location is
+		// per-device bookkeeping state (the paper's stationary profile),
+		// not uploaded by the pooled path.
+		p.lat = append(p.lat, float32(46.0+float64(idx%256)*0.01))
+		p.lon = append(p.lon, float32(2.0+float64((idx/256)%256)*0.01))
+		p.phase = append(p.phase, uint32(idx%3))
+		p.backlog = append(p.backlog, 0)
+		p.drained = append(p.drained, 0)
+		p.cads = append(p.cads, sensing.Cadence{})
+	}
+	p.devicesGauge.Add(float64(n))
+	return nil
+}
+
+// itoaPadded renders idx with zero padding so pooled ids sort lexically.
+func itoaPadded(idx int) string {
+	return fmt.Sprintf("%06d", idx)
+}
+
+// Start carves the device arrays into frames, schedules them, and begins
+// connecting the shared MQTT clients in the background (mqtt.Connect blocks
+// until the CONNACK is delivered through the fabric, so it cannot run on
+// the caller's goroutine under a manual clock). Frames whose connection is
+// not yet ready keep sampling and buffer a bounded backlog; the first tick
+// after the CONNACK drains it with backdated timestamps.
+func (p *DevicePool) Start() error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return fmt.Errorf("sim: device pool: already started")
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("sim: device pool: closed")
+	}
+	if len(p.ids) == 0 {
+		p.mu.Unlock()
+		return fmt.Errorf("sim: device pool: no devices added")
+	}
+	p.started = true
+	start := p.clock.Now()
+	nFrames := (len(p.ids) + p.frameSize - 1) / p.frameSize
+	p.frames = make([]*poolFrame, 0, nFrames)
+	for j := 0; j < nFrames; j++ {
+		lo := j * p.frameSize
+		hi := lo + p.frameSize
+		if hi > len(p.ids) {
+			hi = len(p.ids)
+		}
+		// Stagger frame anchors across one interval so broker load is
+		// smooth: frame j fires at offset (j mod 64)/64 of the interval.
+		offset := p.interval * time.Duration(j%64) / 64
+		anchor := start.Add(offset)
+		for i := lo; i < hi; i++ {
+			p.cads[i] = sensing.NewCadence(anchor, p.interval)
+		}
+		f := &poolFrame{
+			pool: p, lo: lo, hi: hi,
+			slot:     p.conns.Slot(j),
+			next:     anchor.Add(p.interval),
+			sampled:  make([]int32, 0, hi-lo),
+			flushIdx: make([]int32, 0, hi-lo),
+			flushCnt: make([]uint16, 0, hi-lo),
+		}
+		p.frames = append(p.frames, f)
+	}
+	frames := p.frames
+	p.mu.Unlock()
+
+	for slot := range p.clients {
+		p.wg.Add(1)
+		go func(slot int) {
+			defer p.wg.Done()
+			p.connectSlot(slot)
+		}(slot)
+	}
+
+	if sched, ok := p.clock.(vclock.EventScheduler); ok {
+		for _, f := range frames {
+			f.ev = sched.Schedule(f.next, f.fire)
+		}
+		return nil
+	}
+	for _, f := range frames {
+		p.wg.Add(1)
+		go f.loop()
+	}
+	return nil
+}
+
+// connectSlot dials the slot's pooled fabric connection and performs the
+// MQTT handshake, publishing the client for frame flushes once the broker
+// acknowledges. Errors are counted and the slot stays nil; its frames keep
+// buffering (capped) until Close.
+func (p *DevicePool) connectSlot(slot int) {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	conn, err := p.conns.Get(slot)
+	if err != nil {
+		p.publishErrs.Add(1)
+		return
+	}
+	cli, err := mqtt.Connect(conn, mqtt.ClientOptions{
+		ClientID: fmt.Sprintf("device-pool-%d", slot),
+		Clock:    p.clock,
+	})
+	if err != nil {
+		p.publishErrs.Add(1)
+		p.conns.Invalidate(slot)
+		return
+	}
+	p.clients[slot].Store(cli)
+}
+
+// Ready reports whether every pooled connection has completed its MQTT
+// handshake.
+func (p *DevicePool) Ready() bool {
+	for i := range p.clients {
+		if p.clients[i].Load() == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitReady blocks until Ready or the real-time timeout expires. Tests on
+// a manual clock call this before advancing so that every flush lands at a
+// deterministic virtual time; it needs a zero-latency link (the handshake
+// completes without virtual-time advances) to terminate.
+func (p *DevicePool) WaitReady(timeout time.Duration) error {
+	//lint:ignore wallclock readiness spans real goroutine scheduling (background handshakes), independent of the virtual clock
+	deadline := time.Now().Add(timeout)
+	for !p.Ready() {
+		//lint:ignore wallclock see above: polling real progress of background handshake goroutines
+		if time.Now().After(deadline) {
+			return fmt.Errorf("sim: device pool: %d/%d connections ready after %v",
+				p.readyCount(), len(p.clients), timeout)
+		}
+		//lint:ignore wallclock see above: real-time backoff while background goroutines progress
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+func (p *DevicePool) readyCount() int {
+	n := 0
+	for i := range p.clients {
+		if p.clients[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// fire is the scheduled-event entry point for one frame tick; on a Manual
+// clock it runs synchronously inside Advance and re-arms its own event.
+func (f *poolFrame) fire(now time.Time) {
+	p := f.pool
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	//lint:ignore wallclock tick duration is a real-cost metric (ns of host CPU per virtual tick), not simulated time
+	t0 := time.Now()
+	f.tick(now)
+	f.flush(now)
+	f.next = f.next.Add(p.interval)
+	if f.ev != nil {
+		f.ev.Reschedule(f.next)
+	}
+	//lint:ignore wallclock see above: measuring host CPU cost of the tick
+	p.tickDur.Observe(time.Since(t0).Seconds())
+	p.ticks.Add(1)
+}
+
+// loop is the fallback driver for clocks without an event scheduler: one
+// goroutine per frame (not per device) waiting on virtual timers.
+func (f *poolFrame) loop() {
+	p := f.pool
+	defer p.wg.Done()
+	for {
+		d := f.next.Sub(p.clock.Now())
+		if d < 0 {
+			d = 0
+		}
+		t := p.clock.NewTimer(d)
+		select {
+		case <-p.done:
+			t.Stop()
+			return
+		case now := <-t.C():
+			f.fire(now)
+		}
+	}
+}
+
+// tick advances every device cadence in the frame and grows backlogs; it
+// is the per-tick hot loop and must not allocate in steady state (the
+// scratch slice is pre-sized to the frame and reused).
+//
+//sensolint:hotpath
+func (f *poolFrame) tick(now time.Time) {
+	p := f.pool
+	f.sampled = f.sampled[:0]
+	dropped := uint64(0)
+	p.mu.Lock()
+	for i := f.lo; i < f.hi; i++ {
+		if !p.cads[i].Tick(p.duty) {
+			continue
+		}
+		f.sampled = append(f.sampled, int32(i))
+		if int(p.backlog[i]) < p.maxBacklog {
+			p.backlog[i]++
+		} else {
+			dropped++
+		}
+	}
+	p.mu.Unlock()
+	if dropped > 0 {
+		p.itemsDropped.Add(dropped)
+	}
+	if n := len(f.sampled); n > 0 {
+		p.samples.Add(uint64(n))
+	}
+}
+
+// flush charges the tick's sampling/classification energy and publishes
+// ready backlogs over the frame's pooled connection. It runs off the hot
+// path: item encoding and MQTT framing allocate, which is why uploads are
+// batched per device rather than per sample.
+func (f *poolFrame) flush(now time.Time) {
+	p := f.pool
+	if n := len(f.sampled); n > 0 {
+		perSample, _ := p.charger.ChargeSamples(p.modality, n)
+		perClass, _ := p.charger.ChargeClassifications(p.modality, n)
+		per := perSample + perClass
+		p.mu.Lock()
+		for _, i := range f.sampled {
+			p.drained[i] += per
+		}
+		p.mu.Unlock()
+	}
+
+	cli := p.clients[f.slot].Load()
+	if cli == nil {
+		return
+	}
+	f.flushIdx = f.flushIdx[:0]
+	f.flushCnt = f.flushCnt[:0]
+	p.mu.Lock()
+	for i := f.lo; i < f.hi; i++ {
+		if int(p.backlog[i]) >= p.uploadBatch {
+			f.flushIdx = append(f.flushIdx, int32(i))
+			f.flushCnt = append(f.flushCnt, p.backlog[i])
+			p.backlog[i] = 0
+		}
+	}
+	p.mu.Unlock()
+	if len(f.flushIdx) == 0 {
+		return
+	}
+
+	msgs, bytes := 0, 0
+	for k, i := range f.flushIdx {
+		depth := int(f.flushCnt[k])
+		for j := 0; j < depth; j++ {
+			// Backdate buffered samples to their acquisition ticks, the
+			// same store-and-forward timestamping the mobile pipeline uses.
+			ts := now.Add(-time.Duration(depth-1-j) * p.interval)
+			item := core.Item{
+				StreamID:    p.streamID,
+				DeviceID:    p.ids[i],
+				UserID:      p.users[i],
+				Modality:    p.modality,
+				Granularity: core.GranularityClassified,
+				Time:        ts,
+				Classified:  poolActivity(p.phase[i], ts),
+			}
+			payload, err := item.Encode()
+			if err != nil {
+				p.publishErrs.Add(1)
+				continue
+			}
+			if err := cli.Publish(core.StreamDataTopic(p.ids[i]), payload, 0, false); err != nil {
+				// Connection broke mid-flush: drop this batch, retire the
+				// client and redial in the background so later ticks
+				// recover. Remaining devices re-buffer naturally.
+				p.publishErrs.Add(1)
+				p.clients[f.slot].Store(nil)
+				p.conns.Invalidate(f.slot)
+				p.wg.Add(1)
+				go func(slot int) {
+					defer p.wg.Done()
+					p.connectSlot(slot)
+				}(f.slot)
+				return
+			}
+			msgs++
+			bytes += len(payload)
+		}
+	}
+	if msgs > 0 {
+		tx := p.charger.ChargeTransmissions(p.modality, msgs, bytes)
+		share := tx / float64(len(f.flushIdx))
+		p.mu.Lock()
+		for _, i := range f.flushIdx {
+			p.drained[i] += share
+		}
+		p.mu.Unlock()
+		p.itemsPublished.Add(uint64(msgs))
+	}
+}
+
+// Devices returns the pooled fleet size.
+func (p *DevicePool) Devices() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ids)
+}
+
+// Charger exposes the fleet-wide resource accountant.
+func (p *DevicePool) Charger() *device.BulkCharger { return p.charger }
+
+// DrainedMicroAh returns one device's accumulated battery drain.
+func (p *DevicePool) DrainedMicroAh(i int) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if i < 0 || i >= len(p.drained) {
+		return 0
+	}
+	return p.drained[i]
+}
+
+// Stats snapshots pool progress counters.
+func (p *DevicePool) Stats() PoolStats {
+	p.mu.Lock()
+	devices, frames := len(p.ids), len(p.frames)
+	p.mu.Unlock()
+	return PoolStats{
+		Devices:        devices,
+		Frames:         frames,
+		Connections:    p.conns.Size(),
+		Ticks:          p.ticks.Load(),
+		Samples:        p.samples.Load(),
+		ItemsPublished: p.itemsPublished.Load(),
+		ItemsDropped:   p.itemsDropped.Load(),
+		PublishErrors:  p.publishErrs.Load(),
+	}
+}
+
+// Close stops every frame event, tears down the pooled connections and
+// joins the background goroutines. Safe to call more than once.
+func (p *DevicePool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	frames := p.frames
+	devices := len(p.ids)
+	p.mu.Unlock()
+
+	close(p.done)
+	for _, f := range frames {
+		if f.ev != nil {
+			f.ev.Stop()
+		}
+	}
+	for i := range p.clients {
+		if cli := p.clients[i].Load(); cli != nil {
+			_ = cli.Close()
+		}
+	}
+	// Closing the conns unblocks any handshake still parked in a read.
+	_ = p.conns.Close()
+	p.wg.Wait()
+	p.devicesGauge.Add(-float64(devices))
+}

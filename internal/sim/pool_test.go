@@ -1,0 +1,255 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+var poolEpoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+func newPooledSim(t *testing.T, clock vclock.Clock, opts PoolOptions, traceCap int) *Simulation {
+	t.Helper()
+	s, err := New(Options{
+		Clock:         clock,
+		Seed:          7,
+		MobileLink:    &netsim.Link{}, // zero latency: handshakes and deliveries never wait on a frozen clock
+		DeviceMode:    DeviceModePooled,
+		Pool:          opts,
+		IngestShards:  1, // single shard keeps processing order (and hence trace output) deterministic
+		TraceCapacity: traceCap,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func waitProcessed(t *testing.T, s *Simulation, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for s.Server.Stats().Pipeline.Processed < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline processed %d items within 30s, want %d",
+				s.Server.Stats().Pipeline.Processed, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPooledDevicesPublishThroughBroker drives a pooled fleet on the manual
+// clock and checks the full path: scheduled frame ticks sample on cadence,
+// backlogs batch, and uploads arrive at the server ingest pipeline with
+// per-device attribution intact despite the shared connections.
+func TestPooledDevicesPublishThroughBroker(t *testing.T) {
+	clock := vclock.NewManual(poolEpoch)
+	s := newPooledSim(t, clock, PoolOptions{
+		Connections:    2,
+		FrameSize:      8,
+		SampleInterval: time.Minute,
+		UploadBatch:    2,
+	}, 0)
+	defer s.Close()
+
+	const devices = 20
+	if err := s.AddDevices(devices); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+
+	var mu sync.Mutex
+	seen := make(map[string]int) // deviceID -> items
+	var badLabel, badUser int
+	s.Server.OnItem(func(i core.Item) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[i.DeviceID]++
+		switch i.Classified {
+		case "still", "walking", "running":
+		default:
+			badLabel++
+		}
+		if !strings.HasPrefix(i.DeviceID, i.UserID) {
+			badUser++
+		}
+	})
+
+	if err := s.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	if err := s.Pool.WaitReady(30 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+
+	// Four sampling cycles: with UploadBatch=2 every device publishes twice,
+	// two items per flush (frame offsets are < 2s, so 4m30s covers all).
+	clock.Advance(4*time.Minute + 30*time.Second)
+	waitProcessed(t, s, devices*4)
+
+	st := s.Pool.Stats()
+	if st.Devices != devices {
+		t.Fatalf("Stats.Devices = %d, want %d", st.Devices, devices)
+	}
+	if st.Samples != devices*4 {
+		t.Fatalf("Stats.Samples = %d, want %d", st.Samples, devices*4)
+	}
+	if st.ItemsPublished != devices*4 {
+		t.Fatalf("Stats.ItemsPublished = %d, want %d", st.ItemsPublished, devices*4)
+	}
+	if st.ItemsDropped != 0 || st.PublishErrors != 0 {
+		t.Fatalf("drops=%d errors=%d, want none", st.ItemsDropped, st.PublishErrors)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != devices {
+		t.Fatalf("items from %d devices, want %d", len(seen), devices)
+	}
+	for id, n := range seen {
+		if n != 4 {
+			t.Fatalf("device %s delivered %d items, want 4", id, n)
+		}
+	}
+	if badLabel != 0 || badUser != 0 {
+		t.Fatalf("%d bad labels, %d bad user attributions", badLabel, badUser)
+	}
+
+	// Frame-mates accrued identical energy under full duty (transmission
+	// cost is batched per frame flush, so shares differ across frames of
+	// different size but never within one).
+	first := s.Pool.DrainedMicroAh(0)
+	if first <= 0 {
+		t.Fatal("device 0 accrued no battery drain")
+	}
+	for i := 1; i < 8; i++ {
+		if got := s.Pool.DrainedMicroAh(i); got != first {
+			t.Fatalf("device %d drained %v µAh, frame-mate 0 drained %v", i, got, first)
+		}
+	}
+	if got := s.Pool.DrainedMicroAh(devices - 1); got <= 0 {
+		t.Fatal("last device accrued no battery drain")
+	}
+}
+
+// TestPooledFallbackGoroutineFrames runs the pool on a scaled clock (no
+// EventScheduler), exercising the goroutine-per-frame fallback.
+func TestPooledFallbackGoroutineFrames(t *testing.T) {
+	clock := vclock.NewScaled(poolEpoch, 1200) // 1 virtual minute per 50ms
+	s := newPooledSim(t, clock, PoolOptions{
+		Connections:    1,
+		FrameSize:      4,
+		SampleInterval: time.Minute,
+		UploadBatch:    1,
+	}, 0)
+	defer s.Close()
+
+	if err := s.AddDevices(8); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if err := s.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	if err := s.Pool.WaitReady(30 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	waitProcessed(t, s, 8) // one full cycle from all 8 devices
+	if st := s.Pool.Stats(); st.Frames != 2 || st.Ticks == 0 {
+		t.Fatalf("stats = %+v, want 2 frames with ticks", st)
+	}
+}
+
+// TestPooledBacklogBoundedWithoutConnection: a fleet whose broker handshake
+// can never complete (no virtual time passes, default high-latency link)
+// must keep sampling with a capped backlog instead of growing memory.
+func TestPooledBacklogBounded(t *testing.T) {
+	clock := vclock.NewManual(poolEpoch)
+	s, err := New(Options{
+		Clock:      clock,
+		Seed:       7,
+		DeviceMode: DeviceModePooled,
+		// A link slower than the whole run: the CONNECT stays in flight for
+		// the entire test, so the handshake deterministically never
+		// completes and no backlog can ever flush.
+		MobileLink: &netsim.Link{Latency: 1000 * time.Hour},
+		Pool:       PoolOptions{Connections: 1, FrameSize: 16, SampleInterval: time.Minute, UploadBatch: 4, MaxBacklog: 5},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if err := s.AddDevices(16); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if err := s.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	clock.Advance(20 * time.Minute)
+	st := s.Pool.Stats()
+	if st.Samples != 16*20 {
+		t.Fatalf("samples = %d, want %d", st.Samples, 16*20)
+	}
+	// 5 buffered per device, the rest dropped — never published.
+	if st.ItemsDropped != 16*15 {
+		t.Fatalf("dropped = %d, want %d", st.ItemsDropped, 16*15)
+	}
+}
+
+// TestPooledLifecycleErrors pins the misuse surface: adding after start,
+// starting twice, empty start, and double close.
+func TestPooledLifecycleErrors(t *testing.T) {
+	clock := vclock.NewManual(poolEpoch)
+	s := newPooledSim(t, clock, PoolOptions{Connections: 1}, 0)
+	defer s.Close()
+
+	if err := s.StartPool(); err == nil {
+		t.Fatal("Start with no devices succeeded")
+	}
+	if err := s.AddDevices(0); err == nil {
+		t.Fatal("AddDevices(0) succeeded")
+	}
+	if err := s.AddDevices(3); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if err := s.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	if err := s.AddDevices(1); err == nil {
+		t.Fatal("AddDevices after Start succeeded")
+	}
+	if err := s.StartPool(); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+	s.Pool.Close()
+	s.Pool.Close() // idempotent
+}
+
+// TestAddDevicesFullMode routes AddDevices through the full-fidelity path
+// when no DeviceMode is set, building complete per-user stacks.
+func TestAddDevicesFullMode(t *testing.T) {
+	opts := fastOptions()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer s.Close()
+	if err := s.AddDevices(3); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if s.Pool != nil {
+		t.Fatal("full mode built a pool")
+	}
+	for _, name := range []string{"user00000", "user00001", "user00002"} {
+		if _, ok := s.Handle(name); !ok {
+			t.Fatalf("missing handle %s", name)
+		}
+	}
+	g := s.Metrics.Gauge("sensocial_sim_devices",
+		"Simulated devices currently running (full and pooled modes).")
+	if got := g.Value(); got != 3 {
+		t.Fatalf("sensocial_sim_devices = %v, want 3", got)
+	}
+}

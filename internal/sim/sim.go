@@ -81,6 +81,12 @@ type Options struct {
 	// Zero leaves tracing off, which keeps the ingest fast path
 	// allocation-free.
 	TraceCapacity int
+	// DeviceMode selects the device execution strategy for AddDevices:
+	// DeviceModeFull (default) builds one full middleware stack per user,
+	// DeviceModePooled runs the struct-of-arrays event-driven pool.
+	DeviceMode DeviceMode
+	// Pool tunes the pooled scheduler; ignored in DeviceModeFull.
+	Pool PoolOptions
 }
 
 // Simulation is a running deployment.
@@ -100,9 +106,19 @@ type Simulation struct {
 	Metrics *obs.Registry
 	// Tracer is nil unless Options.TraceCapacity was positive.
 	Tracer *obs.Tracer
+	// Pool is the struct-of-arrays device pool; non-nil only when the
+	// simulation was built with DeviceModePooled.
+	Pool *DevicePool
 
 	classifiers *classify.Registry
 	seed        int64
+	deviceMode  DeviceMode
+
+	// simDevices/simTickDur are registered unconditionally so the
+	// sensocial_sim_* families documented in docs/OBSERVABILITY.md appear
+	// on /metrics in every mode.
+	simDevices *obs.Gauge
+	simTickDur *obs.Histogram
 	// brokerFanoutQueue is remembered so RestartBroker rebuilds the broker
 	// with the same per-session queue bound.
 	brokerFanoutQueue int
@@ -221,6 +237,12 @@ func New(opts Options) (*Simulation, error) {
 
 		classifiers: classifiers,
 		seed:        opts.Seed,
+		deviceMode:  opts.DeviceMode,
+
+		simDevices: metrics.Gauge("sensocial_sim_devices",
+			"Simulated devices currently running (full and pooled modes)."),
+		simTickDur: metrics.Histogram("sensocial_sim_tick_duration_seconds",
+			"Host CPU seconds spent executing one pooled frame tick.", obs.LatencyBuckets),
 
 		brokerFanoutQueue: opts.BrokerFanoutQueue,
 		handles:           make(map[string]*Handle),
@@ -263,7 +285,58 @@ func New(opts Options) (*Simulation, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	s.TWPlugin = twPlugin
+
+	if opts.DeviceMode == DeviceModePooled {
+		pool, err := newDevicePool(s, opts.Pool)
+		if err != nil {
+			return nil, err
+		}
+		s.Pool = pool
+	}
 	return s, nil
+}
+
+// AddDevices provisions n simulated devices using the configured
+// DeviceMode. In full mode it builds complete middleware stacks (one user
+// per device, stationary profiles rotated over a few cities, activity
+// phases staggered); in pooled mode it appends rows to the device pool.
+// Pooled fleets are started with StartPool once the population is final.
+func (s *Simulation) AddDevices(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("sim: AddDevices(%d)", n)
+	}
+	if s.deviceMode == DeviceModePooled {
+		return s.Pool.AddDevices(n)
+	}
+	cities := []string{"Paris", "Bordeaux", "Lyon", "Toulouse"}
+	activities := []sensors.Activity{sensors.ActivityStill, sensors.ActivityWalking, sensors.ActivityRunning}
+	s.mu.Lock()
+	base := len(s.handles)
+	s.mu.Unlock()
+	for k := 0; k < n; k++ {
+		idx := base + k
+		name := fmt.Sprintf("user%05d", idx)
+		profile, err := StationaryProfile(s.Places, cities[idx%len(cities)],
+			sensors.WithPhases(true,
+				sensors.Phase{Activity: activities[idx%3], Audio: sensors.AudioNoisy, Duration: 30 * time.Minute},
+				sensors.Phase{Activity: sensors.ActivityStill, Audio: sensors.AudioSilent, Duration: 30 * time.Minute},
+			))
+		if err != nil {
+			return err
+		}
+		if _, err := s.AddUser(name, profile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartPool begins pooled execution; a no-op outside DeviceModePooled.
+func (s *Simulation) StartPool() error {
+	if s.Pool == nil {
+		return nil
+	}
+	return s.Pool.Start()
 }
 
 // Classifiers returns the default on-device classifier registry.
@@ -328,6 +401,7 @@ func (s *Simulation) AddUserWithPrivacy(userID string, profile *sensors.Profile,
 	s.mu.Lock()
 	s.handles[userID] = h
 	s.mu.Unlock()
+	s.simDevices.Add(1)
 	return h, nil
 }
 
@@ -437,6 +511,9 @@ func (s *Simulation) Close() {
 
 	s.FBPlugin.Close()
 	s.TWPlugin.Close()
+	if s.Pool != nil {
+		s.Pool.Close()
+	}
 	for _, h := range handles {
 		_ = h.Mobile.Close()
 	}

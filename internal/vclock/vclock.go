@@ -85,32 +85,83 @@ type realTimer struct{ t *time.Timer }
 func (r realTimer) C() <-chan time.Time { return r.t.C }
 func (r realTimer) Stop() bool          { return r.t.Stop() }
 
-// Manual is a deterministic test clock. Time advances only via Advance.
-// Sleepers, timers and tickers fire synchronously inside Advance, in
-// timestamp order, before Advance returns.
-type Manual struct {
-	mu      sync.Mutex
-	now     time.Time
-	waiters []*manualWaiter
-	seq     int
+// EventScheduler is a Clock that can additionally run callbacks at
+// scheduled virtual times. It is the bulk API behind the pooled device
+// simulator: one Event per frame of devices replaces a parked goroutine,
+// timer and channel per device, and a fired Event's handle is reused via
+// Reschedule, so steady-state scheduling allocates nothing.
+type EventScheduler interface {
+	Clock
+	// Schedule registers fn to run when the clock reaches at. On a Manual
+	// clock the callback runs synchronously inside Advance, interleaved
+	// with timer/ticker fires in (deadline, creation sequence) order, with
+	// Now() equal to the callback's deadline. Callbacks may use the clock
+	// (Now, NewTimer, Schedule, Reschedule, Stop) but must not re-enter
+	// Advance, AdvanceTo or Sleep — the advance loop is not reentrant.
+	Schedule(at time.Time, fn func(now time.Time)) Event
 }
 
-var _ Clock = (*Manual)(nil)
+// Event is a scheduled callback's handle.
+type Event interface {
+	// Reschedule re-arms the event at a new deadline, reusing the handle.
+	// Calling it from inside the event's own callback is the idiomatic way
+	// to build an allocation-free periodic event.
+	Reschedule(at time.Time)
+	// Stop cancels the event, reclaiming its scheduler slot immediately;
+	// it reports whether the event was still pending.
+	Stop() bool
+}
+
+// Manual is a deterministic test clock. Time advances only via Advance.
+// Sleepers, timers, tickers and scheduled events fire synchronously inside
+// Advance, in (deadline, creation sequence) order, before Advance returns.
+//
+// Pending waiters are held in a hierarchical timer wheel (see wheel.go), so
+// clocks carrying hundreds of thousands of timers advance in time
+// proportional to the waiters actually fired, not to the pending
+// population.
+type Manual struct {
+	// advMu serializes Advance/AdvanceTo. It is held across callback
+	// invocations, while mu — which guards the data below — is released,
+	// so callbacks and concurrent goroutines may use the clock freely.
+	advMu sync.Mutex
+
+	mu    sync.Mutex
+	base  time.Time // epoch for the wheel's integer timeline
+	now   time.Time
+	nowNs int64 // now - base, in nanoseconds
+	seq   uint64
+	live  int // pending waiters (sleeps, timers, tickers, events)
+	heap  []*manualWaiter
+	wheel wheel
+}
+
+var (
+	_ Clock          = (*Manual)(nil)
+	_ EventScheduler = (*Manual)(nil)
+)
 
 type manualWaiter struct {
-	at       time.Time
-	seq      int // tie-break so firing order is stable
-	ch       chan time.Time
-	period   time.Duration // 0 for one-shot
-	stopped  bool
-	isSleep  bool
-	sleepWG  chan struct{}
-	consumed bool
+	at     time.Time
+	atNs   int64  // at - base, in nanoseconds
+	seq    uint64 // tie-break so firing order is stable
+	ch     chan time.Time
+	period time.Duration   // 0 for one-shot
+	fn     func(time.Time) // scheduled-event callback; nil for channel waiters
+
+	isSleep bool
+	sleepWG chan struct{}
+
+	// Location tracking for eager O(1)/O(log n) removal on Stop.
+	where waiterLoc
+	lvl   uint8 // wheel level, when where == locWheel
+	slot  uint8 // wheel slot, when where == locWheel
+	idx   int32 // index within heap or wheel slot
 }
 
 // NewManual returns a Manual clock whose current time is start.
 func NewManual(start time.Time) *Manual {
-	return &Manual{now: start}
+	return &Manual{base: start, now: start}
 }
 
 // Now implements Clock.
@@ -136,7 +187,7 @@ func (m *Manual) Sleep(d time.Duration) {
 		isSleep: true,
 		sleepWG: make(chan struct{}),
 	}
-	m.waiters = append(m.waiters, w)
+	m.insertLocked(w)
 	m.mu.Unlock()
 	<-w.sleepWG
 }
@@ -155,7 +206,7 @@ func (m *Manual) NewTimer(d time.Duration) Timer {
 		seq: m.nextSeqLocked(),
 		ch:  make(chan time.Time, 1),
 	}
-	m.waiters = append(m.waiters, w)
+	m.insertLocked(w)
 	return &manualTimer{m: m, w: w}
 }
 
@@ -172,29 +223,142 @@ func (m *Manual) NewTicker(d time.Duration) Ticker {
 		ch:     make(chan time.Time, 1),
 		period: d,
 	}
-	m.waiters = append(m.waiters, w)
+	m.insertLocked(w)
 	return &manualTicker{m: m, w: w}
 }
 
-func (m *Manual) nextSeqLocked() int {
+// Schedule implements EventScheduler. A deadline at or before the current
+// time fires on the next Advance, even Advance(0).
+func (m *Manual) Schedule(at time.Time, fn func(now time.Time)) Event {
+	if fn == nil {
+		panic("vclock: Schedule requires a non-nil callback")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &manualWaiter{at: at, seq: m.nextSeqLocked(), fn: fn}
+	m.insertLocked(w)
+	return &manualEvent{m: m, w: w}
+}
+
+func (m *Manual) nextSeqLocked() uint64 {
 	m.seq++
 	return m.seq
 }
 
+// insertLocked files a new waiter and counts it pending.
+func (m *Manual) insertLocked(w *manualWaiter) {
+	m.enqueueLocked(w)
+	m.live++
+}
+
+// enqueueLocked files w by deadline without touching the pending count
+// (ticker re-arms reuse it). Deadlines at or behind the wheel cursor go to
+// the heap; strictly later ticks go to the wheel.
+//
+//sensolint:hotpath
+func (m *Manual) enqueueLocked(w *manualWaiter) {
+	w.atNs = int64(w.at.Sub(m.base))
+	if tickOf(w.atNs) <= m.wheel.tick {
+		m.heapPush(w)
+	} else {
+		m.wheel.insert(w)
+	}
+}
+
+// removeLocked eagerly unfiles a pending waiter. No-op if w already fired
+// or was stopped.
+func (m *Manual) removeLocked(w *manualWaiter) {
+	switch w.where {
+	case locHeap:
+		m.heapRemoveAt(int(w.idx))
+	case locWheel:
+		m.wheel.remove(w)
+	default:
+		return
+	}
+	m.live--
+}
+
+// nextDueLocked returns the earliest pending waiter due at or before
+// targetNs (by (deadline, seq)), removed from its container, or nil. Wheel
+// groups are pulled into the heap only when they could precede both the
+// heap front and the target, so the wheel stays untouched for waiters far
+// beyond the advance window.
+func (m *Manual) nextDueLocked(targetNs int64) *manualWaiter {
+	for {
+		var front *manualWaiter
+		if len(m.heap) > 0 {
+			front = m.heap[0]
+		}
+		if m.wheel.count > 0 {
+			limit := targetNs
+			if front != nil && front.atNs < limit {
+				limit = front.atNs
+			}
+			if m.pullNextGroup(limit) {
+				continue
+			}
+		}
+		if front == nil || front.atNs > targetNs {
+			return nil
+		}
+		return m.heapPop()
+	}
+}
+
 // Advance moves the clock forward by d, firing every waiter whose deadline
-// falls within the window, in deadline order.
+// falls within the window, in (deadline, creation sequence) order. The
+// clock reads the fired waiter's own deadline while each one runs.
+// Scheduled-event callbacks execute here, on the advancing goroutine.
 func (m *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.advMu.Lock()
+	defer m.advMu.Unlock()
 	m.mu.Lock()
 	target := m.now.Add(d)
+	targetNs := int64(target.Sub(m.base))
 	for {
-		w := m.earliestDueLocked(target)
+		w := m.nextDueLocked(targetNs)
 		if w == nil {
 			break
 		}
 		m.now = w.at
-		m.fireLocked(w)
+		m.nowNs = w.atNs
+		switch {
+		case w.fn != nil:
+			m.live--
+			// Run the callback with the data lock released: it may freely
+			// create timers, reschedule events, or block briefly on other
+			// goroutines that use this clock. advMu stays held, so virtual
+			// time cannot move underneath it.
+			at := w.at
+			fn := w.fn
+			m.mu.Unlock()
+			fn(at)
+			m.mu.Lock()
+		case w.isSleep:
+			m.live--
+			close(w.sleepWG)
+		case w.period > 0:
+			select {
+			case w.ch <- w.at:
+			default: // ticker semantics: drop if receiver is slow
+			}
+			w.at = w.at.Add(w.period)
+			w.seq = m.nextSeqLocked()
+			m.enqueueLocked(w)
+		default:
+			m.live--
+			select {
+			case w.ch <- w.at:
+			default:
+			}
+		}
 	}
 	m.now = target
+	m.nowNs = targetNs
 	m.mu.Unlock()
 }
 
@@ -206,18 +370,13 @@ func (m *Manual) AdvanceTo(t time.Time) {
 	}
 }
 
-// Waiters reports how many sleeps/timers/tickers are currently pending.
-// Tests can poll this to synchronize with goroutines using the clock.
+// Waiters reports how many sleeps/timers/tickers/events are currently
+// pending. Tests can poll this to synchronize with goroutines using the
+// clock.
 func (m *Manual) Waiters() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	n := 0
-	for _, w := range m.waiters {
-		if !w.stopped && !w.consumed {
-			n++
-		}
-	}
-	return n
+	return m.live
 }
 
 // BlockUntilWaiters blocks until at least n waiters are pending, polling.
@@ -226,54 +385,6 @@ func (m *Manual) BlockUntilWaiters(n int) {
 	for m.Waiters() < n {
 		time.Sleep(50 * time.Microsecond)
 	}
-}
-
-func (m *Manual) earliestDueLocked(limit time.Time) *manualWaiter {
-	var best *manualWaiter
-	for _, w := range m.waiters {
-		if w.stopped || w.consumed || w.at.After(limit) {
-			continue
-		}
-		if best == nil || w.at.Before(best.at) || (w.at.Equal(best.at) && w.seq < best.seq) {
-			best = w
-		}
-	}
-	return best
-}
-
-func (m *Manual) fireLocked(w *manualWaiter) {
-	switch {
-	case w.isSleep:
-		w.consumed = true
-		close(w.sleepWG)
-	case w.period > 0:
-		select {
-		case w.ch <- w.at:
-		default: // ticker semantics: drop if receiver is slow
-		}
-		w.at = w.at.Add(w.period)
-		w.seq = m.nextSeqLocked()
-	default:
-		w.consumed = true
-		select {
-		case w.ch <- w.at:
-		default:
-		}
-	}
-	m.gcLocked()
-}
-
-func (m *Manual) gcLocked() {
-	if len(m.waiters) < 64 {
-		return
-	}
-	live := m.waiters[:0]
-	for _, w := range m.waiters {
-		if !w.stopped && !w.consumed {
-			live = append(live, w)
-		}
-	}
-	m.waiters = live
 }
 
 type manualTimer struct {
@@ -286,9 +397,11 @@ func (t *manualTimer) C() <-chan time.Time { return t.w.ch }
 func (t *manualTimer) Stop() bool {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
-	pending := !t.w.stopped && !t.w.consumed
-	t.w.stopped = true
-	return pending
+	if t.w.where == locNone {
+		return false // already fired or stopped
+	}
+	t.m.removeLocked(t.w)
+	return true
 }
 
 type manualTicker struct {
@@ -301,7 +414,38 @@ func (t *manualTicker) C() <-chan time.Time { return t.w.ch }
 func (t *manualTicker) Stop() {
 	t.m.mu.Lock()
 	defer t.m.mu.Unlock()
-	t.w.stopped = true
+	if t.w.where != locNone {
+		t.m.removeLocked(t.w)
+	}
+}
+
+type manualEvent struct {
+	m *Manual
+	w *manualWaiter
+}
+
+// Reschedule implements Event. Re-arming an already-pending event moves
+// its deadline; re-arming a fired or stopped one revives it.
+func (e *manualEvent) Reschedule(at time.Time) {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	if e.w.where != locNone {
+		e.m.removeLocked(e.w)
+	}
+	e.w.at = at
+	e.w.seq = e.m.nextSeqLocked()
+	e.m.insertLocked(e.w)
+}
+
+// Stop implements Event.
+func (e *manualEvent) Stop() bool {
+	e.m.mu.Lock()
+	defer e.m.mu.Unlock()
+	if e.w.where == locNone {
+		return false
+	}
+	e.m.removeLocked(e.w)
+	return true
 }
 
 // Scaled is a Clock whose virtual time runs at Factor times real time.

@@ -1,0 +1,258 @@
+package vclock
+
+import "math/bits"
+
+// The Manual clock stores pending waiters in a hierarchical calendar-queue
+// timer wheel plus a small binary heap for the near horizon. The seed
+// implementation kept a flat slice and scanned every waiter per fired timer
+// (O(n) per fire, O(n²) per advance window), which capped honest simulations
+// at a few thousand devices; the wheel makes insert, eager remove and
+// next-due lookup O(log n) or better, independent of the total pending
+// population.
+//
+// Layout. Virtual time is measured in nanoseconds since the clock's base
+// and quantised into ticks of 2^wheelTickShift ns (~1 ms). The wheel has
+// wheelLevels levels of wheelSlots slots; a waiter due at absolute tick T
+// is filed at the first level whose digit (base-64) differs between T and
+// the wheel cursor, so every slot behind the cursor is provably empty and a
+// per-level occupancy bitmap finds the next non-empty slot with one
+// TrailingZeros64. Advancing extracts the earliest level-0 group into the
+// heap (exact tick known), or cascades the lowest occupied higher-level
+// slot down after moving the cursor to its start — legal precisely because
+// every lower level was empty. Waiters whose tick is at or behind the
+// cursor (including already-due inserts) live in the heap, ordered by
+// (deadline, seq) so same-deadline waiters fire in creation order.
+const (
+	wheelLevelBits = 6
+	wheelSlots     = 1 << wheelLevelBits // 64
+	wheelLevels    = 8                   // 64^8 ticks ≈ millennia at ~1 ms/tick
+	wheelTickShift = 20                  // 2^20 ns ≈ 1.05 ms per tick
+)
+
+// waiterLoc says which container currently holds a waiter, so Stop and
+// Reschedule reclaim storage eagerly instead of leaving dead entries for a
+// sweep.
+type waiterLoc uint8
+
+const (
+	locNone  waiterLoc = iota // fired, stopped, or never queued
+	locHeap                   // in Manual.heap, indexed by idx
+	locWheel                  // in wheel.slots[lvl][slot], indexed by idx
+)
+
+// wheel is the far-horizon store: waiters whose due tick is strictly ahead
+// of the cursor. All methods run under Manual.mu.
+type wheel struct {
+	tick  int64 // cursor: every stored waiter has tickOf(at) > tick
+	count int
+	occ   [wheelLevels]uint64
+	slots [wheelLevels][wheelSlots][]*manualWaiter
+}
+
+// tickOf quantises a base-relative timestamp. Arithmetic shift keeps
+// pre-base timestamps (negative ns) at or below tick zero.
+func tickOf(ns int64) int64 { return ns >> wheelTickShift }
+
+// levelFor returns the wheel level for a waiter due at tick t (t must be >
+// cursor): the first base-64 digit where t and the cursor differ.
+func levelFor(t, cursor int64) int {
+	return (bits.Len64(uint64(t^cursor)) - 1) / wheelLevelBits
+}
+
+// slotFor returns t's digit at a level.
+func slotFor(t int64, level int) int {
+	return int(t>>(wheelLevelBits*level)) & (wheelSlots - 1)
+}
+
+// slotStart returns the first tick of a level's slot, relative to the
+// cursor's position (shared digits above the level, zeros below).
+func slotStart(cursor int64, level, slot int) int64 {
+	aligned := cursor &^ (int64(1)<<(wheelLevelBits*(level+1)) - 1)
+	return aligned | int64(slot)<<(wheelLevelBits*level)
+}
+
+// insert files w (whose tick is > the cursor) into its slot.
+//
+//sensolint:hotpath
+func (wh *wheel) insert(w *manualWaiter) {
+	t := tickOf(w.atNs)
+	lvl := levelFor(t, wh.tick)
+	slot := slotFor(t, lvl)
+	w.where, w.lvl, w.slot = locWheel, uint8(lvl), uint8(slot)
+	w.idx = int32(len(wh.slots[lvl][slot]))
+	wh.slots[lvl][slot] = append(wh.slots[lvl][slot], w)
+	wh.occ[lvl] |= 1 << uint(slot)
+	wh.count++
+}
+
+// remove unfiles w in O(1) by swapping the slot's last entry into its
+// place. Eager reclamation is what keeps a million create/Stop cycles at a
+// bounded footprint (the seed left dead waiters for a threshold sweep).
+//
+//sensolint:hotpath
+func (wh *wheel) remove(w *manualWaiter) {
+	s := wh.slots[w.lvl][w.slot]
+	last := len(s) - 1
+	if int(w.idx) != last {
+		moved := s[last]
+		s[w.idx] = moved
+		moved.idx = w.idx
+	}
+	s[last] = nil
+	wh.slots[w.lvl][w.slot] = s[:last]
+	if last == 0 {
+		wh.occ[w.lvl] &^= 1 << uint(w.slot)
+	}
+	w.where = locNone
+	wh.count--
+}
+
+// takeSlot detaches and returns a slot's waiters, leaving capacity in
+// place for reuse.
+func (wh *wheel) takeSlot(level, slot int) []*manualWaiter {
+	s := wh.slots[level][slot]
+	wh.slots[level][slot] = wh.slots[level][slot][:0]
+	wh.occ[level] &^= 1 << uint(slot)
+	wh.count -= len(s)
+	return s
+}
+
+// nextOccupied finds the lowest level with a slot at or after the cursor's
+// digit. By the filing invariant no occupied slot sits behind the cursor's
+// digit at any level, and a level-0 hit pins the exact tick.
+func (wh *wheel) nextOccupied() (level, slot int, ok bool) {
+	for l := 0; l < wheelLevels; l++ {
+		d := slotFor(wh.tick, l)
+		mask := wh.occ[l] &^ (uint64(1)<<uint(d) - 1)
+		if mask != 0 {
+			return l, bits.TrailingZeros64(mask), true
+		}
+	}
+	return 0, 0, false
+}
+
+// pullNextGroup moves the earliest group of wheel waiters into the
+// Manual's heap, provided the group's tick starts at or before limitNs.
+// It reports whether any waiters reached the heap. Higher-level slots are
+// cascaded down (cursor jumps to the slot start — legal because every
+// lower level is empty) until a level-0 group is reached; a cascade can
+// itself land waiters in the heap when their tick equals the new cursor.
+func (m *Manual) pullNextGroup(limitNs int64) bool {
+	wh := &m.wheel
+	heapBefore := len(m.heap)
+	for wh.count > 0 {
+		level, slot, ok := wh.nextOccupied()
+		if !ok {
+			break
+		}
+		start := slotStart(wh.tick, level, slot)
+		if start<<wheelTickShift > limitNs {
+			// Every waiter in or beyond this slot is due after the limit.
+			break
+		}
+		if level == 0 {
+			wh.tick = start
+			for _, w := range wh.takeSlot(0, slot) {
+				m.heapPush(w)
+			}
+			return true
+		}
+		// Cascade: move the cursor to the slot's first tick and refile its
+		// waiters, which land at lower levels (or, when due exactly at the
+		// new cursor tick, in the heap).
+		wh.tick = start
+		for _, w := range wh.takeSlot(level, slot) {
+			m.enqueueLocked(w)
+		}
+		if len(m.heap) != heapBefore {
+			return true
+		}
+	}
+	return len(m.heap) != heapBefore
+}
+
+// heap: binary min-heap over (atNs, seq), with each waiter tracking its
+// index so Stop removes in O(log n) instead of leaving a tombstone.
+
+func waiterBefore(a, b *manualWaiter) bool {
+	if a.atNs != b.atNs {
+		return a.atNs < b.atNs
+	}
+	return a.seq < b.seq
+}
+
+//sensolint:hotpath
+func (m *Manual) heapPush(w *manualWaiter) {
+	w.where = locHeap
+	w.idx = int32(len(m.heap))
+	m.heap = append(m.heap, w)
+	m.heapUp(int(w.idx))
+}
+
+// heapPop removes and returns the earliest heap waiter.
+//
+//sensolint:hotpath
+func (m *Manual) heapPop() *manualWaiter {
+	w := m.heap[0]
+	m.heapRemoveAt(0)
+	return w
+}
+
+// heapRemoveAt deletes the waiter at index i, restoring heap order.
+//
+//sensolint:hotpath
+func (m *Manual) heapRemoveAt(i int) {
+	last := len(m.heap) - 1
+	w := m.heap[i]
+	w.where = locNone
+	if i != last {
+		moved := m.heap[last]
+		m.heap[i] = moved
+		moved.idx = int32(i)
+		m.heap[last] = nil
+		m.heap = m.heap[:last]
+		m.heapDown(i)
+		m.heapUp(i)
+	} else {
+		m.heap[last] = nil
+		m.heap = m.heap[:last]
+	}
+}
+
+//sensolint:hotpath
+func (m *Manual) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !waiterBefore(m.heap[i], m.heap[parent]) {
+			return
+		}
+		m.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+//sensolint:hotpath
+func (m *Manual) heapDown(i int) {
+	n := len(m.heap)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && waiterBefore(m.heap[l], m.heap[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && waiterBefore(m.heap[r], m.heap[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		m.heapSwap(i, least)
+		i = least
+	}
+}
+
+//sensolint:hotpath
+func (m *Manual) heapSwap(i, j int) {
+	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
+	m.heap[i].idx = int32(i)
+	m.heap[j].idx = int32(j)
+}
