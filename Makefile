@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke metrics-smoke experiments examples loc clean
+.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke chaos-smoke metrics-smoke experiments examples loc clean
 
 all: build vet lint test fuzz-smoke
 
@@ -45,12 +45,24 @@ bench-sim:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
 
-# Short coverage-guided runs of the wire-format fuzzer and the topic-trie
-# match cross-check: catches decode panics and trie/matcher divergence
-# without a dedicated fuzz farm.
+# Short coverage-guided runs of the wire-format fuzzer, the topic-trie
+# match cross-check and the netsim lifecycle fuzzer: catches decode
+# panics, trie/matcher divergence and fabric deadlocks under fault/close
+# interleavings without a dedicated fuzz farm.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeItem$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzTopicMatchConsistency$$' -fuzztime 10s ./internal/mqtt
+	$(GO) test -run '^$$' -fuzz '^FuzzFabricLifecycle$$' -fuzztime 10s ./internal/netsim
+
+# Deterministic chaos runs under fault schedules (DESIGN.md §13): the
+# smoke schedule exercises every fault verb over a 128-device fleet, the
+# dtn schedule keeps the fleet dark for hours and checks batch-upload on
+# reconnect. Exits nonzero if any of the four invariants (ordering, no
+# QoS1 duplicates, snapshot freshness, conservation) is violated. The
+# deeper scenario matrix lives in `go test ./internal/chaos`.
+chaos-smoke:
+	$(GO) run ./cmd/sensocial-sim -chaos smoke -devices 128
+	$(GO) run ./cmd/sensocial-sim -chaos dtn -devices 64
 
 # Boot a simulated deployment, scrape GET /metrics, and fail unless the
 # exported family set matches docs/OBSERVABILITY.md exactly.

@@ -23,8 +23,15 @@ go test -run '^$' -fuzz '^FuzzDecodeItem$' -fuzztime 10s ./internal/core
 echo "==> fuzz-smoke: FuzzTopicMatchConsistency (10s)"
 go test -run '^$' -fuzz '^FuzzTopicMatchConsistency$' -fuzztime 10s ./internal/mqtt
 
+echo "==> fuzz-smoke: FuzzFabricLifecycle (10s)"
+go test -run '^$' -fuzz '^FuzzFabricLifecycle$' -fuzztime 10s ./internal/netsim
+
 echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x ."
 go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
+
+echo "==> chaos-smoke: sensocial-sim -chaos smoke / -chaos dtn"
+go run ./cmd/sensocial-sim -chaos smoke -devices 128
+go run ./cmd/sensocial-sim -chaos dtn -devices 64
 
 echo "==> go run ./cmd/obscheck"
 go run ./cmd/obscheck

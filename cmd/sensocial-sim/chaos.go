@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// runChaos drives a pooled fleet through the named fault schedule with
+// continuous invariant checking and prints the verdict. It returns the
+// process exit code: 0 when every invariant held, 1 otherwise.
+func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceCap int) (int, error) {
+	sched, err := chaos.LoadSchedule(schedule)
+	if err != nil {
+		return 0, err
+	}
+	opts := chaos.Options{
+		Devices:       devices,
+		Schedule:      sched,
+		TraceCapacity: traceCap,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+	if hoursSet {
+		opts.Duration = time.Duration(hours * float64(time.Hour))
+	}
+	fmt.Printf("sensocial-sim: %d pooled devices under %q fault schedule (%d faults, horizon %s)\n",
+		devices, sched.Name, len(sched.Faults), sched.Horizon())
+
+	res, err := chaos.Run(opts)
+	if err != nil {
+		return 0, err
+	}
+
+	fmt.Printf("\nchaos summary:\n")
+	fmt.Printf("  steps              %d\n", res.Steps)
+	fmt.Printf("  items ingested     %d\n", res.Items)
+	fmt.Printf("  faults applied     %d (partitions %d, link faults %d, churn resets %d, storm clients %d)\n",
+		res.Engine.Applied, res.Engine.Partitions, res.Engine.LinkFaults,
+		res.Engine.ChurnResets, res.StormClients)
+	fmt.Printf("  probes             %d sent, %d acked, %d ambiguous\n",
+		res.ProbesSent, res.ProbesAcked, res.ProbesAmbiguous)
+	fmt.Printf("  pool ledger        samples=%d published=%d ackLost=%d dropped=%d backlog=%d\n",
+		res.Pool.Samples, res.Pool.ItemsPublished, res.Pool.ItemsAckLost,
+		res.Pool.ItemsDropped, res.Pool.Backlog)
+
+	if len(res.Trace) > 0 {
+		fmt.Println("\ntrace (canonical span dump, offsets from tracer start):")
+		if _, err := os.Stdout.Write(res.Trace); err != nil {
+			return 0, err
+		}
+	}
+
+	if !res.Ok() {
+		fmt.Printf("\nINVARIANT VIOLATIONS (%d):\n", len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		return 1, nil
+	}
+	fmt.Println("\nall invariants held: per-user ordering, no QoS1 duplicates, snapshot freshness, conservation")
+	return 0, nil
+}

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	sensocial-sim [-devices 10] [-mode auto] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096]
+//	sensocial-sim -chaos smoke [-devices 128] [-hours 1] [-trace 4096]
+//
+// With -chaos the simulator instead runs a pooled fleet under a fault
+// schedule ("smoke", "dtn", or a schedule file — see internal/netsim
+// ParseSchedule) with the invariant checks from internal/chaos, and exits
+// nonzero if any invariant is violated.
 //
 // Two device modes exist (-mode auto picks by fleet size):
 //
@@ -48,6 +54,7 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "virtual seconds per real second (full mode)")
 	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour (full mode)")
 	traceCap := flag.Int("trace", 0, "span ring-buffer capacity; dump the trace after the run (0 = off)")
+	chaosSched := flag.String("chaos", "", `fault schedule to run the fleet under: "smoke", "dtn", or a schedule file`)
 	flag.Parse()
 
 	n := *devices
@@ -56,6 +63,21 @@ func main() {
 	}
 	if n == 0 {
 		n = 10
+	}
+
+	if *chaosSched != "" {
+		hoursSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "hours" {
+				hoursSet = true
+			}
+		})
+		code, err := runChaos(*chaosSched, n, *hours, hoursSet, *traceCap)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
+			os.Exit(1)
+		}
+		os.Exit(code)
 	}
 	pooled := false
 	switch *mode {

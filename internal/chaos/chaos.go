@@ -1,0 +1,537 @@
+// Package chaos runs simulated SenSocial deployments under scripted
+// netsim fault schedules while continuously checking end-to-end
+// invariants.
+//
+// A run builds a pooled-device simulation on a manual clock, arms a
+// netsim.FaultEngine with the scenario's schedule, and advances virtual
+// time in fixed steps. After every step the harness quiesces (waits, in
+// real time, for the server ingest pipeline to drain what the step
+// produced), sends QoS 1 probe publishes over a dedicated never-faulted
+// client pair, and checks the mid-run invariants. At the end it checks
+// global conservation: every sample the fleet ever took must be accounted
+// for by exactly one of published / ack-lost / dropped / still-buffered.
+//
+// The invariants, in the order they are checked:
+//
+//  1. Ordering — per-user item timestamps observed by the server are
+//     strictly increasing (store-and-forward backdating included).
+//  2. No duplicate delivery — no (device, timestamp) item reaches the
+//     server twice, and every acked QoS 1 probe is delivered exactly
+//     once (unacked ones at most once: at-most-once semantics).
+//  3. Bounded staleness — at quiesce, the server context registry equals
+//     the last delivered classification for every user.
+//  4. Conservation — pool samples == published + ackLost + dropped +
+//     backlog, the ingest pipeline's enqueued == processed + dropped,
+//     and server receipts bound the pool's publish counters (with strict
+//     equality on fault-free runs).
+//
+// Schedules are deterministic: the same seed and schedule produce the
+// same virtual-time fault sequence, so chaos runs are byte-replayable on
+// the canonical /trace dump under the same pinned-ordering configuration
+// the trace determinism tests use.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core/server"
+	"repro/internal/mqtt"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	// Devices is the pooled fleet size; required.
+	Devices int
+	// Schedule is the fault script driving the run; required.
+	Schedule *netsim.Schedule
+	// Duration is the virtual run length (default Schedule.Horizon + 10m).
+	Duration time.Duration
+	// Step is the virtual-time advance granularity; the harness quiesces
+	// and probes between steps (default 1m).
+	Step time.Duration
+	// Seed makes the simulation deterministic (default 42).
+	Seed int64
+	// Pool tunes the pooled scheduler, including UploadQoS. Schedules
+	// that shape latency/bandwidth/loss on the device-pool<->server path
+	// are rejected at QoS 1: a QoS 1 flush blocks on PUBACKs inside a
+	// scheduled frame, where virtual time cannot advance, so the pool
+	// path must either work delay-free or fail fast (partition, churn).
+	Pool sim.PoolOptions
+	// Probes is the number of QoS 1 probe publishes sent after each step
+	// over a dedicated probe client pair (default 1; negative disables).
+	// Schedules must not target the probe hosts.
+	Probes int
+	// IngestShards sizes the server pipeline (default 1, which pins the
+	// ingest ordering so trace dumps are byte-replayable).
+	IngestShards int
+	// TraceCapacity enables span tracing (0 = off).
+	TraceCapacity int
+	// Logf, when set, receives progress lines (fault applications, step
+	// summaries).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = o.Schedule.Horizon() + 10*time.Minute
+	}
+	if o.Step <= 0 {
+		o.Step = time.Minute
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Probes == 0 {
+		o.Probes = 1
+	}
+	if o.IngestShards <= 0 {
+		o.IngestShards = 1
+	}
+	return o
+}
+
+// probe hosts are reserved for the harness's own QoS 1 delivery checks
+// and must stay outside every scheduled fault's blast radius.
+var probeHosts = []string{"chaos-probe", "chaos-watch"}
+
+func validate(o Options) error {
+	if o.Devices <= 0 {
+		return fmt.Errorf("chaos: Devices must be positive")
+	}
+	if o.Schedule == nil {
+		return fmt.Errorf("chaos: Schedule is required")
+	}
+	for _, f := range o.Schedule.Faults {
+		if f.Kind == netsim.FaultStorm || f.Kind == netsim.FaultHeal {
+			continue
+		}
+		for _, pat := range append(append([]string{}, f.A...), f.B...) {
+			for _, h := range probeHosts {
+				if patternMatches(pat, h) {
+					return fmt.Errorf("chaos: fault @%v %v pattern %q targets reserved probe host %q",
+						f.At, f.Kind, pat, h)
+				}
+			}
+		}
+		if o.Pool.UploadQoS >= 1 {
+			switch f.Kind {
+			case netsim.FaultLatency, netsim.FaultBandwidth, netsim.FaultLoss:
+				if touchesPoolPath(f) {
+					return fmt.Errorf("chaos: fault @%v %v shapes the pool path; QoS 1 uploads need it delay-free — use partition or churn",
+						f.At, f.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// patternMatches mirrors netsim's host-pattern semantics: exact, "*", or
+// a trailing-star prefix.
+func patternMatches(pat, host string) bool {
+	if pat == "*" || pat == host {
+		return true
+	}
+	if n := len(pat); n > 0 && pat[n-1] == '*' {
+		prefix := pat[:n-1]
+		return len(host) >= len(prefix) && host[:len(prefix)] == prefix
+	}
+	return false
+}
+
+func touchesPoolPath(f netsim.Fault) bool {
+	for _, pat := range append(append([]string{}, f.A...), f.B...) {
+		if patternMatches(pat, "device-pool") || patternMatches(pat, "server") {
+			return true
+		}
+	}
+	return false
+}
+
+// Result reports what a chaos run did and whether any invariant broke.
+type Result struct {
+	// Violations holds one line per invariant breach (empty on success).
+	Violations []string
+	// Items is how many stream items the server ingested end to end.
+	Items uint64
+	// Steps is how many virtual-time steps the run advanced.
+	Steps int
+	// ProbesSent/ProbesAcked/ProbesAmbiguous count the QoS 1 probe
+	// publishes and how their acknowledgements resolved.
+	ProbesSent      int
+	ProbesAcked     int
+	ProbesAmbiguous int
+	// StormClients is how many flash-crowd subscribers joined.
+	StormClients int
+	// Engine, Pool and Server snapshot the component counters at the end.
+	Engine netsim.EngineStats
+	Pool   sim.PoolStats
+	Server server.Stats
+	// Trace is the canonical span dump (nil unless TraceCapacity was set).
+	Trace []byte
+}
+
+// Ok reports whether every invariant held.
+func (r *Result) Ok() bool { return len(r.Violations) == 0 }
+
+// chaosEpoch anchors every run at the same virtual instant so schedules
+// and traces are comparable across runs.
+var chaosEpoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+// quiesceTimeout bounds, in real time, how long the harness waits for
+// background goroutines (broker sessions, ingest workers) to drain one
+// step's traffic. Virtual time is parked while it waits.
+const quiesceTimeout = 30 * time.Second
+
+// Run executes one scenario under its fault schedule and checks every
+// invariant. A non-nil error means the harness itself could not run; a
+// completed run with broken invariants returns them in
+// Result.Violations.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(opts); err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	clock := vclock.NewManual(chaosEpoch)
+	s, err := sim.New(sim.Options{
+		Clock: clock,
+		Seed:  opts.Seed,
+		// A delay-free base fabric: every impairment comes from the
+		// schedule, which also keeps handshakes inside scheduled events
+		// deterministic.
+		MobileLink:    &netsim.Link{},
+		DeviceMode:    sim.DeviceModePooled,
+		Pool:          opts.Pool,
+		IngestShards:  opts.IngestShards,
+		TraceCapacity: opts.TraceCapacity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer s.Close()
+
+	inv := newChecker()
+	s.Server.OnItem(inv.tap)
+
+	if err := s.AddDevices(opts.Devices); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := s.StartPool(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := s.Pool.WaitReady(quiesceTimeout); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+
+	var probes *probeRig
+	if opts.Probes > 0 {
+		if probes, err = newProbeRig(s); err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		defer probes.close()
+	}
+	storm := &stormRig{s: s}
+	defer storm.close()
+
+	eng, err := netsim.NewFaultEngine(s.Fabric, clock, opts.Schedule, netsim.EngineOptions{
+		OnStorm: storm.surge,
+		OnFault: func(f netsim.Fault) { logf("fault @%v %v", f.At, f.Kind) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := eng.Start(); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	defer eng.Stop()
+
+	steps := int(opts.Duration / opts.Step)
+	for i := 0; i < steps; i++ {
+		clock.Advance(opts.Step)
+		if err := quiesce(s); err != nil {
+			return nil, fmt.Errorf("chaos: step %d: %w", i+1, err)
+		}
+		if probes != nil {
+			probes.round(opts.Probes, inv)
+		}
+		inv.checkStaleness(s.Server.Registry())
+	}
+	eng.Stop()
+
+	// Final settle: heal everything and advance one more cadence so
+	// still-dark backlogs either drain or stay counted as backlog.
+	s.Fabric.Heal()
+	clock.Advance(opts.Step)
+	if err := quiesce(s); err != nil {
+		return nil, fmt.Errorf("chaos: final settle: %w", err)
+	}
+	inv.checkStaleness(s.Server.Registry())
+
+	res := &Result{
+		Steps:        steps,
+		Engine:       eng.Stats(),
+		Pool:         s.Pool.Stats(),
+		Server:       s.Server.Stats(),
+		StormClients: storm.joined(),
+	}
+	inv.checkConservation(res.Pool, res.Server.Pipeline, res.Engine, opts.Pool.UploadQoS)
+	if probes != nil {
+		probes.finalCheck(inv)
+		res.ProbesSent, res.ProbesAcked, res.ProbesAmbiguous = probes.counts()
+	}
+	res.Violations, res.Items = inv.report()
+
+	if s.Tracer != nil {
+		s.Close()
+		var buf writerBuf
+		if err := s.Tracer.WriteText(&buf); err != nil {
+			return nil, fmt.Errorf("chaos: trace dump: %w", err)
+		}
+		res.Trace = buf.b
+	}
+	logf("chaos: %d steps, %d items, %d violations", res.Steps, res.Items, len(res.Violations))
+	return res, nil
+}
+
+// writerBuf is a minimal io.Writer so the package needs no bytes import
+// on the hot path-free harness.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// quiesce waits, in real time, until the server ingest pipeline has
+// drained everything the last virtual-time step put in flight. With the
+// clock parked, delivery over delay-free paths is pure goroutine
+// progress, so a short stable window means the system is at rest.
+func quiesce(s *sim.Simulation) error {
+	//lint:ignore wallclock quiesce polls real goroutine progress while virtual time is parked
+	deadline := time.Now().Add(quiesceTimeout)
+	stable := 0
+	var last [3]uint64
+	for {
+		st := s.Server.Stats().Pipeline
+		cur := [3]uint64{st.Enqueued, st.Processed, st.Dropped}
+		if st.Backlog == 0 && st.Enqueued == st.Processed && cur == last {
+			if stable++; stable >= 3 {
+				return nil
+			}
+		} else {
+			stable = 0
+		}
+		last = cur
+		//lint:ignore wallclock see above: real-time deadline on background drain
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pipeline not quiescent after %v (enqueued=%d processed=%d dropped=%d backlog=%d)",
+				quiesceTimeout, st.Enqueued, st.Processed, st.Dropped, st.Backlog)
+		}
+		//lint:ignore wallclock see above: real-time backoff while goroutines drain
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// probeRig owns the QoS 1 probe path: a publisher and a subscriber on
+// reserved hosts that no schedule may fault, used to check exactly-once
+// delivery of acknowledged publishes end to end through the broker.
+type probeRig struct {
+	pub   *mqtt.Client
+	watch *mqtt.Client
+
+	mu        sync.Mutex
+	recv      map[uint64]int
+	sent      uint64
+	acked     map[uint64]bool
+	ambiguous int
+}
+
+func newProbeRig(s *sim.Simulation) (*probeRig, error) {
+	r := &probeRig{
+		recv:  make(map[uint64]int),
+		acked: make(map[uint64]bool),
+	}
+	wc, err := s.Fabric.Dial("chaos-watch", sim.BrokerAddr)
+	if err != nil {
+		return nil, err
+	}
+	if r.watch, err = mqtt.Connect(wc, mqtt.ClientOptions{ClientID: "chaos-watch", Clock: s.Clock}); err != nil {
+		return nil, err
+	}
+	err = r.watch.Subscribe("chaos/probe/#", 1, func(m mqtt.Message) {
+		var seq uint64
+		if _, err := fmt.Sscanf(string(m.Payload), "%d", &seq); err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.recv[seq]++
+		r.mu.Unlock()
+	})
+	if err != nil {
+		_ = r.watch.Close()
+		return nil, err
+	}
+	pc, err := s.Fabric.Dial("chaos-probe", sim.BrokerAddr)
+	if err != nil {
+		_ = r.watch.Close()
+		return nil, err
+	}
+	if r.pub, err = mqtt.Connect(pc, mqtt.ClientOptions{ClientID: "chaos-probe", Clock: s.Clock}); err != nil {
+		_ = r.watch.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// round sends n QoS 1 probes and waits for every acknowledged one to
+// reach the watch subscriber. The probe path is delay-free by
+// construction, so the wait is real-time goroutine progress only.
+func (r *probeRig) round(n int, inv *checker) {
+	wantSeqs := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		seq := r.sent
+		r.sent++
+		r.mu.Unlock()
+		topic := fmt.Sprintf("chaos/probe/%d", seq%8)
+		err := r.pub.Publish(topic, fmt.Appendf(nil, "%d", seq), 1, false)
+		switch {
+		case err == nil:
+			r.mu.Lock()
+			r.acked[seq] = true
+			r.mu.Unlock()
+			wantSeqs = append(wantSeqs, seq)
+		case errors.Is(err, mqtt.ErrAckUnknown) || errors.Is(err, mqtt.ErrAckTimeout):
+			r.mu.Lock()
+			r.ambiguous++
+			r.mu.Unlock()
+		default:
+			// The probe path is never faulted, so a hard publish failure
+			// is itself an invariant breach.
+			inv.violate("probe: publish seq %d failed: %v", seq, err)
+		}
+	}
+	//lint:ignore wallclock probe delivery is real goroutine progress over a delay-free path
+	deadline := time.Now().Add(quiesceTimeout)
+	for {
+		r.mu.Lock()
+		missing := 0
+		for _, seq := range wantSeqs {
+			if r.recv[seq] == 0 {
+				missing++
+			}
+		}
+		r.mu.Unlock()
+		if missing == 0 {
+			return
+		}
+		//lint:ignore wallclock see above
+		if time.Now().After(deadline) {
+			inv.violate("probe: %d acked probes undelivered after %v", missing, quiesceTimeout)
+			return
+		}
+		//lint:ignore wallclock see above
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// finalCheck asserts QoS 1 probe delivery counts: acked probes exactly
+// once, unacked at most once.
+func (r *probeRig) finalCheck(inv *checker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for seq := uint64(0); seq < r.sent; seq++ {
+		got := r.recv[seq]
+		switch {
+		case r.acked[seq] && got != 1:
+			inv.violate("probe: acked seq %d delivered %d times, want exactly 1", seq, got)
+		case !r.acked[seq] && got > 1:
+			inv.violate("probe: unacked seq %d delivered %d times, want at most 1", seq, got)
+		}
+	}
+}
+
+func (r *probeRig) counts() (sent, acked, ambiguous int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.sent), len(r.acked), r.ambiguous
+}
+
+func (r *probeRig) close() {
+	_ = r.pub.Close()
+	_ = r.watch.Close()
+}
+
+// stormRig implements flash-crowd join storms: each storm fault dials
+// that many fresh subscriber clients synchronously at the scheduled
+// virtual time. Clients stay connected (and churnable) until teardown.
+type stormRig struct {
+	s *sim.Simulation
+
+	mu      sync.Mutex
+	clients []*mqtt.Client
+	count   int
+	errs    int
+}
+
+func (r *stormRig) surge(n int) {
+	for i := 0; i < n; i++ {
+		r.mu.Lock()
+		id := fmt.Sprintf("storm-%05d", r.count)
+		r.count++
+		r.mu.Unlock()
+		conn, err := r.s.Fabric.Dial(id, sim.BrokerAddr)
+		if err != nil {
+			r.mu.Lock()
+			r.errs++
+			r.mu.Unlock()
+			continue
+		}
+		cli, err := mqtt.Connect(conn, mqtt.ClientOptions{ClientID: id, Clock: r.s.Clock})
+		if err != nil {
+			r.mu.Lock()
+			r.errs++
+			r.mu.Unlock()
+			continue
+		}
+		// Joining subscribers land on the broker's fan-out trie like any
+		// real flash crowd; ignoring the messages keeps the rig cheap.
+		if err := cli.Subscribe("chaos/storm/#", 0, func(mqtt.Message) {}); err != nil {
+			_ = cli.Close()
+			r.mu.Lock()
+			r.errs++
+			r.mu.Unlock()
+			continue
+		}
+		r.mu.Lock()
+		r.clients = append(r.clients, cli)
+		r.mu.Unlock()
+	}
+}
+
+func (r *stormRig) joined() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.clients)
+}
+
+func (r *stormRig) close() {
+	r.mu.Lock()
+	clients := r.clients
+	r.clients = nil
+	r.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+}

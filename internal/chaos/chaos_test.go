@@ -1,0 +1,238 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// TestSmokeScheduleZeroViolations runs the CI smoke schedule — every
+// fault verb once — and requires a clean invariant report.
+func TestSmokeScheduleZeroViolations(t *testing.T) {
+	res, err := Run(Options{
+		Devices:  128,
+		Schedule: Smoke(),
+		Step:     time.Minute,
+		Pool: sim.PoolOptions{
+			Connections:    4,
+			SampleInterval: time.Minute,
+			UploadBatch:    2,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Items == 0 {
+		t.Fatalf("no items ingested end to end")
+	}
+	if res.Engine.Applied != len(Smoke().Faults) {
+		t.Fatalf("engine applied %d of %d faults", res.Engine.Applied, len(Smoke().Faults))
+	}
+	if res.Engine.Partitions == 0 || res.Engine.LinkFaults == 0 || res.Engine.ChurnResets == 0 {
+		t.Fatalf("smoke run missed fault classes: %+v", res.Engine)
+	}
+	if res.StormClients != 64 {
+		t.Fatalf("storm joined %d clients, want 64", res.StormClients)
+	}
+	if res.ProbesSent == 0 || res.ProbesAcked == 0 {
+		t.Fatalf("probe rig idle: %+v", res)
+	}
+}
+
+// TestDTNBatchUploadOnReconnect keeps the fleet dark for four virtual
+// hours at QoS 1 and checks that backlogs batch-upload on reconnect with
+// every invariant intact.
+func TestDTNBatchUploadOnReconnect(t *testing.T) {
+	res, err := Run(Options{
+		Devices:  64,
+		Schedule: DTN(),
+		Step:     5 * time.Minute,
+		Pool: sim.PoolOptions{
+			Connections:    2,
+			SampleInterval: time.Minute,
+			UploadBatch:    4,
+			MaxBacklog:     512,
+			UploadQoS:      1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	// The partition must actually have disconnected the fleet, and the
+	// post-heal flushes must have drained the dark-time backlog.
+	if res.Engine.PartitionResets == 0 {
+		t.Fatalf("partition cut no connections: %+v", res.Engine)
+	}
+	if res.Pool.Backlog != 0 {
+		t.Fatalf("backlog not drained after heal: %+v", res.Pool)
+	}
+	// Four dark hours at 1-minute sampling far exceeds MaxBacklog=512?
+	// No: 240 samples fit, so nothing may be dropped to overflow either.
+	if res.Pool.ItemsDropped != 0 {
+		t.Fatalf("DTN run dropped %d items despite sufficient backlog", res.Pool.ItemsDropped)
+	}
+	if res.Items == 0 {
+		t.Fatalf("no items ingested end to end")
+	}
+}
+
+// TestPartitionReconnect1kDevices is the scale acceptance run: 1000
+// pooled devices through a partition/reconnect/churn cycle at QoS 1 with
+// all four invariants checked.
+func TestPartitionReconnect1kDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-device chaos run skipped in -short")
+	}
+	sched, err := netsim.ParseSchedule("partition-1k", `
+@5m  partition device-pool | server
+@12m heal
+@18m churn device-pool
+`)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	res, err := Run(Options{
+		Devices:  1000,
+		Schedule: sched,
+		Duration: 30 * time.Minute,
+		Step:     time.Minute,
+		Pool: sim.PoolOptions{
+			Connections:    8,
+			SampleInterval: time.Minute,
+			UploadBatch:    4,
+			MaxBacklog:     64,
+			UploadQoS:      1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Pool.Devices != 1000 {
+		t.Fatalf("pool ran %d devices, want 1000", res.Pool.Devices)
+	}
+	if res.Engine.PartitionResets == 0 || res.Engine.ChurnResets == 0 {
+		t.Fatalf("faults cut no connections: %+v", res.Engine)
+	}
+	if res.Items == 0 {
+		t.Fatalf("no items ingested end to end")
+	}
+}
+
+// chaosTraceRun executes one deterministic chaos run with tracing and
+// returns the canonical dump. Single connection, single frame, single
+// ingest shard and a shaping-free QoS 1 schedule pin every ordering
+// source, mirroring the sim package's trace determinism tests.
+func chaosTraceRun(t *testing.T) []byte {
+	t.Helper()
+	// Every instant that publishes must be the final instant of an
+	// Advance window: the run quiesces there with the clock parked, so
+	// the async shard-side ingest spans get deterministic stamps. Flushes
+	// happen only on frame ticks (every 1m), so Step=1m makes every tick
+	// a window end — a coarser step would let a mid-window catch-up flush
+	// race the remainder of the Advance and flap a span stamp into the
+	// next minute. The faults sit between ticks and publish nothing.
+	sched, err := netsim.ParseSchedule("trace", `
+@3m30s partition device-pool | server
+@7m30s heal
+@9m30s churn device-pool
+`)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	res, err := Run(Options{
+		Devices:  16,
+		Schedule: sched,
+		Duration: 14 * time.Minute,
+		Step:     time.Minute,
+		Pool: sim.PoolOptions{
+			Connections:    1,
+			FrameSize:      16,
+			SampleInterval: time.Minute,
+			UploadBatch:    2,
+			MaxBacklog:     32,
+			UploadQoS:      1,
+		},
+		TraceCapacity: 8192,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if len(res.Trace) == 0 {
+		t.Fatalf("no trace captured")
+	}
+	return res.Trace
+}
+
+// TestChaosTraceByteReplayable reruns the same seeded schedule and
+// requires byte-identical canonical trace dumps: chaos runs must be
+// replayable, faults included.
+func TestChaosTraceByteReplayable(t *testing.T) {
+	first := chaosTraceRun(t)
+	second := chaosTraceRun(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("trace dumps differ across same-seed chaos runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first, second)
+	}
+	for _, span := range []string{"mqtt.route", "ingest.enqueue", "ingest.process"} {
+		if !bytes.Contains(first, []byte(span)) {
+			t.Fatalf("trace missing %s spans:\n%s", span, first)
+		}
+	}
+}
+
+// TestValidateRejectsHostileSchedules covers the schedule validation
+// rules: probe hosts are off limits, and QoS 1 runs reject shaping on
+// the pool path.
+func TestValidateRejectsHostileSchedules(t *testing.T) {
+	probe, err := netsim.ParseSchedule("bad-probe", "@1m latency chaos-probe server 10ms\n")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if _, err := Run(Options{Devices: 1, Schedule: probe}); err == nil {
+		t.Fatalf("schedule targeting probe host accepted")
+	}
+	shape, err := netsim.ParseSchedule("bad-qos1", "@1m latency device-pool server 10ms\n")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	opts := Options{Devices: 1, Schedule: shape, Pool: sim.PoolOptions{UploadQoS: 1}}
+	if _, err := Run(opts); err == nil {
+		t.Fatalf("QoS1 run accepted shaping on the pool path")
+	}
+	opts.Pool.UploadQoS = 0
+	if err := validate(opts.withDefaults()); err != nil {
+		t.Fatalf("QoS0 shaping schedule rejected: %v", err)
+	}
+}
+
+// TestLoadSchedulePresets resolves the built-in names and rejects junk.
+func TestLoadSchedulePresets(t *testing.T) {
+	for _, name := range []string{"smoke", "dtn"} {
+		s, err := LoadSchedule(name)
+		if err != nil {
+			t.Fatalf("LoadSchedule(%q): %v", name, err)
+		}
+		if len(s.Faults) == 0 {
+			t.Fatalf("preset %q is empty", name)
+		}
+	}
+	if _, err := LoadSchedule("no-such-preset-or-file"); err == nil {
+		t.Fatalf("junk schedule arg accepted")
+	}
+}

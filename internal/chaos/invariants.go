@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/core/server"
+	"repro/internal/core/server/ingest"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// maxViolations caps how many breach lines a run records; past the cap
+// only the counter grows, so a systemic failure cannot balloon memory.
+const maxViolations = 64
+
+// checker accumulates invariant state from the server's item tap and
+// asserts the mid-run and end-of-run invariants. The tap runs on ingest
+// shard goroutines, so all state is mutex-guarded.
+type checker struct {
+	mu         sync.Mutex
+	items      uint64
+	lastTime   map[string]time.Time // per-user last ingested item time
+	lastClass  map[string]string    // per-user last delivered classification
+	seen       map[dupKey]int       // per (device, timestamp) delivery count
+	violations []string
+	suppressed int
+}
+
+type dupKey struct {
+	device string
+	nanos  int64
+}
+
+func newChecker() *checker {
+	return &checker{
+		lastTime:  make(map[string]time.Time),
+		lastClass: make(map[string]string),
+		seen:      make(map[dupKey]int),
+	}
+}
+
+// tap observes every item the server ingests. Shards serialize items per
+// user, so per-user ordering observed here is the order the registry and
+// delivery hooks saw.
+func (c *checker) tap(item core.Item) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items++
+	if prev, ok := c.lastTime[item.UserID]; ok && !item.Time.After(prev) {
+		c.violateLocked("ordering: user %s item at %v not after previous %v",
+			item.UserID, item.Time, prev)
+	}
+	c.lastTime[item.UserID] = item.Time
+	k := dupKey{device: item.DeviceID, nanos: item.Time.UnixNano()}
+	c.seen[k]++
+	if n := c.seen[k]; n > 1 {
+		c.violateLocked("duplicate: device %s item at %v ingested %d times",
+			item.DeviceID, item.Time, n)
+	}
+	if item.Granularity == core.GranularityClassified {
+		if mod, err := core.ContextForSensor(item.Modality); err == nil && mod == core.CtxPhysicalActivity {
+			c.lastClass[item.UserID] = item.Classified
+		}
+	}
+}
+
+// checkStaleness asserts, at quiesce, that the server context registry
+// holds exactly the last delivered classification for every user — i.e.
+// context snapshots are never staler than the newest ingested item.
+func (c *checker) checkStaleness(reg *server.ContextRegistry) {
+	c.mu.Lock()
+	users := make([]string, 0, len(c.lastClass))
+	for u := range c.lastClass {
+		users = append(users, u)
+	}
+	sort.Strings(users)
+	want := make(map[string]string, len(users))
+	for u, cls := range c.lastClass {
+		want[u] = cls
+	}
+	c.mu.Unlock()
+	if len(users) == 0 {
+		return
+	}
+	snap := reg.SnapshotUsers(users)
+	for _, u := range users {
+		if got := snap[core.Key(u, core.CtxPhysicalActivity)]; got != want[u] {
+			c.violate("staleness: user %s registry=%q, last delivered=%q", u, got, want[u])
+		}
+	}
+}
+
+// checkConservation asserts the end-of-run accounting identities between
+// the pool's sample ledger, the server ingest pipeline and the fault
+// engine's disruption counters.
+func (c *checker) checkConservation(ps sim.PoolStats, pl ingest.Stats, eng netsim.EngineStats, qos byte) {
+	accounted := ps.ItemsPublished + ps.ItemsAckLost + ps.ItemsDropped + ps.Backlog
+	if ps.Samples != accounted {
+		c.violate("conservation: pool samples=%d != published=%d + ackLost=%d + dropped=%d + backlog=%d",
+			ps.Samples, ps.ItemsPublished, ps.ItemsAckLost, ps.ItemsDropped, ps.Backlog)
+	}
+	if pl.Enqueued != pl.Processed {
+		c.violate("conservation: ingest enqueued=%d != processed=%d at quiesce",
+			pl.Enqueued, pl.Processed)
+	}
+	// Enqueued counts accepted items, Dropped counts queue-full rejects;
+	// together they are every stream-data publish the broker routed to
+	// the server.
+	received := pl.Enqueued + pl.Dropped
+	clean := eng.Disruptions() == 0 && eng.LinkFaults == 0
+	if qos >= 1 {
+		// QoS 1 publishes only count once acked, and the broker acks
+		// before routing, so every published item reached ingest; the
+		// ambiguous ack-lost ones may or may not have.
+		if received < ps.ItemsPublished || received > ps.ItemsPublished+ps.ItemsAckLost {
+			c.violate("conservation: QoS1 ingest received=%d outside [published=%d, published+ackLost=%d]",
+				received, ps.ItemsPublished, ps.ItemsPublished+ps.ItemsAckLost)
+		}
+		return
+	}
+	// QoS 0 publishes count on write success; faults may discard them in
+	// flight, so receipts can only fall short — and must match exactly on
+	// a disruption-free run.
+	if received > ps.ItemsPublished {
+		c.violate("conservation: QoS0 ingest received=%d exceeds published=%d",
+			received, ps.ItemsPublished)
+	}
+	if clean && received != ps.ItemsPublished {
+		c.violate("conservation: fault-free QoS0 run ingested %d of %d published",
+			received, ps.ItemsPublished)
+	}
+}
+
+func (c *checker) violate(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.violateLocked(format, args...)
+}
+
+func (c *checker) violateLocked(format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.suppressed++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// report returns the recorded violations and the item count.
+func (c *checker) report() ([]string, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.violations...)
+	if c.suppressed > 0 {
+		out = append(out, fmt.Sprintf("... and %d more violations suppressed", c.suppressed))
+	}
+	return out, c.items
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/netsim"
+)
+
+// smokeText exercises every fault verb once in ~35 virtual minutes: a
+// latency spike, a bandwidth cap and loss on the pool uplink (QoS 0
+// only), a full partition with heal, connection churn and a flash-crowd
+// join storm. Short enough for CI, broad enough that every invariant
+// path runs.
+const smokeText = `
+# uplink latency spike, then progressively nastier shaping
+@2m  latency device-pool server 80ms 20ms
+@6m  bandwidth device-pool server 16384
+@10m loss device-pool server 0.2 50ms
+@14m heal
+# hard partition: devices go dark and buffer
+@16m partition device-pool | server
+@20m heal
+# forced RST churn on the pooled connections
+@24m churn device-pool
+# flash crowd joins mid-run
+@28m storm 64
+`
+
+// dtnText is the delay-tolerant-networking scenario: the whole fleet
+// goes dark for four virtual hours, batch-uploads its backlog on
+// reconnect, then survives a churn aftershock. No shaping verbs, so it
+// runs at QoS 1.
+const dtnText = `
+@30m    partition device-pool | server
+@4h30m  heal
+@5h     churn device-pool
+`
+
+// Smoke returns the CI smoke-test schedule.
+func Smoke() *netsim.Schedule {
+	return mustSchedule("smoke", smokeText)
+}
+
+// DTN returns the dark-fleet batch-upload scenario.
+func DTN() *netsim.Schedule {
+	return mustSchedule("dtn", dtnText)
+}
+
+func mustSchedule(name, text string) *netsim.Schedule {
+	s, err := netsim.ParseSchedule(name, text)
+	if err != nil {
+		panic(fmt.Sprintf("chaos: bad built-in schedule %s: %v", name, err))
+	}
+	return s
+}
+
+// LoadSchedule resolves a -chaos argument: a built-in preset name
+// ("smoke", "dtn") or a path to a schedule file in the netsim DSL.
+func LoadSchedule(arg string) (*netsim.Schedule, error) {
+	switch arg {
+	case "smoke":
+		return Smoke(), nil
+	case "dtn":
+		return DTN(), nil
+	}
+	text, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: schedule %q is not a preset and not readable: %w", arg, err)
+	}
+	return netsim.ParseSchedule(arg, string(text))
+}

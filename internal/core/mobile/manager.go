@@ -215,13 +215,19 @@ func (m *Manager) UpdateStream(cfg core.StreamConfig) error {
 	if err := cfg.Validate(); err != nil {
 		return fmt.Errorf("mobile: %w", err)
 	}
+	var old *sensing.Subscription
+	defer func() {
+		if old != nil {
+			old.Wait()
+		}
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.streams[cfg.ID]
 	if !ok {
 		return fmt.Errorf("mobile: stream %q not found", cfg.ID)
 	}
-	m.deactivateLocked(rs)
+	old = m.deactivateLocked(rs)
 	rs.cfg = cfg
 	if err := m.privacy.Screen(cfg); err != nil {
 		m.logf("stream paused by privacy screen", "stream", cfg.ID, "reason", err)
@@ -233,13 +239,19 @@ func (m *Manager) UpdateStream(cfg core.StreamConfig) error {
 
 // RemoveStream destroys a stream.
 func (m *Manager) RemoveStream(id string) error {
+	var old *sensing.Subscription
+	defer func() {
+		if old != nil {
+			old.Wait()
+		}
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.streams[id]
 	if !ok {
 		return fmt.Errorf("mobile: stream %q not found", id)
 	}
-	m.deactivateLocked(rs)
+	old = m.deactivateLocked(rs)
 	delete(m.streams, id)
 	m.hub.Unregister(id)
 	return nil
@@ -303,10 +315,16 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
+	var waits []*sensing.Subscription
 	for _, rs := range m.streams {
-		m.deactivateLocked(rs)
+		if sub := m.deactivateLocked(rs); sub != nil {
+			waits = append(waits, sub)
+		}
 	}
 	m.mu.Unlock()
+	for _, sub := range waits {
+		sub.Wait()
+	}
 	m.sensing.Close()
 	if m.client != nil {
 		return m.client.Close()
@@ -337,17 +355,29 @@ func (m *Manager) activateLocked(rs *runtimeStream) {
 	rs.sub = sub
 }
 
-func (m *Manager) deactivateLocked(rs *runtimeStream) {
-	if rs.sub != nil {
-		rs.sub.Stop()
+// deactivateLocked cancels a stream's sampling and returns the old
+// subscription, which the caller must Wait on AFTER releasing m.mu: the
+// sampling callback takes m.mu (refreshContext), so waiting for the loop
+// under the lock deadlocks whenever a sample is mid-flight.
+func (m *Manager) deactivateLocked(rs *runtimeStream) *sensing.Subscription {
+	sub := rs.sub
+	if sub != nil {
+		sub.Cancel()
 		rs.sub = nil
 	}
 	rs.status = StatusPaused
+	return sub
 }
 
 // rescreenAll re-evaluates every stream against the privacy descriptor
 // (invoked on every policy change).
 func (m *Manager) rescreenAll() {
+	var waits []*sensing.Subscription
+	defer func() {
+		for _, sub := range waits {
+			sub.Wait()
+		}
+	}()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -360,7 +390,9 @@ func (m *Manager) rescreenAll() {
 			m.activateLocked(rs)
 			m.logf("stream resumed after privacy change", "stream", rs.cfg.ID)
 		case err != nil && rs.status == StatusActive:
-			m.deactivateLocked(rs)
+			if sub := m.deactivateLocked(rs); sub != nil {
+				waits = append(waits, sub)
+			}
 			m.logf("stream paused after privacy change", "stream", rs.cfg.ID, "reason", err)
 		}
 	}

@@ -23,6 +23,17 @@ var ErrClientClosed = errors.New("mqtt: client closed")
 // publish or a subscribe in time.
 var ErrAckTimeout = errors.New("mqtt: acknowledgement timeout")
 
+// ErrAckUnknown is returned by a QoS 1 Publish (or a Subscribe) when the
+// transport died after the request was written but before its
+// acknowledgement arrived. The broker may or may not have processed the
+// packet — the broker acknowledges a PUBLISH before routing it — so a
+// caller that resends on this error risks a duplicate delivery, while one
+// that drops the message risks a loss. Callers choosing at-most-once
+// semantics must treat this differently from write-phase failures
+// (ErrClientClosed and transport errors), where the packet never reached
+// the wire and resending is always safe.
+var ErrAckUnknown = errors.New("mqtt: acknowledgement unknown (transport lost after send)")
+
 // ClientOptions configures Connect.
 type ClientOptions struct {
 	// ClientID identifies the session to the broker; required.
@@ -45,7 +56,7 @@ type Client struct {
 
 	mu       sync.Mutex
 	subs     map[string]Handler
-	pending  map[uint16]chan struct{}
+	pending  map[uint16]*pendingAck
 	nextID   uint16
 	closed   bool
 	closeErr error
@@ -105,7 +116,7 @@ func Connect(conn net.Conn, opts ClientOptions) (*Client, error) {
 		clock:     opts.Clock,
 		opts:      opts,
 		subs:      make(map[string]Handler),
-		pending:   make(map[uint16]chan struct{}),
+		pending:   make(map[uint16]*pendingAck),
 		inboxWake: make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
@@ -141,7 +152,7 @@ func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) er
 		return fmt.Errorf("mqtt: publish to %q: QoS %d unsupported", topic, qos)
 	}
 	p := publishPacket{topic: topic, payload: payload, qos: qos, retain: retain}
-	var ack chan struct{}
+	var ack *pendingAck
 	if qos == 1 {
 		var err error
 		p.packetID, ack, err = c.registerPending()
@@ -224,10 +235,10 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	close(c.done)
-	for _, ch := range c.pending {
-		close(ch)
+	for _, pa := range c.pending {
+		close(pa.ch)
 	}
-	c.pending = make(map[uint16]chan struct{})
+	c.pending = make(map[uint16]*pendingAck)
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
@@ -260,10 +271,10 @@ func (c *Client) readLoop() {
 				c.closeErr = err
 				c.closed = true
 				close(c.done)
-				for _, ch := range c.pending {
-					close(ch)
+				for _, pa := range c.pending {
+					close(pa.ch)
 				}
-				c.pending = make(map[uint16]chan struct{})
+				c.pending = make(map[uint16]*pendingAck)
 			}
 			c.mu.Unlock()
 			return
@@ -285,8 +296,9 @@ func (c *Client) readLoop() {
 					continue
 				}
 				c.mu.Lock()
-				if ch, ok := c.pending[id]; ok {
-					close(ch)
+				if pa, ok := c.pending[id]; ok {
+					pa.acked = true
+					close(pa.ch)
 					delete(c.pending, id)
 				}
 				c.mu.Unlock()
@@ -351,7 +363,16 @@ func (c *Client) pingLoop() {
 	}
 }
 
-func (c *Client) registerPending() (uint16, chan struct{}, error) {
+// pendingAck tracks one in-flight acknowledgeable request. acked is set
+// (under the client mutex) before ch closes, so a waiter can distinguish a
+// real acknowledgement from the wholesale channel teardown that Close and
+// transport loss perform.
+type pendingAck struct {
+	ch    chan struct{}
+	acked bool
+}
+
+func (c *Client) registerPending() (uint16, *pendingAck, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -366,9 +387,9 @@ func (c *Client) registerPending() (uint16, chan struct{}, error) {
 			break
 		}
 	}
-	ch := make(chan struct{})
-	c.pending[c.nextID] = ch
-	return c.nextID, ch, nil
+	pa := &pendingAck{ch: make(chan struct{})}
+	c.pending[c.nextID] = pa
+	return c.nextID, pa, nil
 }
 
 func (c *Client) unregisterPending(id uint16) {
@@ -377,18 +398,26 @@ func (c *Client) unregisterPending(id uint16) {
 	delete(c.pending, id)
 }
 
-func (c *Client) waitAck(ack chan struct{}) error {
+func (c *Client) waitAck(ack *pendingAck) error {
 	t := c.clock.NewTimer(c.opts.AckTimeout)
 	defer t.Stop()
 	select {
-	case <-ack:
+	case <-ack.ch:
 		c.mu.Lock()
-		closed := c.closed
+		acked := ack.acked
+		closeErr := c.closeErr
 		c.mu.Unlock()
-		if closed {
+		if acked {
+			return nil
+		}
+		// The channel was torn down wholesale. A local Close never put the
+		// request on the wire ambiguity's path by intent, so keep the
+		// historical error; transport loss after the send is the genuinely
+		// ambiguous case.
+		if closeErr == nil {
 			return ErrClientClosed
 		}
-		return nil
+		return ErrAckUnknown
 	case <-t.C():
 		return ErrAckTimeout
 	}

@@ -6,9 +6,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"repro/internal/obs"
 	"repro/internal/vclock"
 )
 
@@ -18,10 +18,10 @@ import (
 // peer's read buffer once the (possibly virtual) clock reaches the stamp.
 type conn struct {
 	local, remote net.Addr
-	link          Link
+	link          atomic.Pointer[Link] // current profile; swapped live by fault injection
 	clock         vclock.Clock
 	rng           func() float64
-	txBytes       *obs.Counter
+	counters      *fabricCounters
 
 	out *deliveryQueue // chunks travelling to the peer
 	in  *deliveryQueue // chunks arriving from the peer
@@ -31,18 +31,28 @@ type conn struct {
 	deadline deadlineGuard
 
 	closeOnce sync.Once
+	onClose   func() // deregisters the conn from the fabric; may be nil
 }
 
 var _ net.Conn = (*conn)(nil)
 
 // linkedPair builds two connected endpoints with independent per-direction
 // link profiles.
-func linkedPair(clock vclock.Clock, rng func() float64, fwd, rev Link, clientAddr, serverAddr net.Addr, txBytes *obs.Counter) (client, server net.Conn) {
+func linkedPair(clock vclock.Clock, rng func() float64, fwd, rev Link, clientAddr, serverAddr net.Addr, fc *fabricCounters) (client, server *conn) {
 	c2s := newDeliveryQueue(clock)
 	s2c := newDeliveryQueue(clock)
-	c := &conn{local: clientAddr, remote: serverAddr, link: fwd, clock: clock, rng: rng, txBytes: txBytes, out: c2s, in: s2c}
-	s := &conn{local: serverAddr, remote: clientAddr, link: rev, clock: clock, rng: rng, txBytes: txBytes, out: s2c, in: c2s}
+	c := &conn{local: clientAddr, remote: serverAddr, clock: clock, rng: rng, counters: fc, out: c2s, in: s2c}
+	s := &conn{local: serverAddr, remote: clientAddr, clock: clock, rng: rng, counters: fc, out: s2c, in: c2s}
+	c.setLink(fwd)
+	s.setLink(rev)
 	return c, s
+}
+
+// setLink swaps the endpoint's link profile. In-flight chunks keep their
+// old stamps; the next write pays the new profile.
+func (c *conn) setLink(l Link) {
+	cp := l
+	c.link.Store(&cp)
 }
 
 // Write implements net.Conn. It never blocks on the link; bandwidth and
@@ -53,11 +63,16 @@ func (c *conn) Write(p []byte) (int, error) {
 	}
 	cp := make([]byte, len(p))
 	copy(cp, p)
-	deliverAt := c.clock.Now().Add(c.link.delay(len(p), c.rng))
-	if err := c.out.enqueue(cp, deliverAt); err != nil {
+	l := c.link.Load()
+	prop := l.propDelay(c.rng)
+	if l.Loss > 0 && c.rng() < l.Loss {
+		prop += l.lossPenalty()
+		c.counters.lossRetransmits.Inc()
+	}
+	if err := c.out.enqueue(cp, l.txTime(len(p)), prop); err != nil {
 		return 0, fmt.Errorf("netsim: write %s->%s: %w", c.local, c.remote, err)
 	}
-	c.txBytes.Add(uint64(len(p)))
+	c.counters.txBytes.Add(uint64(len(p)))
 	return len(p), nil
 }
 
@@ -83,8 +98,23 @@ func (c *conn) Close() error {
 	c.closeOnce.Do(func() {
 		c.out.close()
 		c.in.close()
+		if c.onClose != nil {
+			c.onClose()
+		}
 	})
 	return nil
+}
+
+// abort tears the connection down as a fault (RST): queued chunks are
+// dropped and both ends observe err instead of a drain followed by EOF.
+func (c *conn) abort(err error) {
+	c.closeOnce.Do(func() {
+		c.out.fail(err)
+		c.in.fail(err)
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
 }
 
 // LocalAddr implements net.Conn.
@@ -156,29 +186,46 @@ type timedChunk struct {
 type deliveryQueue struct {
 	clock vclock.Clock
 
-	mu     sync.Mutex
-	queue  []timedChunk
-	closed bool
-	wake   chan struct{} // closed & replaced whenever state changes
+	mu        sync.Mutex
+	queue     []timedChunk
+	busyUntil time.Time // when the last accepted write finishes occupying the pipe
+	closed    bool
+	failErr   error // non-nil when torn down by fault injection (RST)
+	wake      chan struct{} // closed & replaced whenever state changes
 }
 
 func newDeliveryQueue(clock vclock.Clock) *deliveryQueue {
 	return &deliveryQueue{clock: clock, wake: make(chan struct{})}
 }
 
-func (q *deliveryQueue) enqueue(data []byte, deliverAt time.Time) error {
+// enqueue admits one write of tx transmission time and prop propagation
+// delay. The pipe is a shared queue: a write starts transmitting only after
+// every earlier write on this direction has finished, so concurrent writers
+// cannot both see an empty pipe — bandwidth cost accumulates across them
+// instead of being paid independently per write.
+func (q *deliveryQueue) enqueue(data []byte, tx, prop time.Duration) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		if q.failErr != nil {
+			return q.failErr
+		}
 		return errors.New("connection closed")
 	}
-	q.queue = append(q.queue, timedChunk{data: data, deliverAt: deliverAt})
+	start := q.clock.Now()
+	if q.busyUntil.After(start) {
+		start = q.busyUntil
+	}
+	done := start.Add(tx)
+	q.busyUntil = done
+	q.queue = append(q.queue, timedChunk{data: data, deliverAt: done.Add(prop)})
 	q.wakeLocked()
 	return nil
 }
 
 // dequeue blocks until a chunk is deliverable (its stamp has passed on the
-// clock), the queue closes (io.EOF after drain), or deadline fires.
+// clock), the queue closes (io.EOF after drain, or the fault error
+// immediately), or deadline fires.
 func (q *deliveryQueue) dequeue(deadline <-chan struct{}) ([]byte, error) {
 	for {
 		q.mu.Lock()
@@ -210,7 +257,11 @@ func (q *deliveryQueue) dequeue(deadline <-chan struct{}) ([]byte, error) {
 			continue
 		}
 		if q.closed {
+			err := q.failErr
 			q.mu.Unlock()
+			if err != nil {
+				return nil, err
+			}
 			return nil, io.EOF
 		}
 		wake := q.wake
@@ -236,6 +287,20 @@ func (q *deliveryQueue) close() {
 		q.closed = true
 		q.wakeLocked()
 	}
+}
+
+// fail closes the queue as a fault: in-flight chunks are discarded (a reset
+// drops the pipe's contents) and the reader observes err instead of EOF.
+func (q *deliveryQueue) fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.failErr = err
+	q.queue = nil
+	q.wakeLocked()
 }
 
 func (q *deliveryQueue) wakeLocked() {

@@ -1,0 +1,462 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// FaultKind enumerates the schedulable fabric faults.
+type FaultKind int
+
+const (
+	// FaultPartition severs host groups A and B from each other.
+	FaultPartition FaultKind = iota
+	// FaultHeal clears every partition and link-fault override.
+	FaultHeal
+	// FaultLatency overrides latency (and optionally jitter) between A
+	// and B.
+	FaultLatency
+	// FaultBandwidth caps bandwidth between A and B.
+	FaultBandwidth
+	// FaultLoss injects loss-retransmission penalties between A and B.
+	FaultLoss
+	// FaultChurn force-resets established connections whose endpoints
+	// match the A patterns.
+	FaultChurn
+	// FaultStorm replays a flash-crowd join storm of Count clients (the
+	// engine delegates to EngineOptions.OnStorm).
+	FaultStorm
+)
+
+// String names the kind the way the schedule DSL spells it.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultPartition:
+		return "partition"
+	case FaultHeal:
+		return "heal"
+	case FaultLatency:
+		return "latency"
+	case FaultBandwidth:
+		return "bandwidth"
+	case FaultLoss:
+		return "loss"
+	case FaultChurn:
+		return "churn"
+	case FaultStorm:
+		return "storm"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled fabric action. A and B carry host patterns:
+// partition groups for FaultPartition, src/dst endpoints for the link
+// faults, the churn targets for FaultChurn.
+type Fault struct {
+	// At is the virtual-time offset from engine start.
+	At   time.Duration
+	Kind FaultKind
+	A, B []string
+	// Symmetric applies a link fault in both directions (the DSL's
+	// "src dst" form; "src->dst" injects one direction only).
+	Symmetric bool
+
+	Latency      time.Duration
+	Jitter       time.Duration
+	BandwidthBps float64
+	Loss         float64
+	LossPenalty  time.Duration
+
+	// Count is the storm size.
+	Count int
+}
+
+// linkFault projects the fault's shaping parameters into override form.
+func (f Fault) linkFault() LinkFault {
+	var lf LinkFault
+	switch f.Kind {
+	case FaultLatency:
+		lat, jit := f.Latency, f.Jitter
+		lf.Latency, lf.Jitter = &lat, &jit
+	case FaultBandwidth:
+		bw := f.BandwidthBps
+		lf.BandwidthBps = &bw
+	case FaultLoss:
+		loss, pen := f.Loss, f.LossPenalty
+		lf.Loss = &loss
+		if pen > 0 {
+			lf.LossPenalty = &pen
+		}
+	}
+	return lf
+}
+
+// Schedule is an ordered fault script. Faults fire in At order; ties keep
+// source order.
+type Schedule struct {
+	Name   string
+	Faults []Fault
+}
+
+// Horizon is the offset of the last fault in the schedule.
+func (s *Schedule) Horizon() time.Duration {
+	var h time.Duration
+	for _, f := range s.Faults {
+		if f.At > h {
+			h = f.At
+		}
+	}
+	return h
+}
+
+// ParseSchedule parses the textual fault-schedule DSL. Blank lines and
+// lines starting with "#" are skipped; every other line is
+// "@<offset> <verb> <args...>":
+//
+//	@10m partition device-pool | server
+//	@40m heal
+//	@5m  latency   device-* server 2s 500ms
+//	@5m  bandwidth device-pool server 4096
+//	@5m  loss      device-pool server 0.25 250ms
+//	@20m churn     device-*
+//	@15m storm     200
+//
+// Offsets are Go durations of virtual time from engine start. Link verbs
+// take "src dst" (symmetric) or "src->dst" (that direction only); patterns
+// are exact hosts, "*", or trailing-star prefixes. The partition verb
+// separates two groups of patterns split by "|". Faults are sorted by
+// offset (stable, so same-offset lines keep file order).
+func ParseSchedule(name, text string) (*Schedule, error) {
+	s := &Schedule{Name: name}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f, err := parseFaultLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("netsim: schedule %s line %d: %w", name, lineNo+1, err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if len(s.Faults) == 0 {
+		return nil, fmt.Errorf("netsim: schedule %s: no faults", name)
+	}
+	sort.SliceStable(s.Faults, func(i, j int) bool { return s.Faults[i].At < s.Faults[j].At })
+	return s, nil
+}
+
+func parseFaultLine(line string) (Fault, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "@") {
+		return Fault{}, fmt.Errorf("want \"@<offset> <verb> ...\", got %q", line)
+	}
+	at, err := time.ParseDuration(strings.TrimPrefix(fields[0], "@"))
+	if err != nil || at < 0 {
+		return Fault{}, fmt.Errorf("bad offset %q", fields[0])
+	}
+	f := Fault{At: at}
+	verb, args := fields[1], fields[2:]
+	switch verb {
+	case "partition":
+		f.Kind = FaultPartition
+		sep := -1
+		for i, a := range args {
+			if a == "|" {
+				sep = i
+				break
+			}
+		}
+		if sep <= 0 || sep == len(args)-1 {
+			return Fault{}, fmt.Errorf("partition wants \"<groupA...> | <groupB...>\"")
+		}
+		f.A, f.B = args[:sep], args[sep+1:]
+	case "heal":
+		f.Kind = FaultHeal
+		if len(args) != 0 {
+			return Fault{}, fmt.Errorf("heal takes no arguments")
+		}
+	case "latency":
+		f.Kind = FaultLatency
+		rest, err := parseEndpoints(&f, args, 1, 2)
+		if err != nil {
+			return Fault{}, err
+		}
+		if f.Latency, err = time.ParseDuration(rest[0]); err != nil {
+			return Fault{}, fmt.Errorf("bad latency %q", rest[0])
+		}
+		if len(rest) == 2 {
+			if f.Jitter, err = time.ParseDuration(rest[1]); err != nil {
+				return Fault{}, fmt.Errorf("bad jitter %q", rest[1])
+			}
+		}
+	case "bandwidth":
+		f.Kind = FaultBandwidth
+		rest, err := parseEndpoints(&f, args, 1, 1)
+		if err != nil {
+			return Fault{}, err
+		}
+		if f.BandwidthBps, err = strconv.ParseFloat(rest[0], 64); err != nil || f.BandwidthBps <= 0 {
+			return Fault{}, fmt.Errorf("bad bandwidth %q (bytes/second)", rest[0])
+		}
+	case "loss":
+		f.Kind = FaultLoss
+		rest, err := parseEndpoints(&f, args, 1, 2)
+		if err != nil {
+			return Fault{}, err
+		}
+		if f.Loss, err = strconv.ParseFloat(rest[0], 64); err != nil || f.Loss <= 0 || f.Loss >= 1 {
+			return Fault{}, fmt.Errorf("bad loss probability %q (want (0,1))", rest[0])
+		}
+		if len(rest) == 2 {
+			if f.LossPenalty, err = time.ParseDuration(rest[1]); err != nil {
+				return Fault{}, fmt.Errorf("bad loss penalty %q", rest[1])
+			}
+		}
+	case "churn":
+		f.Kind = FaultChurn
+		if len(args) == 0 {
+			return Fault{}, fmt.Errorf("churn wants at least one host pattern")
+		}
+		f.A = args
+	case "storm":
+		f.Kind = FaultStorm
+		if len(args) != 1 {
+			return Fault{}, fmt.Errorf("storm wants exactly one client count")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 || n > 65536 {
+			return Fault{}, fmt.Errorf("bad storm size %q", args[0])
+		}
+		f.Count = n
+	default:
+		return Fault{}, fmt.Errorf("unknown verb %q", verb)
+	}
+	return f, nil
+}
+
+// parseEndpoints consumes the link-fault endpoint spec from args — either
+// "src dst" (symmetric) or one "src->dst" token (directional) — and
+// returns the remaining arguments, checked against [minRest, maxRest].
+func parseEndpoints(f *Fault, args []string, minRest, maxRest int) ([]string, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("%s wants link endpoints", f.Kind)
+	}
+	var rest []string
+	if src, dst, ok := strings.Cut(args[0], "->"); ok {
+		if src == "" || dst == "" {
+			return nil, fmt.Errorf("bad directional endpoints %q", args[0])
+		}
+		f.A, f.B, f.Symmetric = []string{src}, []string{dst}, false
+		rest = args[1:]
+	} else {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("%s wants \"src dst\" or \"src->dst\"", f.Kind)
+		}
+		f.A, f.B, f.Symmetric = []string{args[0]}, []string{args[1]}, true
+		rest = args[2:]
+	}
+	if len(rest) < minRest || len(rest) > maxRest {
+		return nil, fmt.Errorf("%s: want between %d and %d parameters, got %d", f.Kind, minRest, maxRest, len(rest))
+	}
+	return rest, nil
+}
+
+// EngineStats tallies what a FaultEngine has applied.
+type EngineStats struct {
+	// Applied counts schedule entries executed.
+	Applied int
+	// Partitions and Heals count those verbs.
+	Partitions int
+	Heals      int
+	// LinkFaults counts latency/bandwidth/loss injections.
+	LinkFaults int
+	// ChurnResets and PartitionResets count connections forcibly reset by
+	// churn faults and by partitions cutting established connections.
+	ChurnResets     int
+	PartitionResets int
+	// Storms counts storm faults; StormClients sums their sizes.
+	Storms       int
+	StormClients int
+}
+
+// Disruptions reports whether any fault actually reset connections or
+// severed the fabric — the condition under which in-flight data may have
+// been legitimately lost.
+func (s EngineStats) Disruptions() int {
+	return s.Partitions + s.ChurnResets + s.PartitionResets
+}
+
+// EngineOptions tunes fault application.
+type EngineOptions struct {
+	// OnStorm handles FaultStorm entries (the engine itself owns no
+	// clients): the harness dials count flash-crowd joiners. Called
+	// synchronously from the fault event; nil disables storms.
+	OnStorm func(count int)
+	// OnFault, when non-nil, observes every fault after it is applied.
+	OnFault func(f Fault)
+}
+
+// FaultEngine drives a Schedule against a Network on the virtual clock. On
+// an EventScheduler clock (vclock.Manual) faults run synchronously inside
+// Advance in deterministic (deadline, sequence) order, which is what makes
+// chaos runs byte-replayable; on other clocks a single goroutine replays
+// the schedule on timers.
+type FaultEngine struct {
+	net   *Network
+	clock vclock.Clock
+	sched *Schedule
+	opts  EngineOptions
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	stats   EngineStats
+	events  []vclock.Event
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewFaultEngine binds a schedule to a network. Start arms it.
+func NewFaultEngine(n *Network, clock vclock.Clock, sched *Schedule, opts EngineOptions) (*FaultEngine, error) {
+	if n == nil || clock == nil {
+		return nil, fmt.Errorf("netsim: fault engine: nil network or clock")
+	}
+	if sched == nil || len(sched.Faults) == 0 {
+		return nil, fmt.Errorf("netsim: fault engine: empty schedule")
+	}
+	return &FaultEngine{net: n, clock: clock, sched: sched, opts: opts, done: make(chan struct{})}, nil
+}
+
+// Start arms every fault at now+At. Safe to call once.
+func (e *FaultEngine) Start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("netsim: fault engine: already started")
+	}
+	e.started = true
+	base := e.clock.Now()
+	if sched, ok := e.clock.(vclock.EventScheduler); ok {
+		for _, f := range e.sched.Faults {
+			f := f
+			e.events = append(e.events, sched.Schedule(base.Add(f.At), func(time.Time) {
+				e.apply(f)
+			}))
+		}
+		return nil
+	}
+	e.wg.Add(1)
+	go e.loop(base)
+	return nil
+}
+
+// loop is the fallback driver for clocks without an event scheduler.
+func (e *FaultEngine) loop(base time.Time) {
+	defer e.wg.Done()
+	for _, f := range e.sched.Faults {
+		d := base.Add(f.At).Sub(e.clock.Now())
+		if d < 0 {
+			d = 0
+		}
+		t := e.clock.NewTimer(d)
+		select {
+		case <-t.C():
+			e.apply(f)
+		case <-e.done:
+			t.Stop()
+			return
+		}
+	}
+}
+
+// Stop disarms pending faults and joins the fallback goroutine. Applied
+// fault state (partitions, overrides) is left in place; call Network.Heal
+// to clear it.
+func (e *FaultEngine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	events := e.events
+	e.mu.Unlock()
+	for _, ev := range events {
+		ev.Stop()
+	}
+	close(e.done)
+	e.wg.Wait()
+}
+
+// Stats snapshots the applied-fault tallies.
+func (e *FaultEngine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+func (e *FaultEngine) apply(f Fault) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+
+	e.net.countFault()
+	var churned, cut int
+	switch f.Kind {
+	case FaultPartition:
+		cut = e.net.Partition(f.A, f.B)
+	case FaultHeal:
+		e.net.Heal()
+	case FaultLatency, FaultBandwidth, FaultLoss:
+		lf := f.linkFault()
+		for _, a := range f.A {
+			for _, b := range f.B {
+				e.net.ApplyLinkFault(a, b, lf)
+				if f.Symmetric {
+					e.net.ApplyLinkFault(b, a, lf)
+				}
+			}
+		}
+	case FaultChurn:
+		for _, pat := range f.A {
+			churned += e.net.ResetConns(pat)
+		}
+	case FaultStorm:
+		if e.opts.OnStorm != nil {
+			e.opts.OnStorm(f.Count)
+		}
+	}
+
+	e.mu.Lock()
+	e.stats.Applied++
+	switch f.Kind {
+	case FaultPartition:
+		e.stats.Partitions++
+		e.stats.PartitionResets += cut
+	case FaultHeal:
+		e.stats.Heals++
+	case FaultLatency, FaultBandwidth, FaultLoss:
+		e.stats.LinkFaults++
+	case FaultChurn:
+		e.stats.ChurnResets += churned
+	case FaultStorm:
+		e.stats.Storms++
+		e.stats.StormClients += f.Count
+	}
+	e.mu.Unlock()
+
+	if e.opts.OnFault != nil {
+		e.opts.OnFault(f)
+	}
+}

@@ -326,15 +326,20 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 func TestLinkDelayComputation(t *testing.T) {
 	l := Link{Latency: 10 * time.Millisecond, Jitter: 10 * time.Millisecond, BandwidthBps: 1000}
 	half := func() float64 { return 0.5 }
-	// 10ms latency + 5ms jitter + 100 bytes / 1000 Bps = 100ms.
-	got := l.delay(100, half)
-	want := 115 * time.Millisecond
-	if got != want {
-		t.Fatalf("delay = %v, want %v", got, want)
+	// 10ms latency + 5ms jitter propagation; 100 bytes / 1000 Bps = 100ms
+	// transmission.
+	if got, want := l.propDelay(half), 15*time.Millisecond; got != want {
+		t.Fatalf("propDelay = %v, want %v", got, want)
+	}
+	if got, want := l.txTime(100), 100*time.Millisecond; got != want {
+		t.Fatalf("txTime = %v, want %v", got, want)
 	}
 	zero := Link{}
-	if d := zero.delay(1<<20, half); d != 0 {
+	if d := zero.propDelay(half) + zero.txTime(1<<20); d != 0 {
 		t.Fatalf("zero link delay = %v, want 0", d)
+	}
+	if !zero.delayFree() || l.delayFree() {
+		t.Fatalf("delayFree: zero=%v shaped=%v, want true/false", zero.delayFree(), l.delayFree())
 	}
 }
 

@@ -202,13 +202,25 @@ func (s *Subscription) loop(anchor time.Time) {
 	}
 }
 
-// Stop ends the subscription and waits for its goroutine.
-func (s *Subscription) Stop() {
+// Cancel signals the subscription's loop to exit and deregisters it
+// without waiting for the goroutine. A caller that holds a lock the
+// sampling callback also takes must Cancel under that lock and Wait only
+// after releasing it — Stop (Cancel then Wait) from such a caller
+// deadlocks if the loop is mid-callback, blocked on the same lock.
+func (s *Subscription) Cancel() {
 	s.stopOnce.Do(func() {
 		close(s.done)
 		s.manager.mu.Lock()
 		delete(s.manager.subs, s.id)
 		s.manager.mu.Unlock()
 	})
-	s.wg.Wait()
+}
+
+// Wait blocks until the subscription's goroutine has exited.
+func (s *Subscription) Wait() { s.wg.Wait() }
+
+// Stop ends the subscription and waits for its goroutine.
+func (s *Subscription) Stop() {
+	s.Cancel()
+	s.Wait()
 }

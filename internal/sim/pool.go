@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -58,6 +59,13 @@ type PoolOptions struct {
 	MaxBacklog int
 	// DutyCycle is the sampling duty cycle in (0,1] (default 1).
 	DutyCycle float64
+	// UploadQoS is the MQTT QoS pooled uploads publish at (0 or 1,
+	// default 0). At QoS 1 a flush blocks on each PUBACK, so the broker's
+	// receipt of every counted item is confirmed; publishes whose
+	// acknowledgement is lost to a mid-flight fault are charged to
+	// ItemsAckLost and never resent (at-most-once — resending could
+	// double-deliver, because the broker acks before routing).
+	UploadQoS byte
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -82,6 +90,9 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	if o.DutyCycle <= 0 || o.DutyCycle > 1 {
 		o.DutyCycle = 1
 	}
+	if o.UploadQoS > 1 {
+		o.UploadQoS = 1
+	}
 	return o
 }
 
@@ -97,7 +108,17 @@ func poolActivity(phase uint32, t time.Time) string {
 	return poolActivityLabels[slot%3]
 }
 
-// PoolStats is a point-in-time snapshot of pool progress.
+// PoolStats is a point-in-time snapshot of pool progress. Every sample
+// taken ends up in exactly one of ItemsPublished (confirmed written, and
+// at QoS 1 acked), ItemsAckLost (QoS 1 publish whose ack was lost to a
+// fault — delivery unknown, never resent), ItemsDropped (backlog-cap
+// overflow or encode failure) or Backlog (still buffered), so
+//
+//	Samples == ItemsPublished + ItemsAckLost + ItemsDropped + Backlog
+//
+// holds whenever no flush is mid-flight (always true at quiesce on a
+// manual clock). The chaos harness asserts it as a conservation
+// invariant.
 type PoolStats struct {
 	Devices        int
 	Frames         int
@@ -105,7 +126,9 @@ type PoolStats struct {
 	Ticks          uint64
 	Samples        uint64
 	ItemsPublished uint64
+	ItemsAckLost   uint64
 	ItemsDropped   uint64
+	Backlog        uint64
 	PublishErrors  uint64
 }
 
@@ -123,7 +146,7 @@ type PoolStats struct {
 // over goroutine-per-device.
 //
 // Uploads preserve the wire protocol of the full path: classified items are
-// encoded exactly like mobile's pipeline and published QoS 0 to
+// encoded exactly like mobile's pipeline and published at UploadQoS to
 // core.StreamDataTopic(deviceID) over MQTT, so the broker, the server
 // ingest pipeline and every downstream consumer see pooled devices as
 // indistinguishable from full ones. The fleet shares Connections fabric
@@ -139,6 +162,7 @@ type DevicePool struct {
 	uploadBatch int
 	maxBacklog  int
 	duty        float64
+	uploadQoS   byte
 	modality    string
 	streamID    string
 
@@ -160,14 +184,16 @@ type DevicePool struct {
 	drained []float64
 	cads    []sensing.Cadence
 
-	frames  []*poolFrame
-	clients []atomic.Pointer[mqtt.Client]
-	done    chan struct{}
-	wg      sync.WaitGroup
+	frames     []*poolFrame
+	clients    []atomic.Pointer[mqtt.Client]
+	connecting []atomic.Bool
+	done       chan struct{}
+	wg         sync.WaitGroup
 
 	ticks          atomic.Uint64
 	samples        atomic.Uint64
 	itemsPublished atomic.Uint64
+	itemsAckLost   atomic.Uint64
 	itemsDropped   atomic.Uint64
 	publishErrs    atomic.Uint64
 }
@@ -210,14 +236,16 @@ func newDevicePool(s *Simulation, opts PoolOptions) (*DevicePool, error) {
 		uploadBatch: opts.UploadBatch,
 		maxBacklog:  opts.MaxBacklog,
 		duty:        opts.DutyCycle,
+		uploadQoS:   opts.UploadQoS,
 		modality:    sensors.ModalityAccelerometer,
 		streamID:    "pool-activity",
 
 		devicesGauge: s.simDevices,
 		tickDur:      s.simTickDur,
 
-		clients: make([]atomic.Pointer[mqtt.Client], opts.Connections),
-		done:    make(chan struct{}),
+		clients:    make([]atomic.Pointer[mqtt.Client], opts.Connections),
+		connecting: make([]atomic.Bool, opts.Connections),
+		done:       make(chan struct{}),
 	}
 	return p, nil
 }
@@ -334,12 +362,21 @@ func (p *DevicePool) Start() error {
 // connectSlot dials the slot's pooled fabric connection and performs the
 // MQTT handshake, publishing the client for frame flushes once the broker
 // acknowledges. Errors are counted and the slot stays nil; its frames keep
-// buffering (capped) until Close.
+// buffering (capped) until a later flush retries. The connecting guard
+// keeps the initial background dial and a frame's synchronous reconnect
+// from racing a double handshake over one pooled conn.
 func (p *DevicePool) connectSlot(slot int) {
+	if !p.connecting[slot].CompareAndSwap(false, true) {
+		return
+	}
+	defer p.connecting[slot].Store(false)
 	select {
 	case <-p.done:
 		return
 	default:
+	}
+	if p.clients[slot].Load() != nil {
+		return
 	}
 	conn, err := p.conns.Get(slot)
 	if err != nil {
@@ -356,6 +393,59 @@ func (p *DevicePool) connectSlot(slot int) {
 		return
 	}
 	p.clients[slot].Store(cli)
+}
+
+// reconnectSlot redials a slot synchronously from a frame tick after its
+// client was retired. On an event-scheduler clock the tick runs inside
+// Advance, where a blocking handshake can only complete if the path
+// delivers without any clock advance — so the attempt is skipped (devices
+// keep buffering) until the fabric reports the broker path delay-free
+// again, which is also what makes reconnect times deterministic. On
+// real/scaled clocks time flows independently, so the handshake may simply
+// block.
+func (p *DevicePool) reconnectSlot(slot int) *mqtt.Client {
+	if _, ok := p.clock.(vclock.EventScheduler); ok &&
+		!p.fabric.PathDelayFree("device-pool", BrokerAddr) {
+		return nil
+	}
+	p.connectSlot(slot)
+	return p.clients[slot].Load()
+}
+
+// retireClient drops a slot's broken client and invalidates its pooled
+// conn so a later flush redials. The compare-and-swap keeps a racing frame
+// on another goroutine from retiring a freshly dialed replacement.
+func (p *DevicePool) retireClient(slot int, cli *mqtt.Client) {
+	if p.clients[slot].CompareAndSwap(cli, nil) {
+		_ = cli.Close()
+		p.conns.Invalidate(slot)
+	}
+}
+
+// restoreBacklog returns unpublished items to a device's backlog after a
+// broken flush, dropping (and counting) whatever no longer fits the cap.
+// Restored items keep per-device timestamp monotonicity: a backlog of
+// depth d re-published at a later tick is backdated from that tick, and
+// depth can never exceed the ticks elapsed since the last published
+// sample, so backdated stamps stay strictly increasing.
+func (p *DevicePool) restoreBacklog(i, count int) {
+	if count <= 0 {
+		return
+	}
+	p.mu.Lock()
+	room := p.maxBacklog - int(p.backlog[i])
+	if room < 0 {
+		room = 0
+	}
+	add := count
+	if add > room {
+		add = room
+	}
+	p.backlog[i] += uint16(add)
+	p.mu.Unlock()
+	if dropped := count - add; dropped > 0 {
+		p.itemsDropped.Add(uint64(dropped))
+	}
 }
 
 // Ready reports whether every pooled connection has completed its MQTT
@@ -490,7 +580,12 @@ func (f *poolFrame) flush(now time.Time) {
 
 	cli := p.clients[f.slot].Load()
 	if cli == nil {
-		return
+		// Lazy reconnect: the first tick after the fabric path heals
+		// redials and then drains the whole accumulated backlog below —
+		// the DTN batch-upload-on-reconnect behaviour.
+		if cli = p.reconnectSlot(f.slot); cli == nil {
+			return
+		}
 	}
 	f.flushIdx = f.flushIdx[:0]
 	f.flushCnt = f.flushCnt[:0]
@@ -508,8 +603,14 @@ func (f *poolFrame) flush(now time.Time) {
 	}
 
 	msgs, bytes := 0, 0
+	failed := false
 	for k, i := range f.flushIdx {
 		depth := int(f.flushCnt[k])
+		if failed {
+			p.restoreBacklog(int(i), depth)
+			continue
+		}
+		consumed := 0
 		for j := 0; j < depth; j++ {
 			// Backdate buffered samples to their acquisition ticks, the
 			// same store-and-forward timestamping the mobile pipeline uses.
@@ -526,24 +627,32 @@ func (f *poolFrame) flush(now time.Time) {
 			payload, err := item.Encode()
 			if err != nil {
 				p.publishErrs.Add(1)
+				p.itemsDropped.Add(1)
+				consumed++
 				continue
 			}
-			if err := cli.Publish(core.StreamDataTopic(p.ids[i]), payload, 0, false); err != nil {
-				// Connection broke mid-flush: drop this batch, retire the
-				// client and redial in the background so later ticks
-				// recover. Remaining devices re-buffer naturally.
-				p.publishErrs.Add(1)
-				p.clients[f.slot].Store(nil)
-				p.conns.Invalidate(f.slot)
-				p.wg.Add(1)
-				go func(slot int) {
-					defer p.wg.Done()
-					p.connectSlot(slot)
-				}(f.slot)
-				return
+			err = cli.Publish(core.StreamDataTopic(p.ids[i]), payload, p.uploadQoS, false)
+			if err == nil {
+				consumed++
+				msgs++
+				bytes += len(payload)
+				continue
 			}
-			msgs++
-			bytes += len(payload)
+			// Connection broke mid-flush: retire the client, re-buffer
+			// whatever was not confirmed sent, and let a later tick redial.
+			p.publishErrs.Add(1)
+			if errors.Is(err, mqtt.ErrAckUnknown) || errors.Is(err, mqtt.ErrAckTimeout) {
+				// The PUBLISH reached the wire but its ack never came back:
+				// the broker may or may not have routed it. Resending could
+				// double-deliver, so the item is charged to ack-lost and
+				// never re-buffered (at-most-once).
+				p.itemsAckLost.Add(1)
+				consumed++
+			}
+			failed = true
+			p.retireClient(f.slot, cli)
+			p.restoreBacklog(int(i), depth-consumed)
+			break
 		}
 	}
 	if msgs > 0 {
@@ -582,6 +691,10 @@ func (p *DevicePool) DrainedMicroAh(i int) float64 {
 func (p *DevicePool) Stats() PoolStats {
 	p.mu.Lock()
 	devices, frames := len(p.ids), len(p.frames)
+	var backlog uint64
+	for _, b := range p.backlog {
+		backlog += uint64(b)
+	}
 	p.mu.Unlock()
 	return PoolStats{
 		Devices:        devices,
@@ -590,9 +703,22 @@ func (p *DevicePool) Stats() PoolStats {
 		Ticks:          p.ticks.Load(),
 		Samples:        p.samples.Load(),
 		ItemsPublished: p.itemsPublished.Load(),
+		ItemsAckLost:   p.itemsAckLost.Load(),
 		ItemsDropped:   p.itemsDropped.Load(),
+		Backlog:        backlog,
 		PublishErrors:  p.publishErrs.Load(),
 	}
+}
+
+// BacklogTotal sums the pending-upload backlog across the fleet.
+func (p *DevicePool) BacklogTotal() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var t uint64
+	for _, b := range p.backlog {
+		t += uint64(b)
+	}
+	return t
 }
 
 // Close stops every frame event, tears down the pooled connections and
