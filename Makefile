@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke chaos-smoke metrics-smoke experiments examples loc clean
+.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke chaos-smoke durability-smoke metrics-smoke experiments examples loc clean
 
 all: build vet lint test fuzz-smoke
 
@@ -53,6 +53,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeItem$$' -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzTopicMatchConsistency$$' -fuzztime 10s ./internal/mqtt
 	$(GO) test -run '^$$' -fuzz '^FuzzFabricLifecycle$$' -fuzztime 10s ./internal/netsim
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 10s ./internal/wal
 
 # Deterministic chaos runs under fault schedules (DESIGN.md §13): the
 # smoke schedule exercises every fault verb over a 128-device fleet, the
@@ -63,6 +64,17 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/sensocial-sim -chaos smoke -devices 128
 	$(GO) run ./cmd/sensocial-sim -chaos dtn -devices 64
+	$(GO) run ./cmd/sensocial-sim -chaos crash -devices 64
+
+# Durability smoke (docs/DURABILITY.md): write → kill → reopen → verify.
+# Covers un-acked QoS 1 redelivery with DUP across a broker crash, retained
+# messages and subscriptions recovered through sim.RestartBroker, the
+# registry (documents, indexes, context write-memory) recovered across
+# deployments, and torn-tail truncation in the log itself.
+durability-smoke:
+	$(GO) test -race -count=1 \
+		-run 'TestBrokerCrashRedeliversUnackedQoS1|TestBrokerRestartRecoversRetainedAndSubscriptions|TestRestartBrokerRecoversDurableSessions|TestDurableRegistryRecoversAcrossRuns|TestDurableTraceByteIdentical|TornTail' \
+		./internal/wal ./internal/mqtt ./internal/sim
 
 # Boot a simulated deployment, scrape GET /metrics, and fail unless the
 # exported family set matches docs/OBSERVABILITY.md exactly.

@@ -26,12 +26,21 @@ go test -run '^$' -fuzz '^FuzzTopicMatchConsistency$' -fuzztime 10s ./internal/m
 echo "==> fuzz-smoke: FuzzFabricLifecycle (10s)"
 go test -run '^$' -fuzz '^FuzzFabricLifecycle$' -fuzztime 10s ./internal/netsim
 
+echo "==> fuzz-smoke: FuzzWALReplay (10s)"
+go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 10s ./internal/wal
+
 echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x ."
 go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
 
-echo "==> chaos-smoke: sensocial-sim -chaos smoke / -chaos dtn"
+echo "==> chaos-smoke: sensocial-sim -chaos smoke / -chaos dtn / -chaos crash"
 go run ./cmd/sensocial-sim -chaos smoke -devices 128
 go run ./cmd/sensocial-sim -chaos dtn -devices 64
+go run ./cmd/sensocial-sim -chaos crash -devices 64
+
+echo "==> durability-smoke: write -> kill -> reopen -> verify"
+go test -race -count=1 \
+    -run 'TestBrokerCrashRedeliversUnackedQoS1|TestBrokerRestartRecoversRetainedAndSubscriptions|TestRestartBrokerRecoversDurableSessions|TestDurableRegistryRecoversAcrossRuns|TestDurableTraceByteIdentical|TornTail' \
+    ./internal/wal ./internal/mqtt ./internal/sim
 
 echo "==> go run ./cmd/obscheck"
 go run ./cmd/obscheck

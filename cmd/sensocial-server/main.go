@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	sensocial-server [-mqtt :1883] [-http :8080] [-trace-capacity 4096]
+//	sensocial-server [-mqtt :1883] [-http :8080] [-trace-capacity 4096] [-durable DIR]
+//
+// With -durable DIR the registry document store and the broker's session
+// state (retained messages, persistent subscriptions, QoS 1 in-flight
+// deliveries) journal to write-ahead logs under DIR and are recovered on
+// the next start; see docs/DURABILITY.md for the recovery contract.
 //
 // The HTTP surface includes GET /metrics (Prometheus text), GET /trace
 // (span dump) and GET /stats (JSON counter snapshot); see
@@ -21,13 +26,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"repro/internal/core/server"
+	"repro/internal/docstore"
 	"repro/internal/geo"
 	"repro/internal/mqtt"
 	"repro/internal/obs"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -37,15 +45,16 @@ func main() {
 	queueDepth := flag.Int("ingest-queue", 0, "per-shard ingest queue depth (0 = default)")
 	fanoutQueue := flag.Int("mqtt-fanout-queue", 0, "per-session MQTT delivery queue bound (0 = default)")
 	traceCap := flag.Int("trace-capacity", 0, "span ring-buffer capacity for GET /trace (0 = tracing off)")
+	durableDir := flag.String("durable", "", "directory for WAL+snapshot durability of the registry and broker sessions (empty = in-memory)")
 	verbose := flag.Bool("v", false, "verbose logging")
 	flag.Parse()
-	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *fanoutQueue, *traceCap, *verbose); err != nil {
+	if err := run(*mqttAddr, *httpAddr, *shards, *queueDepth, *fanoutQueue, *traceCap, *durableDir, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mqttAddr, httpAddr string, shards, queueDepth, fanoutQueue, traceCap int, verbose bool) error {
+func run(mqttAddr, httpAddr string, shards, queueDepth, fanoutQueue, traceCap int, durableDir string, verbose bool) error {
 	var logger *slog.Logger
 	if verbose {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelDebug}))
@@ -60,7 +69,32 @@ func run(mqttAddr, httpAddr string, shards, queueDepth, fanoutQueue, traceCap in
 		tracer = obs.NewTracer(clock, traceCap)
 	}
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: clock, Logger: logger, Metrics: metrics, Tracer: tracer, FanoutQueue: fanoutQueue})
+	// With -durable, the registry store and broker session state recover
+	// from their write-ahead logs before anything accepts connections; the
+	// wal metric families register either way so /metrics is mode-agnostic.
+	walMetrics := wal.NewMetrics(metrics)
+	var store *docstore.Store
+	var sessions *mqtt.SessionStore
+	if durableDir != "" {
+		var info *docstore.RecoveryInfo
+		var err error
+		store, info, err = docstore.OpenDurable(filepath.Join(durableDir, "docstore"),
+			docstore.DurableOptions{Clock: clock, Metrics: walMetrics})
+		if err != nil {
+			return fmt.Errorf("durable store: %w", err)
+		}
+		defer store.Close()
+		sessions, err = mqtt.OpenSessionStore(filepath.Join(durableDir, "broker"),
+			mqtt.SessionStoreOptions{Clock: clock, Metrics: walMetrics})
+		if err != nil {
+			return fmt.Errorf("session store: %w", err)
+		}
+		defer sessions.Close()
+		fmt.Printf("sensocial-server: recovered %s (snapshot LSN %d, %d journal records replayed)\n",
+			durableDir, info.SnapshotLSN, info.Replayed)
+	}
+
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: clock, Logger: logger, Metrics: metrics, Tracer: tracer, FanoutQueue: fanoutQueue, State: sessions})
 	mqttL, err := net.Listen("tcp", mqttAddr)
 	if err != nil {
 		return fmt.Errorf("mqtt listen: %w", err)
@@ -75,6 +109,7 @@ func run(mqttAddr, httpAddr string, shards, queueDepth, fanoutQueue, traceCap in
 	mgr, err := server.New(server.Options{
 		Clock:            clock,
 		Broker:           broker,
+		Store:            store,
 		Places:           geo.EuropeanCities(),
 		PersistItems:     true,
 		Logger:           logger,

@@ -11,15 +11,26 @@ import (
 // runChaos drives a pooled fleet through the named fault schedule with
 // continuous invariant checking and prints the verdict. It returns the
 // process exit code: 0 when every invariant held, 1 otherwise.
-func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceCap int) (int, error) {
+func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceCap int, durableDir string) (int, error) {
 	sched, err := chaos.LoadSchedule(schedule)
 	if err != nil {
 		return 0, err
+	}
+	// Crash schedules need a journal to recover from; when the user did not
+	// pin a -durable directory, run against a throwaway one.
+	if durableDir == "" && chaos.NeedsDurability(sched) {
+		tmp, err := os.MkdirTemp("", "sensocial-chaos-*")
+		if err != nil {
+			return 0, fmt.Errorf("chaos: temp durable dir: %w", err)
+		}
+		defer os.RemoveAll(tmp)
+		durableDir = tmp
 	}
 	opts := chaos.Options{
 		Devices:       devices,
 		Schedule:      sched,
 		TraceCapacity: traceCap,
+		DurableDir:    durableDir,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
@@ -38,9 +49,9 @@ func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceC
 	fmt.Printf("\nchaos summary:\n")
 	fmt.Printf("  steps              %d\n", res.Steps)
 	fmt.Printf("  items ingested     %d\n", res.Items)
-	fmt.Printf("  faults applied     %d (partitions %d, link faults %d, churn resets %d, storm clients %d)\n",
+	fmt.Printf("  faults applied     %d (partitions %d, link faults %d, churn resets %d, storm clients %d, crashes %d)\n",
 		res.Engine.Applied, res.Engine.Partitions, res.Engine.LinkFaults,
-		res.Engine.ChurnResets, res.StormClients)
+		res.Engine.ChurnResets, res.StormClients, res.Engine.Crashes)
 	fmt.Printf("  probes             %d sent, %d acked, %d ambiguous\n",
 		res.ProbesSent, res.ProbesAcked, res.ProbesAmbiguous)
 	fmt.Printf("  pool ledger        samples=%d published=%d ackLost=%d dropped=%d backlog=%d\n",

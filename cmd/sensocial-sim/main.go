@@ -6,8 +6,14 @@
 //
 // Usage:
 //
-//	sensocial-sim [-devices 10] [-mode auto] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096]
+//	sensocial-sim [-devices 10] [-mode auto] [-hours 2] [-speedup 600] [-rate 4] [-trace 4096] [-durable DIR]
 //	sensocial-sim -chaos smoke [-devices 128] [-hours 1] [-trace 4096]
+//
+// With -durable DIR the document store and broker session state journal to
+// write-ahead logs under DIR and recover on the next run over the same
+// directory (see docs/DURABILITY.md). The "crash" chaos schedule
+// kill-restarts the broker mid-run and recovers it from that journal (a
+// throwaway directory is used unless -durable pins one).
 //
 // With -chaos the simulator instead runs a pooled fleet under a fault
 // schedule ("smoke", "dtn", or a schedule file — see internal/netsim
@@ -54,7 +60,8 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "virtual seconds per real second (full mode)")
 	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour (full mode)")
 	traceCap := flag.Int("trace", 0, "span ring-buffer capacity; dump the trace after the run (0 = off)")
-	chaosSched := flag.String("chaos", "", `fault schedule to run the fleet under: "smoke", "dtn", or a schedule file`)
+	chaosSched := flag.String("chaos", "", `fault schedule to run the fleet under: "smoke", "dtn", "crash", or a schedule file`)
+	durableDir := flag.String("durable", "", "directory for WAL+snapshot durability of the docstore and broker sessions (empty = in-memory)")
 	flag.Parse()
 
 	n := *devices
@@ -72,7 +79,7 @@ func main() {
 				hoursSet = true
 			}
 		})
-		code, err := runChaos(*chaosSched, n, *hours, hoursSet, *traceCap)
+		code, err := runChaos(*chaosSched, n, *hours, hoursSet, *traceCap, *durableDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
 			os.Exit(1)
@@ -95,9 +102,9 @@ func main() {
 
 	var err error
 	if pooled {
-		err = runPooled(n, *hours, *traceCap)
+		err = runPooled(n, *hours, *traceCap, *durableDir)
 	} else {
-		err = runFull(n, *hours, *speedup, *rate, *traceCap)
+		err = runFull(n, *hours, *speedup, *rate, *traceCap, *durableDir)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
@@ -107,7 +114,7 @@ func main() {
 
 // runPooled drives a pooled fleet on the manual clock, advancing virtual
 // time as fast as the host executes the scheduled events.
-func runPooled(devices int, hours float64, traceCap int) error {
+func runPooled(devices int, hours float64, traceCap int, durableDir string) error {
 	if devices < 1 {
 		return fmt.Errorf("need at least one device")
 	}
@@ -121,6 +128,7 @@ func runPooled(devices int, hours float64, traceCap int) error {
 		MobileLink:    &netsim.Link{},
 		DeviceMode:    sim.DeviceModePooled,
 		TraceCapacity: traceCap,
+		DurableDir:    durableDir,
 	})
 	if err != nil {
 		return err
@@ -209,7 +217,7 @@ func runPooled(devices int, hours float64, traceCap int) error {
 
 // runFull is the original full-fidelity scenario: complete per-user
 // middleware stacks plus simulated OSN activity on a scaled clock.
-func runFull(users int, hours, speedup float64, rate float64, traceCap int) error {
+func runFull(users int, hours, speedup float64, rate float64, traceCap int, durableDir string) error {
 	if users < 1 {
 		return fmt.Errorf("need at least one user")
 	}
@@ -222,6 +230,7 @@ func runFull(users int, hours, speedup float64, rate float64, traceCap int) erro
 		ServerProcessingDelay: 8500 * time.Millisecond,
 		PersistItems:          true,
 		TraceCapacity:         traceCap,
+		DurableDir:            durableDir,
 	})
 	if err != nil {
 		return err

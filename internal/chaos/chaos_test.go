@@ -196,9 +196,44 @@ func TestChaosTraceByteReplayable(t *testing.T) {
 	}
 }
 
+// TestCrashScheduleRecoversWithInvariants runs the crash preset: the
+// broker dies twice mid-run and restarts from its session journal, with a
+// churn aftershock between the crashes. Every invariant must hold under
+// the relaxed at-least-once probe contract, and the recovered broker must
+// drain its in-flight set each time.
+func TestCrashScheduleRecoversWithInvariants(t *testing.T) {
+	res, err := Run(Options{
+		Devices:    64,
+		Schedule:   Crash(),
+		Step:       time.Minute,
+		DurableDir: t.TempDir(),
+		Pool: sim.PoolOptions{
+			Connections:    2,
+			SampleInterval: time.Minute,
+			UploadBatch:    2,
+			UploadQoS:      1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Engine.Crashes != 2 {
+		t.Fatalf("engine crashed %d times, want 2: %+v", res.Engine.Crashes, res.Engine)
+	}
+	if res.Items == 0 {
+		t.Fatalf("no items ingested end to end")
+	}
+	if res.ProbesSent == 0 || res.ProbesAcked == 0 {
+		t.Fatalf("probe rig idle across the crashes: %+v", res)
+	}
+}
+
 // TestValidateRejectsHostileSchedules covers the schedule validation
-// rules: probe hosts are off limits, and QoS 1 runs reject shaping on
-// the pool path.
+// rules: probe hosts are off limits, crash faults need a durable
+// directory, and QoS 1 runs reject shaping on the pool path.
 func TestValidateRejectsHostileSchedules(t *testing.T) {
 	probe, err := netsim.ParseSchedule("bad-probe", "@1m latency chaos-probe server 10ms\n")
 	if err != nil {
@@ -219,11 +254,14 @@ func TestValidateRejectsHostileSchedules(t *testing.T) {
 	if err := validate(opts.withDefaults()); err != nil {
 		t.Fatalf("QoS0 shaping schedule rejected: %v", err)
 	}
+	if _, err := Run(Options{Devices: 1, Schedule: Crash()}); err == nil {
+		t.Fatalf("crash schedule without DurableDir accepted")
+	}
 }
 
 // TestLoadSchedulePresets resolves the built-in names and rejects junk.
 func TestLoadSchedulePresets(t *testing.T) {
-	for _, name := range []string{"smoke", "dtn"} {
+	for _, name := range []string{"smoke", "dtn", "crash"} {
 		s, err := LoadSchedule(name)
 		if err != nil {
 			t.Fatalf("LoadSchedule(%q): %v", name, err)

@@ -37,9 +37,24 @@ const dtnText = `
 @5h     churn device-pool
 `
 
+// crashText is the durability scenario: the broker process dies twice
+// mid-stream and recovers from its session journal, with a churn
+// aftershock between the crashes. No shaping verbs, so it runs at QoS 1;
+// requires Options.DurableDir (validated).
+const crashText = `
+@8m  crash
+@14m churn device-pool
+@20m crash
+`
+
 // Smoke returns the CI smoke-test schedule.
 func Smoke() *netsim.Schedule {
 	return mustSchedule("smoke", smokeText)
+}
+
+// Crash returns the broker crash-recovery scenario.
+func Crash() *netsim.Schedule {
+	return mustSchedule("crash", crashText)
 }
 
 // DTN returns the dark-fleet batch-upload scenario.
@@ -56,13 +71,16 @@ func mustSchedule(name, text string) *netsim.Schedule {
 }
 
 // LoadSchedule resolves a -chaos argument: a built-in preset name
-// ("smoke", "dtn") or a path to a schedule file in the netsim DSL.
+// ("smoke", "dtn", "crash") or a path to a schedule file in the netsim
+// DSL.
 func LoadSchedule(arg string) (*netsim.Schedule, error) {
 	switch arg {
 	case "smoke":
 		return Smoke(), nil
 	case "dtn":
 		return DTN(), nil
+	case "crash":
+		return Crash(), nil
 	}
 	text, err := os.ReadFile(arg)
 	if err != nil {

@@ -208,10 +208,39 @@ func New(opts Options) (*Manager, error) {
 	if err := m.store.Collection(devicesCollection).CreateIndex("user"); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
+	// A journal-backed store may arrive with recovered users; rebuild the
+	// in-memory context registry from their stored locations so cross-user
+	// filters and multicast queries see last-known state immediately after
+	// a durable restart (on a fresh store this is a no-op).
+	if err := m.warmContexts(); err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	if err := m.AttachBroker(opts.Broker); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	return m, nil
+}
+
+// warmContexts repopulates the context registry's location memory from the
+// user registry (the durable recovery path; see docs/DURABILITY.md).
+func (m *Manager) warmContexts() error {
+	docs, err := m.store.Collection(usersCollection).Find(nil,
+		docstore.FindOpts{SortBy: docstore.IDField})
+	if err != nil {
+		return fmt.Errorf("warm contexts: %w", err)
+	}
+	for _, d := range docs {
+		id, _ := d[docstore.IDField].(string)
+		loc, ok := d["loc"].(map[string]any)
+		if id == "" || !ok {
+			continue
+		}
+		lat, _ := loc["lat"].(float64)
+		lon, _ := loc["lon"].(float64)
+		city, _ := d["city"].(string)
+		m.registry.RememberLocation(id, geo.Point{Lat: lat, Lon: lon}, city)
+	}
+	return nil
 }
 
 // partitionKey routes an item to its pipeline shard: by user so per-user

@@ -17,6 +17,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/wal"
 )
 
 // IDField is the reserved document identity field.
@@ -34,10 +36,18 @@ var ErrNotFound = errors.New("docstore: document not found")
 // exists in the collection.
 var ErrDuplicateID = errors.New("docstore: duplicate _id")
 
-// Store is a set of named collections.
+// Store is a set of named collections. A store opened with OpenDurable
+// additionally journals every mutation to a write-ahead log (see
+// durable.go); NewStore stores are purely in-memory.
 type Store struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+
+	// cpMu serializes mutations against Checkpoint on durable stores:
+	// mutators hold it shared around apply+journal, Checkpoint holds it
+	// exclusive so the serialized snapshot matches the captured LSN.
+	cpMu    sync.RWMutex
+	journal *wal.Log // nil on non-durable stores; set once before sharing
 }
 
 // NewStore returns an empty store.
@@ -52,6 +62,7 @@ func (s *Store) Collection(name string) *Collection {
 	c, ok := s.collections[name]
 	if !ok {
 		c = newCollection(name)
+		c.store = s
 		s.collections[name] = c
 	}
 	return c
@@ -71,14 +82,26 @@ func (s *Store) CollectionNames() []string {
 
 // Drop removes a collection and all its documents.
 func (s *Store) Drop(name string) {
+	durable := s.journal != nil
+	if durable {
+		s.cpMu.RLock()
+		defer s.cpMu.RUnlock()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.collections[name]; !ok {
+		return
+	}
 	delete(s.collections, name)
+	if durable {
+		_ = s.appendRecord(journalRecord{Op: opDrop, Coll: name})
+	}
 }
 
 // Collection is an ordered set of documents keyed by _id.
 type Collection struct {
-	name string
+	name  string
+	store *Store // owning store, for the journal; nil in isolated tests
 
 	mu     sync.RWMutex
 	docs   map[string]Doc
@@ -114,6 +137,8 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 		return "", fmt.Errorf("docstore: insert into %q: nil document", c.name)
 	}
 	cp := deepCopyDoc(doc)
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id, err := c.idForLocked(cp)
@@ -124,6 +149,11 @@ func (c *Collection) Insert(doc Doc) (string, error) {
 	c.docs[id] = cp
 	c.order = append(c.order, id)
 	c.indexAddLocked(id, cp)
+	if pinned != nil {
+		if err := c.logLocked(journalRecord{Op: opInsert, Doc: cp}); err != nil {
+			return id, err
+		}
+	}
 	return id, nil
 }
 
@@ -233,6 +263,8 @@ func (c *Collection) Update(query, update Doc) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("docstore: update in %q: %w", c.name, err)
 	}
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
@@ -250,6 +282,13 @@ func (c *Collection) Update(query, update Doc) (int, error) {
 		c.indexAddLocked(id, d)
 		n++
 	}
+	if pinned != nil && n > 0 {
+		// Query+update replay is deterministic: the matched set and the
+		// per-document application are both order-independent.
+		if err := c.logLocked(journalRecord{Op: opUpdate, Query: query, Upd: update}); err != nil {
+			return n, err
+		}
+	}
 	return n, nil
 }
 
@@ -261,6 +300,8 @@ func (c *Collection) Upsert(query Doc, doc Doc) (string, error) {
 		return "", fmt.Errorf("docstore: upsert in %q: %w", c.name, err)
 	}
 	cp := deepCopyDoc(doc)
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, id := range c.planLocked(query) {
@@ -272,6 +313,13 @@ func (c *Collection) Upsert(query Doc, doc Doc) (string, error) {
 		cp[IDField] = id
 		c.docs[id] = cp
 		c.indexAddLocked(id, cp)
+		if pinned != nil {
+			// Log the resolved effect (which id was replaced), not the
+			// query: candidate order depends on map iteration.
+			if err := c.logLocked(journalRecord{Op: opUpsert, ID: id, Doc: cp}); err != nil {
+				return id, err
+			}
+		}
 		return id, nil
 	}
 	id, err := c.idForLocked(cp)
@@ -282,6 +330,11 @@ func (c *Collection) Upsert(query Doc, doc Doc) (string, error) {
 	c.docs[id] = cp
 	c.order = append(c.order, id)
 	c.indexAddLocked(id, cp)
+	if pinned != nil {
+		if err := c.logLocked(journalRecord{Op: opUpsert, ID: id, Doc: cp}); err != nil {
+			return id, err
+		}
+	}
 	return id, nil
 }
 
@@ -292,9 +345,12 @@ func (c *Collection) Delete(query Doc) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("docstore: delete in %q: %w", c.name, err)
 	}
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
+	var removed []string
 	for _, id := range c.planLocked(query) {
 		d, ok := c.docs[id]
 		if !ok || !m.match(d) {
@@ -302,6 +358,9 @@ func (c *Collection) Delete(query Doc) (int, error) {
 		}
 		c.indexRemoveLocked(id, d)
 		delete(c.docs, id)
+		if pinned != nil {
+			removed = append(removed, id)
+		}
 		n++
 	}
 	if n > 0 {
@@ -312,6 +371,13 @@ func (c *Collection) Delete(query Doc) (int, error) {
 			}
 		}
 		c.order = live
+	}
+	if len(removed) > 0 {
+		// Log the matched ids rather than the query, for the same
+		// map-iteration-order reason as Upsert.
+		if err := c.logLocked(journalRecord{Op: opDelete, IDs: removed}); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }

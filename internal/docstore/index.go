@@ -170,6 +170,8 @@ func (c *Collection) CreateIndex(path string) error {
 	if path == "" {
 		return fmt.Errorf("docstore: create index on %q: empty path", c.name)
 	}
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.hashIx[path]; ok {
@@ -180,6 +182,9 @@ func (c *Collection) CreateIndex(path string) error {
 		ix.add(id, d)
 	}
 	c.hashIx[path] = ix
+	if pinned != nil {
+		return c.logLocked(journalRecord{Op: opHashIndex, Path: path})
+	}
 	return nil
 }
 
@@ -189,6 +194,8 @@ func (c *Collection) CreateGeoIndex(path string) error {
 	if path == "" {
 		return fmt.Errorf("docstore: create geo index on %q: empty path", c.name)
 	}
+	pinned := c.pinJournal()
+	defer pinned.unpin()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.geoIx[path]; ok {
@@ -199,6 +206,9 @@ func (c *Collection) CreateGeoIndex(path string) error {
 		ix.add(id, d)
 	}
 	c.geoIx[path] = ix
+	if pinned != nil {
+		return c.logLocked(journalRecord{Op: opGeoIndex, Path: path})
+	}
 	return nil
 }
 

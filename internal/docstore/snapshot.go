@@ -24,6 +24,10 @@ type snapshotCollection struct {
 	HashIndexes []string `json:"hash_indexes,omitempty"`
 	GeoIndexes  []string `json:"geo_indexes,omitempty"`
 	Docs        []Doc    `json:"docs"`
+	// Seq is the id-generation high-water mark, so inserts after a restore
+	// cannot reuse a generated id. Absent in pre-durability snapshots;
+	// restore also re-derives it from the doc ids.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -42,6 +46,7 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 			return fmt.Errorf("docstore: snapshot %q: %w", name, err)
 		}
 		sc.Docs = docs
+		sc.Seq = c.seqValue()
 		file.Collections = append(file.Collections, sc)
 	}
 	enc := json.NewEncoder(w)
@@ -78,7 +83,15 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 			if _, err := c.Insert(d); err != nil {
 				return nil, fmt.Errorf("docstore: restore %q: %w", sc.Name, err)
 			}
+			if id, ok := d[IDField].(string); ok {
+				c.noteGeneratedID(id)
+			}
 		}
+		c.mu.Lock()
+		if sc.Seq > c.seq {
+			c.seq = sc.Seq
+		}
+		c.mu.Unlock()
 	}
 	return s, nil
 }

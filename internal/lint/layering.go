@@ -43,13 +43,18 @@ func DefaultLayering() []LayerRule {
 		{From: "internal/obs", Only: []string{"internal/vclock"},
 			Why: "obs instruments every layer, so it must sit below all of them"},
 
+		// Durability substrate: clock and observability only, below every
+		// stateful layer that journals through it.
+		{From: "internal/wal", Only: []string{"internal/obs", "internal/vclock"},
+			Why: "the write-ahead log is shared durability infrastructure; it must not know its consumers"},
+
 		// Infrastructure simulators: clock and observability only.
 		{From: "internal/netsim", Only: []string{"internal/obs", "internal/vclock"},
 			Why: "the network simulator sits below every component it connects"},
 		{From: "internal/mqtt/topictrie", Only: []string{},
 			Why: "the topic-matching index is pure data structure at the bottom of the DAG"},
 		{From: "internal/mqtt", Only: []string{"internal/mqtt/topictrie",
-			"internal/obs", "internal/vclock"},
+			"internal/obs", "internal/vclock", "internal/wal"},
 			Why: "the MQTT transport must not depend on middleware layers"},
 		{From: "internal/osn", Only: []string{"internal/vclock"},
 			Why: "the OSN simulator must not know about devices or the server"},
@@ -71,7 +76,8 @@ func DefaultLayering() []LayerRule {
 			Why: "the GAR baseline is a device-side app"},
 
 		// Server-side stack and shared schema.
-		{From: "internal/docstore", Only: []string{"internal/geo"},
+		{From: "internal/docstore", Only: []string{"internal/geo", "internal/vclock",
+			"internal/wal"},
 			Why: "storage primitives sit below the server"},
 		{From: "internal/core", Only: []string{"internal/geo", "internal/osn",
 			"internal/sensors", "internal/vclock"},

@@ -63,6 +63,12 @@ type BrokerOptions struct {
 	Metrics *obs.Registry
 	// Tracer records an mqtt.route span per routed PUBLISH; nil disables.
 	Tracer *obs.Tracer
+	// State persists retained messages, subscriptions and the QoS 1
+	// in-flight map across broker restarts (see SessionStore). Nil keeps
+	// the broker purely in-memory. The broker preloads retained messages
+	// from it on construction and restores a client's subscriptions and
+	// unacked deliveries when that client id reconnects.
+	State *SessionStore
 }
 
 // Broker is a Mosquitto-equivalent MQTT broker. It can serve any number of
@@ -82,6 +88,7 @@ type Broker struct {
 	grace       float64
 	fanoutQueue int
 	tracer      *obs.Tracer
+	state       *SessionStore // nil on non-durable brokers
 
 	connects      *obs.Counter
 	published     *obs.Counter
@@ -128,10 +135,17 @@ func NewBroker(opts BrokerOptions) *Broker {
 		grace:       grace,
 		fanoutQueue: queue,
 		tracer:      opts.Tracer,
+		state:       opts.State,
 		subs:        topictrie.NewFilterTrie[subEntry](),
 		retained:    topictrie.NewTopicTrie[Message](),
 		sessions:    make(map[string]*session),
 		done:        make(chan struct{}),
+	}
+	if b.state != nil {
+		// Recovered retained messages serve SUBSCRIBE replay immediately.
+		for _, m := range b.state.RetainedMessages() {
+			b.retained.Set(m.Topic, m)
+		}
 	}
 	b.connects = metrics.Counter("sensocial_mqtt_connects_total",
 		"CONNECT packets accepted over the broker's lifetime.")
@@ -319,6 +333,11 @@ func (b *Broker) handleConn(conn net.Conn) {
 	if c.keepAliveSec > 0 {
 		s.timeout = time.Duration(float64(c.keepAliveSec) * b.grace * float64(time.Second))
 	}
+	if b.state != nil {
+		// Continue packet-id numbering past recovered in-flight ids. Must
+		// happen before writeLoop starts: nextID belongs to that goroutine.
+		s.nextID = b.state.MaxPID(c.clientID)
+	}
 
 	b.mu.Lock()
 	if b.closed {
@@ -344,11 +363,46 @@ func (b *Broker) handleConn(conn net.Conn) {
 		b.removeSession(s)
 		return
 	}
+	if b.state != nil {
+		b.restoreSession(s)
+	}
 	b.logf("client connected", "client", c.clientID)
 	s.readLoop()
 	b.removeSession(s)
 	b.logf("client disconnected", "client", c.clientID)
 }
+
+// restoreSession reinstalls a reconnecting client's persistent
+// subscriptions into the live trie and redelivers its unacked QoS 1
+// publishes with the DUP flag set, in packet-id order. Runs on the
+// session's handleConn goroutine after CONNACK, before the read loop, so
+// redeliveries precede any new traffic to this client.
+func (b *Broker) restoreSession(s *session) {
+	for f, q := range b.state.Subs(s.clientID) {
+		s.mu.Lock()
+		_, had := s.subs[f]
+		s.subs[f] = q
+		s.mu.Unlock()
+		if !had {
+			b.subs.Subscribe(f, subEntry{sess: s, qos: q})
+		}
+	}
+	for _, inf := range b.state.InflightFrames(s.clientID) {
+		inf.Frame[0] |= 0x08 // DUP: this id may have been delivered already
+		s.writeMu.Lock()
+		_, err := s.conn.Write(inf.Frame)
+		s.writeMu.Unlock()
+		if err != nil {
+			return
+		}
+		b.delivered.Inc()
+	}
+}
+
+// SessionState returns the broker's durable session store (nil on
+// non-durable brokers). The chaos harness drains its in-flight count
+// before injecting crashes.
+func (b *Broker) SessionState() *SessionStore { return b.state }
 
 func (b *Broker) removeSession(s *session) {
 	b.mu.Lock()
@@ -424,6 +478,9 @@ func (s *session) readLoop() {
 					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
 				}
 				s.broker.subs.Subscribe(f, subEntry{sess: s, qos: q})
+				if s.broker.state != nil {
+					s.broker.state.AddSub(s.clientID, f, q)
+				}
 				codes[i] = q
 			}
 			body := append(encodeUint16Body(p.packetID), codes...)
@@ -453,6 +510,9 @@ func (s *session) readLoop() {
 				if had {
 					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
 				}
+				if s.broker.state != nil {
+					s.broker.state.RemoveSub(s.clientID, f)
+				}
 			}
 			if err := s.write(packetUnsuback, 0, encodeUint16Body(p.packetID)); err != nil {
 				return
@@ -462,8 +522,12 @@ func (s *session) readLoop() {
 				return
 			}
 		case packetPuback:
-			// QoS 1 delivery acknowledged. This implementation does not
-			// retransmit, so the ack is informational.
+			// QoS 1 delivery acknowledged. Live sessions do not retransmit;
+			// a durable broker clears the in-flight record so a restart
+			// will not redeliver this packet.
+			if s.broker.state != nil && len(pkt.body) >= 2 {
+				s.broker.state.Ack(s.clientID, binary.BigEndian.Uint16(pkt.body))
+			}
 		case packetDisconnect:
 			return
 		default:
@@ -487,8 +551,14 @@ func (b *Broker) route(m Message) {
 	if m.Retain {
 		if len(m.Payload) == 0 {
 			b.retained.Delete(m.Topic) // empty retained payload clears
+			if b.state != nil {
+				b.state.Unretain(m.Topic)
+			}
 		} else {
 			b.retained.Set(m.Topic, m)
+			if b.state != nil {
+				b.state.Retain(m)
+			}
 		}
 	}
 
@@ -598,6 +668,12 @@ func (s *session) writeFrame(f *frame) {
 		}
 		binary.BigEndian.PutUint16(s.scratch[f.idOff:], s.nextID)
 		buf = s.scratch
+		if s.broker.state != nil {
+			// Record before the wire write: a crash between the two
+			// redelivers a frame the client never saw (at-least-once),
+			// never the reverse.
+			s.broker.state.RecordInflight(s.clientID, s.nextID, buf)
+		}
 	}
 	s.writeMu.Lock()
 	_, _ = s.conn.Write(buf)

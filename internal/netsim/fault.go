@@ -32,6 +32,10 @@ const (
 	// FaultStorm replays a flash-crowd join storm of Count clients (the
 	// engine delegates to EngineOptions.OnStorm).
 	FaultStorm
+	// FaultCrash kills and restarts the broker process (the engine
+	// delegates to EngineOptions.OnCrash; the harness decides what
+	// durability the restarted broker recovers from).
+	FaultCrash
 )
 
 // String names the kind the way the schedule DSL spells it.
@@ -51,6 +55,8 @@ func (k FaultKind) String() string {
 		return "churn"
 	case FaultStorm:
 		return "storm"
+	case FaultCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -126,6 +132,7 @@ func (s *Schedule) Horizon() time.Duration {
 //	@5m  loss      device-pool server 0.25 250ms
 //	@20m churn     device-*
 //	@15m storm     200
+//	@25m crash
 //
 // Offsets are Go durations of virtual time from engine start. Link verbs
 // take "src dst" (symmetric) or "src->dst" (that direction only); patterns
@@ -235,6 +242,11 @@ func parseFaultLine(line string) (Fault, error) {
 			return Fault{}, fmt.Errorf("bad storm size %q", args[0])
 		}
 		f.Count = n
+	case "crash":
+		f.Kind = FaultCrash
+		if len(args) != 0 {
+			return Fault{}, fmt.Errorf("crash takes no arguments")
+		}
 	default:
 		return Fault{}, fmt.Errorf("unknown verb %q", verb)
 	}
@@ -284,13 +296,15 @@ type EngineStats struct {
 	// Storms counts storm faults; StormClients sums their sizes.
 	Storms       int
 	StormClients int
+	// Crashes counts broker crash-restart faults.
+	Crashes int
 }
 
 // Disruptions reports whether any fault actually reset connections or
 // severed the fabric — the condition under which in-flight data may have
 // been legitimately lost.
 func (s EngineStats) Disruptions() int {
-	return s.Partitions + s.ChurnResets + s.PartitionResets
+	return s.Partitions + s.ChurnResets + s.PartitionResets + s.Crashes
 }
 
 // EngineOptions tunes fault application.
@@ -299,6 +313,10 @@ type EngineOptions struct {
 	// clients): the harness dials count flash-crowd joiners. Called
 	// synchronously from the fault event; nil disables storms.
 	OnStorm func(count int)
+	// OnCrash handles FaultCrash entries: the harness kills and restarts
+	// the broker (typically through its durable session state). Called
+	// synchronously from the fault event; nil disables crashes.
+	OnCrash func()
 	// OnFault, when non-nil, observes every fault after it is applied.
 	OnFault func(f Fault)
 }
@@ -436,6 +454,10 @@ func (e *FaultEngine) apply(f Fault) {
 		if e.opts.OnStorm != nil {
 			e.opts.OnStorm(f.Count)
 		}
+	case FaultCrash:
+		if e.opts.OnCrash != nil {
+			e.opts.OnCrash()
+		}
 	}
 
 	e.mu.Lock()
@@ -453,6 +475,8 @@ func (e *FaultEngine) apply(f Fault) {
 	case FaultStorm:
 		e.stats.Storms++
 		e.stats.StormClients += f.Count
+	case FaultCrash:
+		e.stats.Crashes++
 	}
 	e.mu.Unlock()
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core/mobile"
 	"repro/internal/core/server"
 	"repro/internal/device"
+	"repro/internal/docstore"
 	"repro/internal/geo"
 	"repro/internal/mqtt"
 	"repro/internal/netsim"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/osn"
 	"repro/internal/sensors"
 	"repro/internal/vclock"
+	"repro/internal/wal"
 )
 
 // Well-known fabric addresses.
@@ -81,6 +84,13 @@ type Options struct {
 	// Zero leaves tracing off, which keeps the ingest fast path
 	// allocation-free.
 	TraceCapacity int
+	// DurableDir, when non-empty, journals the document store and the
+	// broker's session state (retained messages, persistent subscriptions,
+	// QoS 1 in-flight deliveries) to write-ahead logs under this directory
+	// (subdirectories "docstore" and "broker"). RestartBroker then becomes
+	// a crash-recovery path, and a later New over the same directory
+	// recovers the registry. See docs/DURABILITY.md.
+	DurableDir string
 	// DeviceMode selects the device execution strategy for AddDevices:
 	// DeviceModeFull (default) builds one full middleware stack per user,
 	// DeviceModePooled runs the struct-of-arrays event-driven pool.
@@ -122,6 +132,14 @@ type Simulation struct {
 	// brokerFanoutQueue is remembered so RestartBroker rebuilds the broker
 	// with the same per-session queue bound.
 	brokerFanoutQueue int
+
+	// Durability: non-nil only when Options.DurableDir was set. walMetrics
+	// is registered unconditionally so the sensocial_wal_* families appear
+	// on /metrics in every mode.
+	walMetrics *wal.Metrics
+	durableDir string
+	store      *docstore.Store
+	sessions   *mqtt.SessionStore
 
 	// serveWG tracks every listener-serve goroutine (broker accept loops,
 	// the HTTP server) so Close joins them instead of leaking acceptors
@@ -186,13 +204,35 @@ func New(opts Options) (*Simulation, error) {
 	fabric.SetDefaultLink(link)
 	fabric.Instrument(metrics)
 
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer, FanoutQueue: opts.BrokerFanoutQueue})
+	// The wal families are registered even for in-memory runs so the
+	// sensocial_wal_* series documented in docs/OBSERVABILITY.md appear on
+	// /metrics in every mode.
+	walMetrics := wal.NewMetrics(metrics)
+	var durStore *docstore.Store
+	var sessions *mqtt.SessionStore
+	if opts.DurableDir != "" {
+		var err error
+		durStore, _, err = docstore.OpenDurable(filepath.Join(opts.DurableDir, "docstore"),
+			docstore.DurableOptions{Clock: opts.Clock, Metrics: walMetrics})
+		if err != nil {
+			return nil, fmt.Errorf("sim: durable store: %w", err)
+		}
+		sessions, err = mqtt.OpenSessionStore(filepath.Join(opts.DurableDir, "broker"),
+			mqtt.SessionStoreOptions{Clock: opts.Clock, Metrics: walMetrics})
+		if err != nil {
+			_ = durStore.Close()
+			return nil, fmt.Errorf("sim: session store: %w", err)
+		}
+	}
+
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer, FanoutQueue: opts.BrokerFanoutQueue, State: sessions})
 	brokerL, err := fabric.Listen(BrokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	srv, err := server.New(server.Options{
 		Clock:            opts.Clock,
+		Store:            durStore,
 		Broker:           broker,
 		Places:           opts.Places,
 		ProcessingDelay:  opts.ServerProcessingDelay,
@@ -245,6 +285,10 @@ func New(opts Options) (*Simulation, error) {
 			"Host CPU seconds spent executing one pooled frame tick.", obs.LatencyBuckets),
 
 		brokerFanoutQueue: opts.BrokerFanoutQueue,
+		walMetrics:        walMetrics,
+		durableDir:        opts.DurableDir,
+		store:             durStore,
+		sessions:          sessions,
 		handles:           make(map[string]*Handle),
 	}
 	s.brokerL = brokerL
@@ -465,25 +509,47 @@ func (s *Simulation) httpDeliver(a osn.Action) {
 	_ = resp.Body.Close()
 }
 
-// RestartBroker simulates a broker (Mosquitto) restart: the current broker
-// and its listener are torn down, a fresh broker binds the same address,
-// and the server middleware re-attaches to it. Clients built with the
-// reconnecting link recover on their own; plain clients stay dead, as they
-// would in the original system.
+// RestartBroker simulates a broker (Mosquitto) death and restart: the
+// current broker and its listener are torn down, a fresh broker binds the
+// same address, and the server middleware re-attaches to it. Clients built
+// with the reconnecting link recover on their own; plain clients stay
+// dead, as they would in the original system.
+//
+// Without Options.DurableDir the replacement broker starts empty (retained
+// messages, subscriptions and in-flight QoS 1 deliveries are lost exactly
+// as with an unpersisted Mosquitto). With DurableDir set this is a full
+// crash-recovery path: the session journal is killed mid-write (un-fsynced
+// appends are dropped, like SIGKILL), reopened from disk, and the new
+// broker recovers retained messages, persistent subscriptions and unacked
+// QoS 1 deliveries per the contract in docs/DURABILITY.md.
 func (s *Simulation) RestartBroker() error {
 	s.mu.Lock()
-	oldL, oldB := s.brokerL, s.Broker
+	oldL, oldB, oldSess := s.brokerL, s.Broker, s.sessions
 	s.mu.Unlock()
+	// Kill the journal first so late writes from the dying broker's
+	// goroutines fail harmlessly instead of racing recovery.
+	var sessions *mqtt.SessionStore
+	if oldSess != nil {
+		oldSess.Crash()
+	}
 	if oldL != nil {
 		_ = oldL.Close()
 	}
 	if oldB != nil {
 		_ = oldB.Close()
 	}
+	if oldSess != nil {
+		var err error
+		sessions, err = mqtt.OpenSessionStore(filepath.Join(s.durableDir, "broker"),
+			mqtt.SessionStoreOptions{Clock: s.Clock, Metrics: s.walMetrics})
+		if err != nil {
+			return fmt.Errorf("sim: restart broker: recover sessions: %w", err)
+		}
+	}
 	// Re-registering against the shared registry repoints the connection
 	// gauges at the fresh broker and lets its counters continue the same
 	// series — a restart is invisible on /metrics except for the dip.
-	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer, FanoutQueue: s.brokerFanoutQueue})
+	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer, FanoutQueue: s.brokerFanoutQueue, State: sessions})
 	l, err := s.Fabric.Listen(BrokerAddr)
 	if err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
@@ -495,9 +561,23 @@ func (s *Simulation) RestartBroker() error {
 	s.mu.Lock()
 	s.Broker = broker
 	s.brokerL = l
+	s.sessions = sessions
 	s.mu.Unlock()
 	return nil
 }
+
+// BrokerSessionStore returns the broker's durable session state, or nil
+// for in-memory simulations. After RestartBroker it is the recovered
+// store, not the crashed one.
+func (s *Simulation) BrokerSessionStore() *mqtt.SessionStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// DurableStore returns the journal-backed document store, or nil for
+// in-memory simulations.
+func (s *Simulation) DurableStore() *docstore.Store { return s.store }
 
 // Close tears the simulation down in dependency order.
 func (s *Simulation) Close() {
@@ -527,5 +607,17 @@ func (s *Simulation) Close() {
 	// build-run-Close cycles (RestartBroker tests, experiment sweeps) from
 	// accumulating acceptor goroutines.
 	s.serveWG.Wait()
+	// Clean shutdown of the journals: flush and fsync everything, so a
+	// later New over the same DurableDir replays a complete history. The
+	// broker and server are already down, so no appender races the close.
+	s.mu.Lock()
+	sessions := s.sessions
+	s.mu.Unlock()
+	if sessions != nil {
+		_ = sessions.Close()
+	}
+	if s.store != nil {
+		_ = s.store.Close()
+	}
 	_ = s.Fabric.Close()
 }

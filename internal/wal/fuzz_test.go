@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay feeds arbitrary bytes to the segment scanner as a WAL
+// directory's only segment and checks the recovery invariants: open never
+// fails on corrupt data, never replays a record that fails its CRC, and
+// always leaves the directory reopenable with the same result.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, []byte("hello")))
+	f.Add(appendFrame(appendFrame(nil, []byte("a")), []byte("bb")))
+	// A valid record followed by a torn header.
+	f.Add(append(appendFrame(nil, []byte("x")), 0x00, 0x00))
+	// Garbage length prefix.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5})
+
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg, 0o644); err != nil {
+			t.Fatalf("write segment: %v", err)
+		}
+		l, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open over fuzzed segment: %v", err)
+		}
+		if rec.LastLSN != uint64(len(rec.Records)) {
+			t.Fatalf("LastLSN %d != %d records", rec.LastLSN, len(rec.Records))
+		}
+		// Recovered records must be byte-identical to a prefix of the
+		// records framed in the input.
+		off, i := 0, 0
+		for i < len(rec.Records) {
+			n := int(uint32(seg[off])<<24 | uint32(seg[off+1])<<16 | uint32(seg[off+2])<<8 | uint32(seg[off+3]))
+			payload := seg[off+frameHeader : off+frameHeader+n]
+			if string(rec.Records[i]) != string(payload) {
+				t.Fatalf("record %d mismatch", i)
+			}
+			off += frameHeader + n
+			i++
+		}
+		// The log must accept appends and survive a clean reopen.
+		if err := l.Append([]byte("post")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		l2, rec2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		if rec2.TruncatedTail {
+			t.Fatalf("second recovery not clean: %+v", rec2)
+		}
+		if len(rec2.Records) != len(rec.Records)+1 {
+			t.Fatalf("reopen replayed %d records, want %d", len(rec2.Records), len(rec.Records)+1)
+		}
+		_ = l2.Close()
+	})
+}

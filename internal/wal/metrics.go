@@ -1,0 +1,45 @@
+package wal
+
+import "repro/internal/obs"
+
+// Metrics are the sensocial_wal_* families. One Metrics is shared by every
+// log in a deployment (docstore journal + broker session log) so the
+// families aggregate; NewMetrics is get-or-create on the registry, so
+// calling it twice with the same registry returns collectors over the same
+// series.
+type Metrics struct {
+	records         *obs.Counter
+	bytes           *obs.Counter
+	fsyncs          *obs.Counter
+	segments        *obs.Gauge
+	snapshots       *obs.Counter
+	replayed        *obs.Counter
+	tornTails       *obs.Counter
+	recoverySeconds *obs.Histogram
+}
+
+// NewMetrics registers the WAL families on reg (nil creates a private
+// registry, keeping instrumentation branch-free).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Metrics{
+		records: reg.Counter("sensocial_wal_records_total",
+			"Records appended to write-ahead logs."),
+		bytes: reg.Counter("sensocial_wal_bytes_total",
+			"Framed bytes written to WAL segment files."),
+		fsyncs: reg.Counter("sensocial_wal_fsyncs_total",
+			"Group-commit fsync batches issued by WAL syncers."),
+		segments: reg.Gauge("sensocial_wal_segments",
+			"Live WAL segment files across all logs."),
+		snapshots: reg.Counter("sensocial_wal_snapshots_total",
+			"Compacting snapshots written by Checkpoint."),
+		replayed: reg.Counter("sensocial_wal_replayed_records_total",
+			"Tail records replayed during WAL recovery."),
+		tornTails: reg.Counter("sensocial_wal_torn_tails_total",
+			"Recoveries that truncated a torn or corrupt WAL tail."),
+		recoverySeconds: reg.Histogram("sensocial_wal_recovery_duration_seconds",
+			"Time spent recovering a WAL directory on open.", obs.LatencyBuckets),
+	}
+}

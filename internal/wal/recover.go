@@ -1,0 +1,269 @@
+package wal
+
+// On-disk formats and the recovery scan.
+//
+// Record frame (segment files):
+//
+//	[4B length big-endian] [4B CRC-32 (IEEE) of payload] [payload]
+//
+// Snapshot file:
+//
+//	[8B magic "SENSWAL1"] [8B lastLSN big-endian]
+//	[4B length big-endian] [4B CRC-32 (IEEE) of payload] [payload]
+//
+// Segment files are named wal-<firstLSN:016x>.seg, snapshots
+// snap-<lastLSN:016x>.snap. Records carry no explicit LSN: a record's LSN
+// is its segment's firstLSN plus its ordinal, which recovery re-derives
+// while scanning.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	frameHeader = 8
+	// maxRecord bounds a single record; a scanned length beyond it is
+	// treated as corruption, which stops a garbage length prefix from
+	// swallowing gigabytes during replay.
+	maxRecord = 16 << 20
+
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+var snapMagic = [8]byte{'S', 'E', 'N', 'S', 'W', 'A', 'L', '1'}
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+func snapshotName(lastLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapPrefix, lastLSN, snapSuffix)
+}
+
+// appendFrame frames payload onto buf.
+func appendFrame(buf, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// listFiles returns the LSNs encoded in dir's prefix/suffix-matching file
+// names, ascending. Unparseable names are ignored.
+func listFiles(dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var out []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+		n, err := strconv.ParseUint(hexPart, 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// syncDir fsyncs a directory so renames and creates survive power loss;
+// best-effort (some filesystems refuse directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// writeSnapshotFile atomically writes a snapshot covering lastLSN: the
+// blob lands in a temp file, is fsynced, and renames into place.
+func writeSnapshotFile(dir string, lastLSN uint64, write func(w io.Writer) error) error {
+	var payload snapshotBuf
+	if err := write(&payload); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	var hdr [24]byte
+	copy(hdr[:8], snapMagic[:])
+	binary.BigEndian.PutUint64(hdr[8:16], lastLSN)
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(payload.b)))
+	binary.BigEndian.PutUint32(hdr[20:24], crc32.ChecksumIEEE(payload.b))
+
+	final := filepath.Join(dir, snapshotName(lastLSN))
+	tmp := final + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(payload.b)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// readSnapshotFile validates and returns the blob of the snapshot
+// covering lastLSN, or an error if it is torn, truncated or corrupt.
+func readSnapshotFile(dir string, lastLSN uint64) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotName(lastLSN)))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 24 || [8]byte(raw[:8]) != snapMagic {
+		return nil, fmt.Errorf("wal: snapshot %d: bad header", lastLSN)
+	}
+	if got := binary.BigEndian.Uint64(raw[8:16]); got != lastLSN {
+		return nil, fmt.Errorf("wal: snapshot %d: header LSN %d mismatches name", lastLSN, got)
+	}
+	n := binary.BigEndian.Uint32(raw[16:20])
+	if uint64(len(raw)-24) != uint64(n) {
+		return nil, fmt.Errorf("wal: snapshot %d: truncated", lastLSN)
+	}
+	body := raw[24:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(raw[20:24]) {
+		return nil, fmt.Errorf("wal: snapshot %d: checksum mismatch", lastLSN)
+	}
+	return body, nil
+}
+
+// recover rebuilds the log's view of dir: pick the newest readable
+// snapshot, then replay segment records after it, stopping at the first
+// torn or corrupt record. The torn tail (and any later segments) is
+// removed so the write position is exactly where valid history ends.
+func (l *Log) recover() (*Recovery, error) {
+	rec := &Recovery{}
+	snaps, err := listFiles(l.dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		body, err := readSnapshotFile(l.dir, snaps[i])
+		if err != nil {
+			rec.SkippedSnapshots++
+			continue
+		}
+		rec.Snapshot = body
+		rec.SnapshotLSN = snaps[i]
+		break
+	}
+	rec.LastLSN = rec.SnapshotLSN
+
+	segs, err := listFiles(l.dir, segPrefix, segSuffix)
+	if err != nil {
+		return nil, err
+	}
+	broken := false
+	for _, first := range segs {
+		if broken {
+			// History is severed before this segment; its records can
+			// never be applied in order again, so drop it.
+			_ = os.Remove(filepath.Join(l.dir, segmentName(first)))
+			continue
+		}
+		path := filepath.Join(l.dir, segmentName(first))
+		records, validLen, torn, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		for j, r := range records {
+			lsn := first + uint64(j)
+			if lsn <= rec.SnapshotLSN {
+				continue // already covered by the snapshot
+			}
+			if lsn != rec.LastLSN+1 {
+				// A gap between segments (lost segment file): stop at
+				// the last contiguous record.
+				torn = true
+				break
+			}
+			rec.Records = append(rec.Records, r)
+			rec.LastLSN = lsn
+		}
+		if torn {
+			rec.TruncatedTail = true
+			broken = true
+			if len(records) == 0 {
+				// Nothing valid in this segment at all: remove it, so the
+				// writer can re-create the name cleanly if it reuses the LSN.
+				_ = os.Remove(path)
+				continue
+			}
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+			}
+		}
+		l.segs = append(l.segs, first)
+	}
+	return rec, nil
+}
+
+// scanSegment reads every valid record in path, returning the records,
+// the byte length of the valid prefix, and whether a torn or corrupt
+// tail was found after it.
+func scanSegment(path string) (records [][]byte, validLen int64, torn bool, err error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	off := 0
+	for off < len(raw) {
+		if len(raw)-off < frameHeader {
+			torn = true
+			break
+		}
+		n := int(binary.BigEndian.Uint32(raw[off : off+4]))
+		if n > maxRecord || len(raw)-off-frameHeader < n {
+			torn = true
+			break
+		}
+		payload := raw[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(raw[off+4:off+8]) {
+			torn = true
+			break
+		}
+		rec := make([]byte, n)
+		copy(rec, payload)
+		records = append(records, rec)
+		off += frameHeader + n
+	}
+	return records, int64(off), torn, nil
+}
+
+// snapshotBuf is a minimal growable writer for snapshot serialization.
+type snapshotBuf struct{ b []byte }
+
+func (s *snapshotBuf) Write(p []byte) (int, error) {
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
