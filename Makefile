@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lockgraph test race bench bench-sim bench-smoke fuzz-smoke chaos-smoke durability-smoke metrics-smoke experiments examples loc clean
+.PHONY: all build vet lint lockgraph test race bench bench-sim bench-cluster bench-smoke fuzz-smoke chaos-smoke durability-smoke metrics-smoke experiments examples loc clean
 
 all: build vet lint test fuzz-smoke
 
@@ -39,11 +39,19 @@ bench-sim:
 	BENCH_SIM_JSON=BENCH_sim.json BENCH_SIM_BENCHTIME=10x \
 		$(GO) test -run '^$$' -bench 'BenchmarkSimDevices' -benchtime 10x .
 
-# Smoke-run the ingest scaling, broker fan-out and simulator scaling
-# benches (one iteration each): catches compile rot and harness deadlocks
-# without paying full benchmark time.
+# Cluster scale-out acceptance bench (DESIGN.md §15): 3-shard aggregate
+# fan-out throughput vs single shard over per-shard shaped uplinks,
+# summary-gated bridge suppression vs naive flooding, and PeerIndex.Match
+# flatness across peer counts, recorded into BENCH_cluster.json.
+bench-cluster:
+	BENCH_CLUSTER_JSON=BENCH_cluster.json BENCH_CLUSTER_BENCHTIME=4096x \
+		$(GO) test -run '^$$' -bench 'BenchmarkCluster' -benchtime 4096x .
+
+# Smoke-run the ingest scaling, broker fan-out, simulator scaling and
+# cluster benches (one iteration each): catches compile rot and harness
+# deadlocks without paying full benchmark time.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices|BenchmarkCluster' -benchtime 1x .
 
 # Short coverage-guided runs of the wire-format fuzzer, the topic-trie
 # match cross-check and the netsim lifecycle fuzzer: catches decode
@@ -65,6 +73,7 @@ chaos-smoke:
 	$(GO) run ./cmd/sensocial-sim -chaos smoke -devices 128
 	$(GO) run ./cmd/sensocial-sim -chaos dtn -devices 64
 	$(GO) run ./cmd/sensocial-sim -chaos crash -devices 64
+	$(GO) run ./cmd/sensocial-sim -chaos cluster -devices 96
 
 # Durability smoke (docs/DURABILITY.md): write → kill → reopen → verify.
 # Covers un-acked QoS 1 redelivery with DUP across a broker crash, retained

@@ -29,13 +29,14 @@ go test -run '^$' -fuzz '^FuzzFabricLifecycle$' -fuzztime 10s ./internal/netsim
 echo "==> fuzz-smoke: FuzzWALReplay (10s)"
 go test -run '^$' -fuzz '^FuzzWALReplay$' -fuzztime 10s ./internal/wal
 
-echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x ."
-go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices' -benchtime 1x .
+echo "==> go test -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices|BenchmarkCluster' -benchtime 1x ."
+go test -run '^$' -bench 'BenchmarkIngest|BenchmarkBrokerFanout|BenchmarkSimDevices|BenchmarkCluster' -benchtime 1x .
 
-echo "==> chaos-smoke: sensocial-sim -chaos smoke / -chaos dtn / -chaos crash"
+echo "==> chaos-smoke: sensocial-sim -chaos smoke / -chaos dtn / -chaos crash / -chaos cluster"
 go run ./cmd/sensocial-sim -chaos smoke -devices 128
 go run ./cmd/sensocial-sim -chaos dtn -devices 64
 go run ./cmd/sensocial-sim -chaos crash -devices 64
+go run ./cmd/sensocial-sim -chaos cluster -devices 96
 
 echo "==> durability-smoke: write -> kill -> reopen -> verify"
 go test -race -count=1 \

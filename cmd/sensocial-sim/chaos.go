@@ -11,7 +11,7 @@ import (
 // runChaos drives a pooled fleet through the named fault schedule with
 // continuous invariant checking and prints the verdict. It returns the
 // process exit code: 0 when every invariant held, 1 otherwise.
-func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceCap int, durableDir string) (int, error) {
+func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceCap int, durableDir string, shards int) (int, error) {
 	sched, err := chaos.LoadSchedule(schedule)
 	if err != nil {
 		return 0, err
@@ -26,8 +26,14 @@ func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceC
 		defer os.RemoveAll(tmp)
 		durableDir = tmp
 	}
+	// Kill faults name their victim shard; grow the cluster to fit when
+	// the user did not size it explicitly.
+	if min := chaos.MinShards(sched); shards < min {
+		shards = min
+	}
 	opts := chaos.Options{
 		Devices:       devices,
+		Shards:        shards,
 		Schedule:      sched,
 		TraceCapacity: traceCap,
 		DurableDir:    durableDir,
@@ -38,8 +44,13 @@ func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceC
 	if hoursSet {
 		opts.Duration = time.Duration(hours * float64(time.Hour))
 	}
-	fmt.Printf("sensocial-sim: %d pooled devices under %q fault schedule (%d faults, horizon %s)\n",
-		devices, sched.Name, len(sched.Faults), sched.Horizon())
+	if shards > 1 {
+		fmt.Printf("sensocial-sim: %d pooled devices over %d shards under %q fault schedule (%d faults, horizon %s)\n",
+			devices, shards, sched.Name, len(sched.Faults), sched.Horizon())
+	} else {
+		fmt.Printf("sensocial-sim: %d pooled devices under %q fault schedule (%d faults, horizon %s)\n",
+			devices, sched.Name, len(sched.Faults), sched.Horizon())
+	}
 
 	res, err := chaos.Run(opts)
 	if err != nil {
@@ -49,9 +60,9 @@ func runChaos(schedule string, devices int, hours float64, hoursSet bool, traceC
 	fmt.Printf("\nchaos summary:\n")
 	fmt.Printf("  steps              %d\n", res.Steps)
 	fmt.Printf("  items ingested     %d\n", res.Items)
-	fmt.Printf("  faults applied     %d (partitions %d, link faults %d, churn resets %d, storm clients %d, crashes %d)\n",
+	fmt.Printf("  faults applied     %d (partitions %d, link faults %d, churn resets %d, storm clients %d, crashes %d, shard kills %d)\n",
 		res.Engine.Applied, res.Engine.Partitions, res.Engine.LinkFaults,
-		res.Engine.ChurnResets, res.StormClients, res.Engine.Crashes)
+		res.Engine.ChurnResets, res.StormClients, res.Engine.Crashes, res.Engine.Kills)
 	fmt.Printf("  probes             %d sent, %d acked, %d ambiguous\n",
 		res.ProbesSent, res.ProbesAcked, res.ProbesAmbiguous)
 	fmt.Printf("  pool ledger        samples=%d published=%d ackLost=%d dropped=%d backlog=%d\n",

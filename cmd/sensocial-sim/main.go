@@ -60,8 +60,9 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "virtual seconds per real second (full mode)")
 	rate := flag.Float64("rate", 4, "OSN actions per user per virtual hour (full mode)")
 	traceCap := flag.Int("trace", 0, "span ring-buffer capacity; dump the trace after the run (0 = off)")
-	chaosSched := flag.String("chaos", "", `fault schedule to run the fleet under: "smoke", "dtn", "crash", or a schedule file`)
+	chaosSched := flag.String("chaos", "", `fault schedule to run the fleet under: "smoke", "dtn", "crash", "cluster", or a schedule file`)
 	durableDir := flag.String("durable", "", "directory for WAL+snapshot durability of the docstore and broker sessions (empty = in-memory)")
+	shards := flag.Int("shards", 1, "run a consistent-hash sharded cluster of N brokers bridged by subscription summaries (pooled and chaos modes)")
 	flag.Parse()
 
 	n := *devices
@@ -79,7 +80,7 @@ func main() {
 				hoursSet = true
 			}
 		})
-		code, err := runChaos(*chaosSched, n, *hours, hoursSet, *traceCap, *durableDir)
+		code, err := runChaos(*chaosSched, n, *hours, hoursSet, *traceCap, *durableDir, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sensocial-sim:", err)
 			os.Exit(1)
@@ -101,9 +102,12 @@ func main() {
 	}
 
 	var err error
-	if pooled {
-		err = runPooled(n, *hours, *traceCap, *durableDir)
-	} else {
+	switch {
+	case *shards > 1 && !pooled:
+		err = fmt.Errorf("-shards needs the pooled device mode (or -chaos)")
+	case pooled:
+		err = runPooled(n, *hours, *traceCap, *durableDir, *shards)
+	default:
 		err = runFull(n, *hours, *speedup, *rate, *traceCap, *durableDir)
 	}
 	if err != nil {
@@ -113,13 +117,19 @@ func main() {
 }
 
 // runPooled drives a pooled fleet on the manual clock, advancing virtual
-// time as fast as the host executes the scheduled events.
-func runPooled(devices int, hours float64, traceCap int, durableDir string) error {
+// time as fast as the host executes the scheduled events. With shards > 1
+// it runs a consistent-hash sharded cluster instead of one deployment:
+// each device uploads to its ring owner's broker and the per-shard
+// publish split is reported in the summary.
+func runPooled(devices int, hours float64, traceCap int, durableDir string, shards int) error {
 	if devices < 1 {
 		return fmt.Errorf("need at least one device")
 	}
+	if shards > 1 && durableDir != "" {
+		return fmt.Errorf("-durable is single-shard only: every shard would journal into the same directory")
+	}
 	clock := vclock.NewManual(time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC))
-	deployment, err := sim.New(sim.Options{
+	simOpts := sim.Options{
 		Clock: clock,
 		Seed:  42,
 		// The pooled experiment measures scheduler and pipeline cost, not
@@ -129,23 +139,57 @@ func runPooled(devices int, hours float64, traceCap int, durableDir string) erro
 		DeviceMode:    sim.DeviceModePooled,
 		TraceCapacity: traceCap,
 		DurableDir:    durableDir,
-	})
-	if err != nil {
-		return err
 	}
-	defer deployment.Close()
+	var (
+		cl         *sim.Cluster
+		deployment *sim.Simulation
+	)
+	if shards > 1 {
+		c, err := sim.NewCluster(sim.ClusterOptions{Shards: shards, Sim: simOpts})
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		cl, deployment = c, c.Shards[0]
+	} else {
+		s, err := sim.New(simOpts)
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		deployment = s
+	}
+	processed := func() uint64 {
+		if cl == nil {
+			return deployment.Server.Stats().Pipeline.Processed
+		}
+		var sum uint64
+		for _, sh := range cl.Shards {
+			sum += sh.Server.Stats().Pipeline.Processed
+		}
+		return sum
+	}
 
-	if err := deployment.AddDevices(devices); err != nil {
+	addDevices, startPool := deployment.AddDevices, deployment.StartPool
+	if cl != nil {
+		addDevices, startPool = cl.AddDevices, cl.StartPool
+	}
+	if err := addDevices(devices); err != nil {
 		return err
 	}
-	if err := deployment.StartPool(); err != nil {
+	if err := startPool(); err != nil {
 		return err
 	}
 	if err := deployment.Pool.WaitReady(30 * time.Second); err != nil {
 		return err
 	}
 
-	fmt.Printf("sensocial-sim: %d pooled devices, %.1f virtual hours on the manual clock\n", devices, hours)
+	if cl != nil {
+		fmt.Printf("sensocial-sim: %d pooled devices over %d shards, %.1f virtual hours on the manual clock\n",
+			devices, shards, hours)
+	} else {
+		fmt.Printf("sensocial-sim: %d pooled devices, %.1f virtual hours on the manual clock\n", devices, hours)
+	}
 	minutes := int(hours * 60)
 	if minutes < 1 {
 		minutes = 1
@@ -166,9 +210,13 @@ func runPooled(devices int, hours float64, traceCap int, durableDir string) erro
 		}
 		if m%60 == 0 || m == minutes {
 			st := deployment.Pool.Stats()
-			fmt.Printf("  t=%-8s samples=%-9d published=%-9d processed=%-9d drops=%d\n",
+			fmt.Printf("  t=%-8s samples=%-9d published=%-9d processed=%-9d drops=%d",
 				time.Duration(m)*time.Minute, st.Samples, st.ItemsPublished,
-				deployment.Server.Stats().Pipeline.Processed, st.ItemsDropped)
+				processed(), st.ItemsDropped)
+			if cl != nil {
+				fmt.Printf(" by-shard=%v", st.PublishedByShard)
+			}
+			fmt.Println()
 		}
 	}
 	//lint:ignore wallclock see above: real host cost measurement
@@ -201,15 +249,31 @@ func runPooled(devices int, hours float64, traceCap int, durableDir string) erro
 	fmt.Printf("  peak heap          %d bytes (%.0f bytes/device)\n", peakHeap, float64(peakHeap)/float64(st.Devices))
 	fmt.Printf("  samples            %d\n", st.Samples)
 	fmt.Printf("  items published    %d (dropped %d, publish errors %d)\n", st.ItemsPublished, st.ItemsDropped, st.PublishErrors)
-	fmt.Printf("  items processed    %d\n", deployment.Server.Stats().Pipeline.Processed)
+	if cl != nil {
+		fmt.Printf("  published by shard %v (ring: %d virtual nodes/shard)\n",
+			st.PublishedByShard, cl.Ring.VirtualNodes())
+	}
+	fmt.Printf("  items processed    %d\n", processed())
 	meter := deployment.Pool.Charger().Meter()
 	fmt.Printf("  fleet energy       %.1f µAh total, %.2f µAh/device\n",
 		meter.TotalMicroAh(), meter.TotalMicroAh()/float64(st.Devices))
 
-	if tr := deployment.Tracer; tr != nil {
+	if traceCap > 0 {
 		fmt.Println("\ntrace (canonical span dump, offsets from tracer start):")
-		if err := tr.WriteText(os.Stdout); err != nil {
-			return err
+		trShards := []*sim.Simulation{deployment}
+		if cl != nil {
+			trShards = cl.Shards
+		}
+		for i, sh := range trShards {
+			if cl != nil {
+				fmt.Printf("=== %s ===\n", sim.ShardID(i))
+			}
+			if sh.Tracer == nil {
+				continue
+			}
+			if err := sh.Tracer.WriteText(os.Stdout); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

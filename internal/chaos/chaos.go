@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/core/server"
+	"repro/internal/core/server/ingest"
 	"repro/internal/mqtt"
 	"repro/internal/netsim"
 	"repro/internal/sim"
@@ -48,6 +49,13 @@ import (
 type Options struct {
 	// Devices is the pooled fleet size; required.
 	Devices int
+	// Shards > 1 runs the scenario against a consistent-hash sharded
+	// cluster (sim.NewCluster) instead of a single deployment: N brokers
+	// meshed by summary-gated bridges, the pool spreading each device to
+	// its ring owner. Required (>= 2, and > the highest killed shard
+	// index) for schedules containing kill faults; crash faults are
+	// single-shard only (a cluster loses shards permanently via kill).
+	Shards int
 	// Schedule is the fault script driving the run; required.
 	Schedule *netsim.Schedule
 	// Duration is the virtual run length (default Schedule.Horizon + 10m).
@@ -115,6 +123,25 @@ func validate(o Options) error {
 	for _, f := range o.Schedule.Faults {
 		if f.Kind == netsim.FaultCrash && o.DurableDir == "" {
 			return fmt.Errorf("chaos: fault @%v crash needs Options.DurableDir: an in-memory broker has nothing to recover from", f.At)
+		}
+		if f.Kind == netsim.FaultCrash && o.Shards > 1 {
+			return fmt.Errorf("chaos: fault @%v crash is single-shard only; cluster runs lose shards permanently via kill", f.At)
+		}
+		if f.Kind == netsim.FaultKill {
+			if o.Shards < 2 {
+				return fmt.Errorf("chaos: fault @%v kill needs a cluster (Options.Shards >= 2)", f.At)
+			}
+			ok := false
+			for k := 1; k < o.Shards; k++ {
+				if len(f.A) == 1 && f.A[0] == sim.ShardID(k) {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("chaos: fault @%v kill %v: target must be shard1..shard%d (shard0 hosts the device pool and probe rig)",
+					f.At, f.A, o.Shards-1)
+			}
+			continue
 		}
 		if f.Kind == netsim.FaultStorm || f.Kind == netsim.FaultHeal || f.Kind == netsim.FaultCrash {
 			continue
@@ -223,7 +250,7 @@ func Run(opts Options) (*Result, error) {
 	}
 
 	clock := vclock.NewManual(chaosEpoch)
-	s, err := sim.New(sim.Options{
+	simOpts := sim.Options{
 		Clock: clock,
 		Seed:  opts.Seed,
 		// A delay-free base fabric: every impairment comes from the
@@ -235,49 +262,123 @@ func Run(opts Options) (*Result, error) {
 		IngestShards:  opts.IngestShards,
 		TraceCapacity: opts.TraceCapacity,
 		DurableDir:    opts.DurableDir,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("chaos: %w", err)
 	}
-	defer s.Close()
+
+	// A run drives either one Simulation or a sharded Cluster; either way
+	// the harness works against the shard list (length 1 when single), the
+	// shared fabric, and shard0's broker address for the pool/probe/storm
+	// rigs (shard0 is never killable).
+	var (
+		cl         *sim.Cluster
+		shards     []*sim.Simulation
+		fabric     *netsim.Network
+		brokerAddr string
+		pool       *sim.DevicePool
+		closeAll   func()
+	)
+	if opts.Shards > 1 {
+		c, err := sim.NewCluster(sim.ClusterOptions{Shards: opts.Shards, Sim: simOpts})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		cl, shards, fabric, brokerAddr = c, c.Shards, c.Fabric, sim.ShardBrokerAddr(0)
+		closeAll = c.Close
+	} else {
+		s, err := sim.New(simOpts)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %w", err)
+		}
+		shards, fabric, brokerAddr = []*sim.Simulation{s}, s.Fabric, sim.BrokerAddr
+		closeAll = s.Close
+	}
+	defer closeAll()
 
 	inv := newChecker()
-	s.Server.OnItem(inv.tap)
+	for _, sh := range shards {
+		sh.Server.OnItem(inv.tap)
+	}
+	// regOf resolves a user to its owning shard's registry for staleness
+	// checks; users owned by a killed shard are skipped (their snapshots
+	// are frozen with the shard, not stale).
+	regOf := func(userID string) *server.ContextRegistry {
+		i := 0
+		if cl != nil {
+			if i = cl.OwnerIndex(userID); !cl.Alive(i) {
+				return nil
+			}
+		}
+		return shards[i].Server.Registry()
+	}
+	// pipeSum aggregates the ingest pipeline counters over every shard,
+	// dead ones included: a killed shard's pipeline drains on close, so
+	// its frozen counters still account for everything it accepted.
+	pipeSum := func() ingest.Stats {
+		var t ingest.Stats
+		for _, sh := range shards {
+			st := sh.Server.Stats().Pipeline
+			t.Enqueued += st.Enqueued
+			t.Processed += st.Processed
+			t.Dropped += st.Dropped
+			t.Backlog += st.Backlog
+			t.Shards += st.Shards
+		}
+		return t
+	}
 
-	if err := s.AddDevices(opts.Devices); err != nil {
+	addDevices, startPool := shards[0].AddDevices, shards[0].StartPool
+	if cl != nil {
+		addDevices, startPool = cl.AddDevices, cl.StartPool
+	}
+	if err := addDevices(opts.Devices); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
-	if err := s.StartPool(); err != nil {
+	if err := startPool(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
-	if err := s.Pool.WaitReady(quiesceTimeout); err != nil {
+	pool = shards[0].Pool
+	if err := pool.WaitReady(quiesceTimeout); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
 
 	var probes *probeRig
 	if opts.Probes > 0 {
-		if probes, err = newProbeRig(s); err != nil {
+		var err error
+		if probes, err = newProbeRig(fabric, clock, brokerAddr); err != nil {
 			return nil, fmt.Errorf("chaos: %w", err)
 		}
 		defer probes.close()
 	}
-	storm := &stormRig{s: s}
+	storm := &stormRig{fabric: fabric, clock: clock, addr: brokerAddr}
 	defer storm.close()
 
 	// crashed is written only from fault events, which run synchronously
 	// inside clock.Advance on the manual clock; the loop reads it between
 	// advances, so no lock is needed.
 	crashed := false
-	eng, err := netsim.NewFaultEngine(s.Fabric, clock, opts.Schedule, netsim.EngineOptions{
+	eng, err := netsim.NewFaultEngine(fabric, clock, opts.Schedule, netsim.EngineOptions{
 		OnStorm: storm.surge,
 		OnCrash: func() {
 			// Kill the broker mid-write and recover it from the session
 			// journal (sim crashes the journal before reopening it).
-			if err := s.RestartBroker(); err != nil {
+			// Single-shard only (validated), so shards[0] is the deployment.
+			if err := shards[0].RestartBroker(); err != nil {
 				inv.violate("crash: broker recovery failed: %v", err)
 				return
 			}
 			crashed = true
+		},
+		OnKill: func(shardID string) {
+			// Permanent shard loss: bridge first, then broker and server.
+			// Validation pinned the target to shard1..shardN-1 of a cluster.
+			for i := range shards {
+				if sim.ShardID(i) == shardID {
+					if err := cl.KillShard(i); err != nil {
+						inv.violate("kill: %v", err)
+					}
+					return
+				}
+			}
+			inv.violate("kill: unknown shard %q", shardID)
 		},
 		OnFault: func(f netsim.Fault) { logf("fault @%v %v", f.At, f.Kind) },
 	})
@@ -292,7 +393,7 @@ func Run(opts Options) (*Result, error) {
 	steps := int(opts.Duration / opts.Step)
 	for i := 0; i < steps; i++ {
 		clock.Advance(opts.Step)
-		if err := quiesce(s); err != nil {
+		if err := quiesce(pipeSum); err != nil {
 			return nil, fmt.Errorf("chaos: step %d: %w", i+1, err)
 		}
 		if crashed {
@@ -301,35 +402,38 @@ func Run(opts Options) (*Result, error) {
 			// recovered broker redelivers any unacked QoS 1 frames, then wait
 			// for the in-flight set to drain before the next probe round.
 			if probes != nil {
-				if err := probes.reconnect(s); err != nil {
+				if err := probes.reconnect(); err != nil {
 					return nil, fmt.Errorf("chaos: step %d: probe reconnect: %w", i+1, err)
 				}
 			}
-			drainInflight(s, inv)
+			drainInflight(shards[0], inv)
 		}
 		if probes != nil {
 			probes.round(opts.Probes, inv)
 		}
-		inv.checkStaleness(s.Server.Registry())
+		inv.checkStaleness(regOf)
 	}
 	eng.Stop()
 
 	// Final settle: heal everything and advance one more cadence so
 	// still-dark backlogs either drain or stay counted as backlog.
-	s.Fabric.Heal()
+	fabric.Heal()
 	clock.Advance(opts.Step)
-	if err := quiesce(s); err != nil {
+	if err := quiesce(pipeSum); err != nil {
 		return nil, fmt.Errorf("chaos: final settle: %w", err)
 	}
-	inv.checkStaleness(s.Server.Registry())
+	inv.checkStaleness(regOf)
 
 	res := &Result{
 		Steps:        steps,
 		Engine:       eng.Stats(),
-		Pool:         s.Pool.Stats(),
-		Server:       s.Server.Stats(),
+		Pool:         pool.Stats(),
+		Server:       shards[0].Server.Stats(),
 		StormClients: storm.joined(),
 	}
+	// Conservation is judged against the cluster-wide pipeline aggregate
+	// (identical to res.Server.Pipeline on single-shard runs).
+	res.Server.Pipeline = pipeSum()
 	inv.checkConservation(res.Pool, res.Server.Pipeline, res.Engine, opts.Pool.UploadQoS)
 	if probes != nil {
 		probes.finalCheck(inv)
@@ -337,11 +441,19 @@ func Run(opts Options) (*Result, error) {
 	}
 	res.Violations, res.Items = inv.report()
 
-	if s.Tracer != nil {
-		s.Close()
+	if opts.TraceCapacity > 0 {
+		closeAll()
 		var buf writerBuf
-		if err := s.Tracer.WriteText(&buf); err != nil {
-			return nil, fmt.Errorf("chaos: trace dump: %w", err)
+		for i, sh := range shards {
+			if cl != nil {
+				fmt.Fprintf(&buf, "=== %s ===\n", sim.ShardID(i))
+			}
+			if sh.Tracer == nil {
+				continue
+			}
+			if err := sh.Tracer.WriteText(&buf); err != nil {
+				return nil, fmt.Errorf("chaos: trace dump: %w", err)
+			}
 		}
 		res.Trace = buf.b
 	}
@@ -358,17 +470,18 @@ func (w *writerBuf) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// quiesce waits, in real time, until the server ingest pipeline has
-// drained everything the last virtual-time step put in flight. With the
-// clock parked, delivery over delay-free paths is pure goroutine
-// progress, so a short stable window means the system is at rest.
-func quiesce(s *sim.Simulation) error {
+// quiesce waits, in real time, until the (cluster-wide) server ingest
+// pipelines have drained everything the last virtual-time step put in
+// flight. With the clock parked, delivery over delay-free paths is pure
+// goroutine progress, so a short stable window means the system is at
+// rest.
+func quiesce(pipe func() ingest.Stats) error {
 	//lint:ignore wallclock quiesce polls real goroutine progress while virtual time is parked
 	deadline := time.Now().Add(quiesceTimeout)
 	stable := 0
 	var last [3]uint64
 	for {
-		st := s.Server.Stats().Pipeline
+		st := pipe()
 		cur := [3]uint64{st.Enqueued, st.Processed, st.Dropped}
 		if st.Backlog == 0 && st.Enqueued == st.Processed && cur == last {
 			if stable++; stable >= 3 {
@@ -416,8 +529,11 @@ func drainInflight(s *sim.Simulation, inv *checker) {
 // delivery of acknowledged publishes end to end through the broker.
 // Crash faults relax the contract to at-least-once (see finalCheck).
 type probeRig struct {
-	pub   *mqtt.Client
-	watch *mqtt.Client
+	fabric *netsim.Network
+	clock  vclock.Clock
+	addr   string
+	pub    *mqtt.Client
+	watch  *mqtt.Client
 
 	mu        sync.Mutex
 	recv      map[uint64]int
@@ -429,24 +545,27 @@ type probeRig struct {
 	relaxed bool
 }
 
-func newProbeRig(s *sim.Simulation) (*probeRig, error) {
+func newProbeRig(fabric *netsim.Network, clock vclock.Clock, addr string) (*probeRig, error) {
 	r := &probeRig{
-		recv:  make(map[uint64]int),
-		acked: make(map[uint64]bool),
+		fabric: fabric,
+		clock:  clock,
+		addr:   addr,
+		recv:   make(map[uint64]int),
+		acked:  make(map[uint64]bool),
 	}
-	if err := r.connect(s); err != nil {
+	if err := r.connect(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
 // connect dials the probe client pair; counters survive reconnects.
-func (r *probeRig) connect(s *sim.Simulation) error {
-	wc, err := s.Fabric.Dial("chaos-watch", sim.BrokerAddr)
+func (r *probeRig) connect() error {
+	wc, err := r.fabric.Dial("chaos-watch", r.addr)
 	if err != nil {
 		return err
 	}
-	if r.watch, err = mqtt.Connect(wc, mqtt.ClientOptions{ClientID: "chaos-watch", Clock: s.Clock}); err != nil {
+	if r.watch, err = mqtt.Connect(wc, mqtt.ClientOptions{ClientID: "chaos-watch", Clock: r.clock}); err != nil {
 		return err
 	}
 	err = r.watch.Subscribe("chaos/probe/#", 1, func(m mqtt.Message) {
@@ -462,12 +581,12 @@ func (r *probeRig) connect(s *sim.Simulation) error {
 		_ = r.watch.Close()
 		return err
 	}
-	pc, err := s.Fabric.Dial("chaos-probe", sim.BrokerAddr)
+	pc, err := r.fabric.Dial("chaos-probe", r.addr)
 	if err != nil {
 		_ = r.watch.Close()
 		return err
 	}
-	if r.pub, err = mqtt.Connect(pc, mqtt.ClientOptions{ClientID: "chaos-probe", Clock: s.Clock}); err != nil {
+	if r.pub, err = mqtt.Connect(pc, mqtt.ClientOptions{ClientID: "chaos-probe", Clock: r.clock}); err != nil {
 		_ = r.watch.Close()
 		return err
 	}
@@ -478,12 +597,12 @@ func (r *probeRig) connect(s *sim.Simulation) error {
 // broker redelivers unacked QoS 1 frames to the reconnected watch session,
 // whose read loop acks them; from here on delivery counts are judged
 // at-least-once.
-func (r *probeRig) reconnect(s *sim.Simulation) error {
+func (r *probeRig) reconnect() error {
 	r.close()
 	r.mu.Lock()
 	r.relaxed = true
 	r.mu.Unlock()
-	return r.connect(s)
+	return r.connect()
 }
 
 // round sends n QoS 1 probes and waits for every acknowledged one to
@@ -573,7 +692,9 @@ func (r *probeRig) close() {
 // that many fresh subscriber clients synchronously at the scheduled
 // virtual time. Clients stay connected (and churnable) until teardown.
 type stormRig struct {
-	s *sim.Simulation
+	fabric *netsim.Network
+	clock  vclock.Clock
+	addr   string
 
 	mu      sync.Mutex
 	clients []*mqtt.Client
@@ -587,14 +708,14 @@ func (r *stormRig) surge(n int) {
 		id := fmt.Sprintf("storm-%05d", r.count)
 		r.count++
 		r.mu.Unlock()
-		conn, err := r.s.Fabric.Dial(id, sim.BrokerAddr)
+		conn, err := r.fabric.Dial(id, r.addr)
 		if err != nil {
 			r.mu.Lock()
 			r.errs++
 			r.mu.Unlock()
 			continue
 		}
-		cli, err := mqtt.Connect(conn, mqtt.ClientOptions{ClientID: id, Clock: r.s.Clock})
+		cli, err := mqtt.Connect(conn, mqtt.ClientOptions{ClientID: id, Clock: r.clock})
 		if err != nil {
 			r.mu.Lock()
 			r.errs++

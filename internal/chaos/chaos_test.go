@@ -231,6 +231,50 @@ func TestCrashScheduleRecoversWithInvariants(t *testing.T) {
 	}
 }
 
+// TestClusterScheduleKillOneShardSurvives runs the cluster preset against
+// a 3-shard deployment: shard2 is killed permanently mid-run and the
+// survivors must keep serving their ring shares with every invariant —
+// ordering, no duplicate delivery, staleness, conservation — intact, the
+// probe rig (on shard0) undisturbed, and the flash crowd still landing.
+func TestClusterScheduleKillOneShardSurvives(t *testing.T) {
+	res, err := Run(Options{
+		Devices:  96,
+		Shards:   3,
+		Schedule: Cluster(),
+		Step:     time.Minute,
+		Pool: sim.PoolOptions{
+			Connections:    3,
+			SampleInterval: time.Minute,
+			UploadBatch:    2,
+			MaxBacklog:     64,
+			UploadQoS:      1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Ok() {
+		t.Fatalf("invariant violations:\n%s", strings.Join(res.Violations, "\n"))
+	}
+	if res.Engine.Kills != 1 {
+		t.Fatalf("engine killed %d shards, want 1: %+v", res.Engine.Kills, res.Engine)
+	}
+	if res.Items == 0 {
+		t.Fatalf("no items ingested end to end")
+	}
+	if res.StormClients != 32 {
+		t.Fatalf("storm joined %d clients, want 32", res.StormClients)
+	}
+	if res.ProbesSent == 0 || res.ProbesAcked == 0 {
+		t.Fatalf("probe rig idle across the shard kill: %+v", res)
+	}
+	// The dead shard's devices must degrade to bounded buffering, not
+	// vanish from the ledger.
+	if res.Pool.ItemsDropped+res.Pool.Backlog == 0 {
+		t.Fatalf("killed shard's devices show neither backlog nor drops: %+v", res.Pool)
+	}
+}
+
 // TestValidateRejectsHostileSchedules covers the schedule validation
 // rules: probe hosts are off limits, crash faults need a durable
 // directory, and QoS 1 runs reject shaping on the pool path.
@@ -257,11 +301,34 @@ func TestValidateRejectsHostileSchedules(t *testing.T) {
 	if _, err := Run(Options{Devices: 1, Schedule: Crash()}); err == nil {
 		t.Fatalf("crash schedule without DurableDir accepted")
 	}
+	kill, err := netsim.ParseSchedule("kill", "@1m kill shard2\n")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if err := validate(Options{Devices: 1, Schedule: kill}.withDefaults()); err == nil {
+		t.Fatalf("kill schedule accepted without a cluster")
+	}
+	if err := validate(Options{Devices: 1, Shards: 2, Schedule: kill}.withDefaults()); err == nil {
+		t.Fatalf("kill shard2 accepted on a 2-shard cluster")
+	}
+	if err := validate(Options{Devices: 1, Shards: 3, Schedule: kill}.withDefaults()); err != nil {
+		t.Fatalf("valid cluster kill schedule rejected: %v", err)
+	}
+	killPool, err := netsim.ParseSchedule("kill-pool", "@1m kill shard0\n")
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if err := validate(Options{Devices: 1, Shards: 3, Schedule: killPool}.withDefaults()); err == nil {
+		t.Fatalf("killing shard0 (pool host) accepted")
+	}
+	if err := validate(Options{Devices: 1, Shards: 3, Schedule: Crash(), DurableDir: "x"}.withDefaults()); err == nil {
+		t.Fatalf("crash schedule accepted on a cluster")
+	}
 }
 
 // TestLoadSchedulePresets resolves the built-in names and rejects junk.
 func TestLoadSchedulePresets(t *testing.T) {
-	for _, name := range []string{"smoke", "dtn", "crash"} {
+	for _, name := range []string{"smoke", "dtn", "crash", "cluster"} {
 		s, err := LoadSchedule(name)
 		if err != nil {
 			t.Fatalf("LoadSchedule(%q): %v", name, err)

@@ -68,28 +68,35 @@ func (c *checker) tap(item core.Item) {
 	}
 }
 
-// checkStaleness asserts, at quiesce, that the server context registry
-// holds exactly the last delivered classification for every user — i.e.
+// checkStaleness asserts, at quiesce, that the context registry owning
+// each user holds exactly the last delivered classification — i.e.
 // context snapshots are never staler than the newest ingested item.
-func (c *checker) checkStaleness(reg *server.ContextRegistry) {
+// regOf resolves a user to its shard's registry (one shared registry on
+// single-shard runs); returning nil skips the user (its owner was
+// killed, so its snapshot is frozen, not stale).
+func (c *checker) checkStaleness(regOf func(userID string) *server.ContextRegistry) {
 	c.mu.Lock()
-	users := make([]string, 0, len(c.lastClass))
-	for u := range c.lastClass {
-		users = append(users, u)
-	}
-	sort.Strings(users)
-	want := make(map[string]string, len(users))
+	want := make(map[string]string, len(c.lastClass))
 	for u, cls := range c.lastClass {
 		want[u] = cls
 	}
 	c.mu.Unlock()
-	if len(users) == 0 {
+	if len(want) == 0 {
 		return
 	}
-	snap := reg.SnapshotUsers(users)
-	for _, u := range users {
-		if got := snap[core.Key(u, core.CtxPhysicalActivity)]; got != want[u] {
-			c.violate("staleness: user %s registry=%q, last delivered=%q", u, got, want[u])
+	byReg := make(map[*server.ContextRegistry][]string)
+	for u := range want {
+		if reg := regOf(u); reg != nil {
+			byReg[reg] = append(byReg[reg], u)
+		}
+	}
+	for reg, users := range byReg {
+		sort.Strings(users)
+		snap := reg.SnapshotUsers(users)
+		for _, u := range users {
+			if got := snap[core.Key(u, core.CtxPhysicalActivity)]; got != want[u] {
+				c.violate("staleness: user %s registry=%q, last delivered=%q", u, got, want[u])
+			}
 		}
 	}
 }

@@ -47,9 +47,26 @@ const crashText = `
 @20m crash
 `
 
+// clusterText is the shard-loss scenario for multi-shard deployments
+// (Options.Shards >= 3): connection churn as a warm-up, then one shard is
+// killed permanently — no restart — while the survivors must keep serving
+// their ring shares, and a flash crowd joins afterwards to prove the
+// remaining fan-out path still scales. Shard0 hosts the device pool and
+// the probe rig, so the victim is always a peer shard.
+const clusterText = `
+@6m  churn device-pool
+@12m kill shard2
+@20m storm 32
+`
+
 // Smoke returns the CI smoke-test schedule.
 func Smoke() *netsim.Schedule {
 	return mustSchedule("smoke", smokeText)
+}
+
+// Cluster returns the kill-one-shard scenario (requires Options.Shards >= 3).
+func Cluster() *netsim.Schedule {
+	return mustSchedule("cluster", clusterText)
 }
 
 // Crash returns the broker crash-recovery scenario.
@@ -62,6 +79,23 @@ func DTN() *netsim.Schedule {
 	return mustSchedule("dtn", dtnText)
 }
 
+// MinShards returns the smallest cluster able to run the schedule: one
+// more than the highest shard index a kill fault names, or 0 when the
+// schedule kills nothing (any deployment size works).
+func MinShards(s *netsim.Schedule) int {
+	min := 0
+	for _, f := range s.Faults {
+		if f.Kind != netsim.FaultKill || len(f.A) != 1 {
+			continue
+		}
+		var k int
+		if _, err := fmt.Sscanf(f.A[0], "shard%d", &k); err == nil && k+1 > min {
+			min = k + 1
+		}
+	}
+	return min
+}
+
 func mustSchedule(name, text string) *netsim.Schedule {
 	s, err := netsim.ParseSchedule(name, text)
 	if err != nil {
@@ -71,8 +105,8 @@ func mustSchedule(name, text string) *netsim.Schedule {
 }
 
 // LoadSchedule resolves a -chaos argument: a built-in preset name
-// ("smoke", "dtn", "crash") or a path to a schedule file in the netsim
-// DSL.
+// ("smoke", "dtn", "crash", "cluster") or a path to a schedule file in
+// the netsim DSL.
 func LoadSchedule(arg string) (*netsim.Schedule, error) {
 	switch arg {
 	case "smoke":
@@ -81,6 +115,8 @@ func LoadSchedule(arg string) (*netsim.Schedule, error) {
 		return DTN(), nil
 	case "crash":
 		return Crash(), nil
+	case "cluster":
+		return Cluster(), nil
 	}
 	text, err := os.ReadFile(arg)
 	if err != nil {

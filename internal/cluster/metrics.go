@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// Metrics holds the sensocial_cluster_* instrument set shared by the
+// ring and the bridge. Registering against the deployment registry is
+// get-or-create, so every shard in a colocated simulation shares one set
+// and /metrics shows cluster-wide totals (documented in
+// docs/OBSERVABILITY.md).
+type Metrics struct {
+	// Forwarded counts publishes actually sent across a bridge link
+	// because the peer's summary had a matching subscriber.
+	Forwarded *obs.Counter
+	// Suppressed counts per-peer sends avoided: publishes a naive
+	// flood-all-peers bridge would have sent but the summary check
+	// proved unnecessary. Forwarded+Suppressed is the naive volume.
+	Suppressed *obs.Counter
+	// LoopSuppressed counts bridged-in publishes not re-forwarded
+	// because they carried an origin-shard tag (A→B must not echo back
+	// A→B→A, nor fan on to C in the single-hop mesh).
+	LoopSuppressed *obs.Counter
+	// Dropped counts forwards lost to a full bridge queue or a down
+	// peer link (best-effort semantics, same as session fan-out drops).
+	Dropped *obs.Counter
+	// SummaryDeltas counts incremental summary publishes (one per 0↔1
+	// subscription refcount transition).
+	SummaryDeltas *obs.Counter
+	// SummarySnapshots counts full summary snapshot publishes (retained
+	// republish cadence, resync requests, bridge start).
+	SummarySnapshots *obs.Counter
+	// SummaryResyncs counts snapshot requests issued after a version
+	// gap or a link reconnect.
+	SummaryResyncs *obs.Counter
+	// RingShards is the number of shards in the deployment's hash ring
+	// (1 for a single-node deployment).
+	RingShards *obs.Gauge
+}
+
+// NewMetrics registers (or fetches) the cluster families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Forwarded: reg.Counter("sensocial_cluster_bridge_forwarded_total",
+			"Publishes forwarded across a bridge link to a peer shard with a matching subscription summary."),
+		Suppressed: reg.Counter("sensocial_cluster_bridge_suppressed_total",
+			"Per-peer bridge sends avoided because the peer's subscription summary had no match."),
+		LoopSuppressed: reg.Counter("sensocial_cluster_bridge_loop_suppressed_total",
+			"Bridged-in publishes not re-forwarded because they carried an origin-shard tag."),
+		Dropped: reg.Counter("sensocial_cluster_bridge_dropped_total",
+			"Bridge forwards dropped because the peer queue was full or the link was down."),
+		SummaryDeltas: reg.Counter("sensocial_cluster_summary_deltas_total",
+			"Incremental subscription-summary deltas published to peers."),
+		SummarySnapshots: reg.Counter("sensocial_cluster_summary_snapshots_total",
+			"Full subscription-summary snapshots published (retained cadence, resyncs, start)."),
+		SummaryResyncs: reg.Counter("sensocial_cluster_summary_resyncs_total",
+			"Summary snapshot requests issued after a version gap or link reconnect."),
+		RingShards: reg.Gauge("sensocial_cluster_ring_shards",
+			"Shards in the deployment's consistent-hash ring (1 when unclustered)."),
+	}
+}

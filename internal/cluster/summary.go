@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The subscription summary a shard advertises to its peers is a
+// versioned set of MQTT topic filters: "some session on this shard
+// subscribes to F". Peers merge every summary into one FilterTrie, so
+// deciding whether a PUBLISH must cross a bridge link is a single trie
+// walk. Two payload kinds travel on the retained control topic
+// $cluster/summary/<shard>:
+//
+//	delta    'D' | uvarint version | op ('+'|'-') | filter…
+//	snapshot 'S' | uvarint version | uvarint n | n × (uvarint len | filter…)
+//
+// Deltas are published non-retained on every 0↔1 refcount transition and
+// carry the version they produce; a receiver applies version v+1 to
+// state v and requests a resync on any gap. Snapshots are retained —
+// the broker replays the latest to a (re)connecting bridge before any
+// newer delta can be routed to it — and also published on demand to
+// $cluster/sync/<shard> requests. Filters starting with '$' (the
+// cluster's own control subscriptions) are never advertised.
+
+// summaryKind discriminates decoded control payloads.
+type summaryKind byte
+
+const (
+	kindDelta    summaryKind = 'D'
+	kindSnapshot summaryKind = 'S'
+)
+
+const (
+	opAdd    byte = '+'
+	opRemove byte = '-'
+)
+
+// summaryMsg is one decoded control-topic payload.
+type summaryMsg struct {
+	kind    summaryKind
+	version uint64
+	op      byte     // delta only
+	filter  string   // delta only
+	filters []string // snapshot only
+}
+
+// appendDelta encodes a delta payload.
+func appendDelta(dst []byte, version uint64, op byte, filter string) []byte {
+	dst = append(dst, byte(kindDelta))
+	dst = binary.AppendUvarint(dst, version)
+	dst = append(dst, op)
+	return append(dst, filter...)
+}
+
+// appendSnapshot encodes a snapshot payload. Filters are sorted so the
+// same set always encodes to the same bytes (retained-payload
+// determinism across same-seed runs).
+func appendSnapshot(dst []byte, version uint64, filters []string) []byte {
+	sorted := append([]string(nil), filters...)
+	sort.Strings(sorted)
+	dst = append(dst, byte(kindSnapshot))
+	dst = binary.AppendUvarint(dst, version)
+	dst = binary.AppendUvarint(dst, uint64(len(sorted)))
+	for _, f := range sorted {
+		dst = binary.AppendUvarint(dst, uint64(len(f)))
+		dst = append(dst, f...)
+	}
+	return dst
+}
+
+// decodeSummary parses a control payload, rejecting truncated or
+// malformed input.
+func decodeSummary(p []byte) (summaryMsg, error) {
+	if len(p) == 0 {
+		return summaryMsg{}, fmt.Errorf("cluster: empty summary payload")
+	}
+	m := summaryMsg{kind: summaryKind(p[0])}
+	rest := p[1:]
+	v, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return summaryMsg{}, fmt.Errorf("cluster: bad summary version varint")
+	}
+	m.version = v
+	rest = rest[n:]
+	switch m.kind {
+	case kindDelta:
+		if len(rest) < 2 {
+			return summaryMsg{}, fmt.Errorf("cluster: truncated delta")
+		}
+		m.op = rest[0]
+		if m.op != opAdd && m.op != opRemove {
+			return summaryMsg{}, fmt.Errorf("cluster: bad delta op %q", m.op)
+		}
+		m.filter = string(rest[1:])
+		return m, nil
+	case kindSnapshot:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return summaryMsg{}, fmt.Errorf("cluster: bad snapshot count varint")
+		}
+		rest = rest[n:]
+		m.filters = make([]string, 0, count)
+		for i := uint64(0); i < count; i++ {
+			l, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest)-n) < l {
+				return summaryMsg{}, fmt.Errorf("cluster: truncated snapshot filter %d", i)
+			}
+			m.filters = append(m.filters, string(rest[n:n+int(l)]))
+			rest = rest[n+int(l):]
+		}
+		if len(rest) != 0 {
+			return summaryMsg{}, fmt.Errorf("cluster: %d trailing snapshot bytes", len(rest))
+		}
+		return m, nil
+	default:
+		return summaryMsg{}, fmt.Errorf("cluster: unknown summary kind %q", p[0])
+	}
+}
+
+// localSummary is the refcounted filter set this shard advertises. The
+// bridge feeds it every network-session subscribe/unsubscribe; only the
+// 0↔1 transitions reach the wire. Callers hold mu across the matching
+// publish so versions leave the broker in order.
+type localSummary struct {
+	refs    map[string]int
+	version uint64
+}
+
+func newLocalSummary() *localSummary {
+	return &localSummary{refs: make(map[string]int)}
+}
+
+// advertised reports whether a filter belongs in the summary: cluster
+// control subscriptions (and the bridge's own catch-all) stay private.
+func advertised(filter string) bool {
+	return filter != "" && !strings.HasPrefix(filter, "$")
+}
+
+// add refcounts filter and reports whether this was a 0→1 transition
+// (a delta must be published).
+func (s *localSummary) add(filter string) bool {
+	s.refs[filter]++
+	if s.refs[filter] == 1 {
+		s.version++
+		return true
+	}
+	return false
+}
+
+// remove refcounts filter down and reports whether this was a 1→0
+// transition.
+func (s *localSummary) remove(filter string) bool {
+	c, ok := s.refs[filter]
+	if !ok {
+		return false
+	}
+	if c <= 1 {
+		delete(s.refs, filter)
+		s.version++
+		return true
+	}
+	s.refs[filter] = c - 1
+	return false
+}
+
+// filters snapshots the advertised set.
+func (s *localSummary) filters() []string {
+	out := make([]string, 0, len(s.refs))
+	for f := range s.refs {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestSummaryCodecRoundTrip(t *testing.T) {
+	d := appendDelta(nil, 7, opAdd, "streamdata/u1")
+	m, err := decodeSummary(d)
+	if err != nil {
+		t.Fatalf("decode delta: %v", err)
+	}
+	if m.kind != kindDelta || m.version != 7 || m.op != opAdd || m.filter != "streamdata/u1" {
+		t.Fatalf("delta round-trip mismatch: %+v", m)
+	}
+
+	filters := []string{"osn/u2", "streamdata/u1", "context/+/loc"}
+	s := appendSnapshot(nil, 42, filters)
+	m, err = decodeSummary(s)
+	if err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	if m.kind != kindSnapshot || m.version != 42 || len(m.filters) != 3 {
+		t.Fatalf("snapshot round-trip mismatch: %+v", m)
+	}
+	// Snapshots encode sorted, so equal sets produce equal bytes.
+	s2 := appendSnapshot(nil, 42, []string{"streamdata/u1", "context/+/loc", "osn/u2"})
+	if string(s) != string(s2) {
+		t.Fatal("snapshot encoding not canonical across input orders")
+	}
+}
+
+func TestSummaryCodecRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{'X', 1},
+		{'D', 1},                // missing op+filter
+		{'D', 1, '?', 'f'},      // bad op
+		{'S'},                   // missing version
+		{'S', 1, 2, 5, 'a'},     // truncated filter
+		append(appendSnapshot(nil, 1, []string{"f"}), 0xff), // trailing bytes
+	}
+	for i, p := range bad {
+		if _, err := decodeSummary(p); err == nil {
+			t.Errorf("payload %d (%q) decoded without error", i, p)
+		}
+	}
+}
+
+func TestLocalSummaryRefcounts(t *testing.T) {
+	s := newLocalSummary()
+	if !s.add("f") {
+		t.Fatal("first add not a transition")
+	}
+	if s.add("f") {
+		t.Fatal("second add reported a transition")
+	}
+	if s.remove("f") {
+		t.Fatal("first remove (count 2→1) reported a transition")
+	}
+	if !s.remove("f") {
+		t.Fatal("final remove not a transition")
+	}
+	if s.remove("f") {
+		t.Fatal("remove of absent filter reported a transition")
+	}
+	if v := s.version; v != 2 {
+		t.Fatalf("version %d after two transitions, want 2", v)
+	}
+	if !advertised("streamdata/#") || advertised("$cluster/summary/a") || advertised("") {
+		t.Fatal("advertised() misclassifies filters")
+	}
+}
+
+func TestPeerIndexDedupAndFlatMatch(t *testing.T) {
+	x := NewPeerIndex(3)
+	x.Add(0, "streamdata/#")
+	x.Add(0, "streamdata/u1") // same peer, overlapping filter → must dedup
+	x.Add(2, "osn/#")
+	sc := &MatchScratch{}
+	got := x.Match("streamdata/u1", sc)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("match streamdata/u1 = %v, want [0]", got)
+	}
+	if got := x.Match("osn/u2", sc); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("match osn/u2 = %v, want [2]", got)
+	}
+	if got := x.Match("context/u3", sc); len(got) != 0 {
+		t.Fatalf("match context/u3 = %v, want none", got)
+	}
+	x.Remove(0, "streamdata/#")
+	if got := x.Match("streamdata/u9", sc); len(got) != 0 {
+		t.Fatalf("after remove, match = %v, want none", got)
+	}
+	if got := x.Match("streamdata/u1", sc); len(got) != 1 {
+		t.Fatalf("exact filter lost by unrelated remove: %v", got)
+	}
+}

@@ -89,6 +89,13 @@ type Options struct {
 	// rather than blocking the broker. Non-positive selects
 	// ingest.DefaultQueueDepth.
 	IngestQueueDepth int
+	// Owns, when set, restricts ingest to users this shard owns under the
+	// cluster's consistent-hash ring: stream items whose user hashes to a
+	// different shard are skipped and counted instead of processed, so a
+	// misrouted upload (or a bridged copy of another shard's traffic) never
+	// double-writes registry or store state. Nil means single-shard
+	// deployment: every user is local.
+	Owns func(userID string) bool
 	// Metrics is the observability registry every subcomponent registers
 	// its counters against (served on GET /metrics). Nil creates a private
 	// registry, so Stats always works; share one registry across broker and
@@ -113,6 +120,9 @@ type Manager struct {
 	filterRejected     *obs.Counter
 	multicastRefreshes *obs.Counter
 	triggerSent        *obs.CounterVec
+	foreignItems       *obs.Counter
+
+	owns func(userID string) bool
 
 	procDelay  time.Duration
 	procJitter time.Duration
@@ -172,6 +182,7 @@ func New(opts Options) (*Manager, error) {
 		filters:    NewFilterTable(),
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		multicasts: make(map[string]*MulticastStream),
+		owns:       opts.Owns,
 	}
 	m.filterRejected = metrics.Counter("sensocial_filter_rejected_total",
 		"Items dropped by cross-user filter conditions.")
@@ -179,6 +190,8 @@ func New(opts Options) (*Manager, error) {
 		"Multicast membership refreshes triggered by location items.")
 	m.triggerSent = metrics.CounterVec("sensocial_trigger_sent_total",
 		"Triggers published to devices, by trigger kind.", "kind")
+	m.foreignItems = metrics.Counter("sensocial_cluster_foreign_items_total",
+		"Stream items skipped because the receiving shard does not own the user.")
 	metrics.GaugeFunc("sensocial_filter_streams",
 		"Stream filters installed in the copy-on-write filter table.",
 		func() float64 { return float64(m.filters.Len()) })

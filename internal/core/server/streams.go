@@ -204,6 +204,11 @@ func (m *Manager) onStreamData(msg mqtt.Message) {
 	}
 	sp.SetAttr("stream", item.StreamID)
 	sp.SetAttr("user", item.UserID)
+	if m.owns != nil && item.UserID != "" && !m.owns(item.UserID) {
+		m.foreignItems.Inc()
+		sp.SetAttr("foreign", "true")
+		return
+	}
 	if !m.Ingest(item) {
 		sp.SetAttr("dropped", "true")
 		m.logf("ingest overflow", "stream", item.StreamID, "user", item.UserID)

@@ -58,6 +58,9 @@ func DefaultLayering() []LayerRule {
 			Why: "the MQTT transport must not depend on middleware layers"},
 		{From: "internal/osn", Only: []string{"internal/vclock"},
 			Why: "the OSN simulator must not know about devices or the server"},
+		{From: "internal/cluster", Only: []string{"internal/mqtt",
+			"internal/mqtt/topictrie", "internal/obs", "internal/vclock"},
+			Why: "the cluster layer (hash ring + broker bridge) rides on the transport; it must not know the middleware, the server or the simulator"},
 
 		// Device-side stack: must never see the OSN or the server.
 		{From: "internal/sensors", Only: []string{"internal/geo"},

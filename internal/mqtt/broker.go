@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mqtt/topictrie"
@@ -21,6 +22,12 @@ type Message struct {
 	Payload []byte
 	QoS     byte
 	Retain  bool
+	// Origin identifies the cluster shard a bridged message was first
+	// published on. It is in-process routing metadata — never encoded on
+	// the wire — set by the cluster bridge when it re-injects a forwarded
+	// publish, so the bridge can suppress re-forwarding (loop
+	// prevention). Empty for everything published first-hand.
+	Origin string
 }
 
 // BrokerStats is a snapshot of broker counters.
@@ -102,6 +109,11 @@ type Broker struct {
 	// takes b.mu.
 	subs     *topictrie.FilterTrie[subEntry]
 	retained *topictrie.TopicTrie[Message]
+
+	// subListener, when set, observes network-session subscription
+	// changes (see SetSubListener). Loaded per change, off the publish
+	// hot path.
+	subListener atomic.Pointer[func(filter string, delta int)]
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -264,6 +276,51 @@ func (b *Broker) SubscribeLocal(filter string, h Handler) error {
 	return nil
 }
 
+// SetSubListener installs fn to observe network-session subscription
+// changes: it is called with delta +1 when a filter gains its first
+// entry for a session and -1 when a session's entry is removed
+// (unsubscribe or disconnect), once per (session, filter) pair. Local
+// handlers registered with SubscribeLocal are not reported. The cluster
+// bridge uses this to maintain the subscription summary it advertises
+// to peer shards. Calls arrive on session goroutines, possibly
+// concurrently; fn must synchronize itself. Passing nil uninstalls.
+func (b *Broker) SetSubListener(fn func(filter string, delta int)) {
+	if fn == nil {
+		b.subListener.Store(nil)
+		return
+	}
+	b.subListener.Store(&fn)
+}
+
+// notifySub reports one session-subscription change to the listener.
+func (b *Broker) notifySub(filter string, delta int) {
+	if fn := b.subListener.Load(); fn != nil {
+		(*fn)(filter, delta)
+	}
+}
+
+// SessionFilters snapshots the network sessions' subscription filters
+// with the number of sessions holding each. The snapshot is taken
+// per-session, so it can lag changes that race it; callers (the bridge,
+// at attach time) reconcile through the sub listener afterwards.
+func (b *Broker) SessionFilters() map[string]int {
+	b.mu.Lock()
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	out := make(map[string]int)
+	for _, s := range sessions {
+		s.mu.Lock()
+		for f := range s.subs {
+			out[f]++
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // PublishLocal injects a message as if a connected client had published it.
 // The server-side TriggerManager uses this to avoid a loopback connection
 // when it is colocated with the broker.
@@ -385,6 +442,7 @@ func (b *Broker) restoreSession(s *session) {
 		s.mu.Unlock()
 		if !had {
 			b.subs.Subscribe(f, subEntry{sess: s, qos: q})
+			b.notifySub(f, +1)
 		}
 	}
 	for _, inf := range b.state.InflightFrames(s.clientID) {
@@ -422,6 +480,7 @@ func (b *Broker) removeSession(s *session) {
 	s.mu.Unlock()
 	for _, f := range filters {
 		b.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
+		b.notifySub(f, -1)
 	}
 }
 
@@ -478,6 +537,9 @@ func (s *session) readLoop() {
 					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
 				}
 				s.broker.subs.Subscribe(f, subEntry{sess: s, qos: q})
+				if !resub {
+					s.broker.notifySub(f, +1)
+				}
 				if s.broker.state != nil {
 					s.broker.state.AddSub(s.clientID, f, q)
 				}
@@ -509,6 +571,7 @@ func (s *session) readLoop() {
 				s.mu.Unlock()
 				if had {
 					s.broker.subs.Unsubscribe(f, func(e subEntry) bool { return e.sess == s })
+					s.broker.notifySub(f, -1)
 				}
 				if s.broker.state != nil {
 					s.broker.state.RemoveSub(s.clientID, f)
@@ -546,8 +609,15 @@ func (s *session) readLoop() {
 //sensolint:hotpath
 func (b *Broker) route(m Message) {
 	start := b.clock.Now()
-	sp := b.tracer.Start("mqtt.route", 0)
-	sp.SetAttr("topic", m.Topic)
+	sp := obs.Span{}
+	if len(m.Topic) == 0 || m.Topic[0] != '$' {
+		// $-prefixed control topics (the cluster bridge's summary digests and
+		// sync requests) are not part of the item path and arrive on peer
+		// goroutine schedules, so tracing them would break the byte-identical
+		// same-seed /trace guarantee.
+		sp = b.tracer.Start("mqtt.route", 0)
+		sp.SetAttr("topic", m.Topic)
+	}
 	if m.Retain {
 		if len(m.Payload) == 0 {
 			b.retained.Delete(m.Topic) // empty retained payload clears

@@ -40,7 +40,8 @@ type Redialer struct {
 	client  *Client
 	subs    map[string]redialSub
 	closed  bool
-	current *Client // client whose Done the loop is watching
+	current *Client  // client whose Done the loop is watching
+	dialing net.Conn // transport mid-handshake, aborted by Close
 
 	wake chan struct{}
 	done chan struct{}
@@ -135,7 +136,21 @@ func (r *Redialer) connectOnce() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Track the mid-handshake transport so Close can abort a CONNECT
+	// whose CONNACK will never come (a dead-but-listening peer would
+	// otherwise wedge Close behind this read).
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = conn.Close()
+		return nil, ErrClientClosed
+	}
+	r.dialing = conn
+	r.mu.Unlock()
 	client, err := Connect(conn, r.opts.Client)
+	r.mu.Lock()
+	r.dialing = nil
+	r.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +253,11 @@ func (r *Redialer) Close() error {
 	close(r.done)
 	c := r.client
 	r.client = nil
+	dialing := r.dialing
 	r.mu.Unlock()
+	if dialing != nil {
+		_ = dialing.Close()
+	}
 	if c != nil {
 		_ = c.Close()
 	}

@@ -18,15 +18,18 @@ import (
 // maps an endpoint index to its slot deterministically, so same-seed runs
 // put every device on the same connection.
 type ConnPool struct {
-	dial func() (net.Conn, error)
+	dial func(slot int) (net.Conn, error)
 
 	mu     sync.Mutex
 	conns  []net.Conn
 	closed bool
 }
 
-// NewConnPool builds a pool of at most size connections using dial.
-func NewConnPool(size int, dial func() (net.Conn, error)) (*ConnPool, error) {
+// NewConnPool builds a pool of at most size connections using dial. The
+// dial function receives the slot being populated, so a pool can spread
+// slots across distinct endpoints (the cluster address ring maps slot
+// ranges to shard brokers); dialers that don't care ignore the argument.
+func NewConnPool(size int, dial func(slot int) (net.Conn, error)) (*ConnPool, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("netsim: conn pool size must be positive, got %d", size)
 	}
@@ -60,7 +63,7 @@ func (p *ConnPool) Get(slot int) (net.Conn, error) {
 	if p.conns[slot] != nil {
 		return p.conns[slot], nil
 	}
-	conn, err := p.dial()
+	conn, err := p.dial(slot)
 	if err != nil {
 		return nil, fmt.Errorf("netsim: conn pool dial slot %d: %w", slot, err)
 	}

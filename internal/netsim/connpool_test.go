@@ -24,7 +24,7 @@ func newPoolFixture(t *testing.T, size int) (*Network, *ConnPool) {
 		}
 	}()
 	t.Cleanup(func() { _ = n.Close() })
-	pool, err := NewConnPool(size, func() (net.Conn, error) {
+	pool, err := NewConnPool(size, func(int) (net.Conn, error) {
 		return n.Dial("pool", "server:1883")
 	})
 	if err != nil {
@@ -94,7 +94,7 @@ func TestConnPoolInvalidateRedials(t *testing.T) {
 }
 
 func TestConnPoolRejectsBadConfig(t *testing.T) {
-	if _, err := NewConnPool(0, func() (net.Conn, error) { return nil, nil }); err == nil {
+	if _, err := NewConnPool(0, func(int) (net.Conn, error) { return nil, nil }); err == nil {
 		t.Fatal("size 0 accepted")
 	}
 	if _, err := NewConnPool(1, nil); err == nil {

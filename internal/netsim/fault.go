@@ -36,6 +36,10 @@ const (
 	// delegates to EngineOptions.OnCrash; the harness decides what
 	// durability the restarted broker recovers from).
 	FaultCrash
+	// FaultKill permanently removes one named cluster shard — no restart;
+	// survivors must keep serving (the engine delegates to
+	// EngineOptions.OnKill).
+	FaultKill
 )
 
 // String names the kind the way the schedule DSL spells it.
@@ -57,6 +61,8 @@ func (k FaultKind) String() string {
 		return "storm"
 	case FaultCrash:
 		return "crash"
+	case FaultKill:
+		return "kill"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
@@ -133,6 +139,7 @@ func (s *Schedule) Horizon() time.Duration {
 //	@20m churn     device-*
 //	@15m storm     200
 //	@25m crash
+//	@30m kill      shard2
 //
 // Offsets are Go durations of virtual time from engine start. Link verbs
 // take "src dst" (symmetric) or "src->dst" (that direction only); patterns
@@ -247,6 +254,12 @@ func parseFaultLine(line string) (Fault, error) {
 		if len(args) != 0 {
 			return Fault{}, fmt.Errorf("crash takes no arguments")
 		}
+	case "kill":
+		f.Kind = FaultKill
+		if len(args) != 1 {
+			return Fault{}, fmt.Errorf("kill wants exactly one shard id")
+		}
+		f.A = []string{args[0]}
 	default:
 		return Fault{}, fmt.Errorf("unknown verb %q", verb)
 	}
@@ -298,13 +311,15 @@ type EngineStats struct {
 	StormClients int
 	// Crashes counts broker crash-restart faults.
 	Crashes int
+	// Kills counts permanent shard removals.
+	Kills int
 }
 
 // Disruptions reports whether any fault actually reset connections or
 // severed the fabric — the condition under which in-flight data may have
 // been legitimately lost.
 func (s EngineStats) Disruptions() int {
-	return s.Partitions + s.ChurnResets + s.PartitionResets + s.Crashes
+	return s.Partitions + s.ChurnResets + s.PartitionResets + s.Crashes + s.Kills
 }
 
 // EngineOptions tunes fault application.
@@ -317,6 +332,10 @@ type EngineOptions struct {
 	// the broker (typically through its durable session state). Called
 	// synchronously from the fault event; nil disables crashes.
 	OnCrash func()
+	// OnKill handles FaultKill entries: the harness removes the named
+	// cluster shard for good. Called synchronously from the fault event;
+	// nil disables kills.
+	OnKill func(shardID string)
 	// OnFault, when non-nil, observes every fault after it is applied.
 	OnFault func(f Fault)
 }
@@ -458,6 +477,10 @@ func (e *FaultEngine) apply(f Fault) {
 		if e.opts.OnCrash != nil {
 			e.opts.OnCrash()
 		}
+	case FaultKill:
+		if e.opts.OnKill != nil && len(f.A) == 1 {
+			e.opts.OnKill(f.A[0])
+		}
 	}
 
 	e.mu.Lock()
@@ -477,6 +500,8 @@ func (e *FaultEngine) apply(f Fault) {
 		e.stats.StormClients += f.Count
 	case FaultCrash:
 		e.stats.Crashes++
+	case FaultKill:
+		e.stats.Kills++
 	}
 	e.mu.Unlock()
 

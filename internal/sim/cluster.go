@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sensors"
+	"repro/internal/vclock"
+)
+
+// ShardID names shard i the way every cluster surface spells it.
+func ShardID(i int) string { return fmt.Sprintf("shard%d", i) }
+
+// ShardBrokerAddr is shard i's broker address on the shared fabric.
+func ShardBrokerAddr(i int) string { return ShardID(i) + ":1883" }
+
+// ShardHTTPAddr is shard i's HTTP address on the shared fabric.
+func ShardHTTPAddr(i int) string { return ShardID(i) + ":8080" }
+
+// ClusterOptions configures a multi-shard deployment.
+type ClusterOptions struct {
+	// Shards is the number of shards (≥ 1). Each shard is a full Simulation
+	// (broker + server middleware + OSN plug-ins) bound to
+	// "shard<i>:1883"/"shard<i>:8080" on one shared fabric, plus a broker
+	// bridge meshing it with every peer.
+	Shards int
+	// VirtualNodes tunes the consistent-hash ring (0 selects
+	// cluster.DefaultVirtualNodes).
+	VirtualNodes int
+	// Sim is the per-shard template. Clock and Seed are required as for New;
+	// Fabric, BrokerAddr, HTTPAddr and Owns are overwritten per shard. By
+	// default (Metrics nil) every shard keeps its OWN registry, mirroring a
+	// real deployment where each shard is a separate process with its own
+	// /metrics endpoint — per-shard pipeline and cluster counters stay
+	// per-shard; setting Metrics shares one registry across all shards
+	// (which merges same-named series into cluster-wide aggregates).
+	// DeviceModePooled builds ONE DevicePool — owned by shard0's simulation
+	// but spreading uploads across every shard's broker along the ring.
+	Sim Options
+}
+
+// Cluster is a running multi-shard deployment: N Simulations on one netsim
+// fabric, meshed by trie-summarized broker bridges, with user ownership
+// decided by a consistent-hash ring.
+type Cluster struct {
+	Clock   vclock.Clock
+	Fabric  *netsim.Network
+	Ring    *cluster.Ring
+	Shards  []*Simulation
+	Bridges []*cluster.Bridge
+	// Metrics instruments the shared fabric (and is the shard registry too
+	// when ClusterOptions.Sim.Metrics was set). Per-shard series live on
+	// Shards[i].Metrics.
+	Metrics *obs.Registry
+	// Pool is the shared device pool (DeviceModePooled only); it lives on
+	// Shards[0] and publishes each device to its ring owner's broker.
+	Pool *DevicePool
+
+	dead []bool
+}
+
+// NewCluster builds and starts every shard and its bridge. Teardown is
+// Close (whole cluster) or KillShard (one shard, permanently).
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("sim: cluster: need at least 1 shard, got %d", opts.Shards)
+	}
+	if opts.Sim.Clock == nil {
+		return nil, fmt.Errorf("sim: cluster: clock required")
+	}
+	ids := make([]string, opts.Shards)
+	addrs := make([]string, opts.Shards)
+	for i := range ids {
+		ids[i] = ShardID(i)
+		addrs[i] = ShardBrokerAddr(i)
+	}
+	ring, err := cluster.NewRing(ids, opts.VirtualNodes)
+	if err != nil {
+		return nil, fmt.Errorf("sim: cluster: %w", err)
+	}
+
+	metrics := opts.Sim.Metrics
+	if metrics == nil {
+		metrics = obs.NewRegistry()
+	}
+	// One fabric for the whole cluster, shaped and instrumented exactly
+	// like a single simulation's own would be.
+	link := netsim.Link{Latency: defaultMobileLatency, Jitter: defaultMobileJitter}
+	if opts.Sim.MobileLink != nil {
+		link = *opts.Sim.MobileLink
+	}
+	fabric := netsim.NewNetwork(opts.Sim.Clock, opts.Sim.Seed)
+	fabric.SetDefaultLink(link)
+	fabric.Instrument(metrics)
+
+	cl := &Cluster{
+		Clock:   opts.Sim.Clock,
+		Fabric:  fabric,
+		Ring:    ring,
+		Metrics: metrics,
+		dead:    make([]bool, opts.Shards),
+	}
+	fail := func(err error) (*Cluster, error) {
+		cl.Close()
+		return nil, err
+	}
+	for i := 0; i < opts.Shards; i++ {
+		shardOpts := opts.Sim
+		shardOpts.Fabric = fabric
+		shardOpts.BrokerAddr = addrs[i]
+		shardOpts.HTTPAddr = ShardHTTPAddr(i)
+		// Distinct per-shard seeds keep shard-local randomness (jitter,
+		// plug-in delays) decorrelated while staying reproducible.
+		shardOpts.Seed = opts.Sim.Seed + int64(i)*1009
+		id := ids[i]
+		shardOpts.Owns = func(userID string) bool { return ring.Owner(userID) == id }
+		// Only shard0 hosts the shared pool; it spreads devices across the
+		// whole address ring by ownership.
+		if opts.Sim.DeviceMode == DeviceModePooled && i > 0 {
+			shardOpts.DeviceMode = DeviceModeFull
+		}
+		if opts.Sim.DeviceMode == DeviceModePooled && i == 0 {
+			shardOpts.Pool.Addrs = addrs
+			shardOpts.Pool.ShardOf = ring.OwnerIndex
+		}
+		s, err := New(shardOpts)
+		if err != nil {
+			return fail(fmt.Errorf("sim: cluster: shard %d: %w", i, err))
+		}
+		cl.Shards = append(cl.Shards, s)
+	}
+	cl.Pool = cl.Shards[0].Pool
+
+	for i, s := range cl.Shards {
+		peers := make([]cluster.Peer, 0, opts.Shards-1)
+		for j := range cl.Shards {
+			if j == i {
+				continue
+			}
+			host, addr := ids[i]+"-bridge", addrs[j]
+			peers = append(peers, cluster.Peer{ID: ids[j], Dial: func() (net.Conn, error) {
+				return fabric.Dial(host, addr)
+			}})
+		}
+		b, err := cluster.NewBridge(cluster.BridgeOptions{
+			ShardID: ids[i],
+			Broker:  s.Broker,
+			Peers:   peers,
+			Clock:   opts.Sim.Clock,
+			Metrics: s.ClusterMetrics,
+		})
+		if err != nil {
+			return fail(fmt.Errorf("sim: cluster: bridge %d: %w", i, err))
+		}
+		cl.Bridges = append(cl.Bridges, b)
+	}
+	cl.Shards[0].ClusterMetrics.RingShards.Set(float64(opts.Shards))
+	return cl, nil
+}
+
+// OwnerIndex returns the shard index owning a user under the ring.
+func (c *Cluster) OwnerIndex(userID string) int { return c.Ring.OwnerIndex(userID) }
+
+// AddDevices adds n pooled devices to the shared pool.
+func (c *Cluster) AddDevices(n int) error {
+	if c.Pool == nil {
+		return fmt.Errorf("sim: cluster: no device pool (DeviceModePooled required)")
+	}
+	return c.Pool.AddDevices(n)
+}
+
+// StartPool starts the shared pool; a no-op without one.
+func (c *Cluster) StartPool() error { return c.Shards[0].StartPool() }
+
+// AddUser provisions a full-fidelity user on the shard that owns it, so its
+// uploads land directly on the owner's broker.
+func (c *Cluster) AddUser(userID string, profile *sensors.Profile) (*Handle, error) {
+	return c.Shards[c.OwnerIndex(userID)].AddUser(userID, profile)
+}
+
+// Alive reports whether shard i has not been killed.
+func (c *Cluster) Alive(i int) bool { return i >= 0 && i < len(c.dead) && !c.dead[i] }
+
+// KillShard permanently removes shard i, as a crashed-and-not-restarted
+// process: its bridge closes first (so no peer is ever mid-handshake into a
+// broker that will never answer), then its listeners, broker, server and
+// plug-ins die. Survivors keep serving; their redialers see refused dials
+// and back off cleanly. Shard 0 hosts the shared pool and cannot be killed.
+func (c *Cluster) KillShard(i int) error {
+	if i <= 0 || i >= len(c.Shards) {
+		return fmt.Errorf("sim: cluster: cannot kill shard %d of %d (shard0 hosts the pool)", i, len(c.Shards))
+	}
+	if c.dead[i] {
+		return fmt.Errorf("sim: cluster: shard %d already dead", i)
+	}
+	c.dead[i] = true
+	_ = c.Bridges[i].Close()
+	c.Shards[i].Kill()
+	c.Shards[0].ClusterMetrics.RingShards.Add(-1)
+	return nil
+}
+
+// Close tears the whole cluster down: every bridge stops before any broker
+// dies (a surviving bridge's redialer must never be left mid-CONNECT into a
+// dead-but-listening peer), then each live shard closes, then the shared
+// fabric.
+func (c *Cluster) Close() {
+	for i, b := range c.Bridges {
+		if !c.dead[i] {
+			_ = b.Close()
+		}
+	}
+	for i, s := range c.Shards {
+		if !c.dead[i] {
+			s.Close()
+		}
+	}
+	_ = c.Fabric.Close()
+}

@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mqtt"
+	"repro/internal/netsim"
+	"repro/internal/vclock"
+)
+
+var clusterEpoch = time.Date(2014, 12, 8, 9, 0, 0, 0, time.UTC)
+
+// newClusterFixture boots a pooled multi-shard cluster on a manual clock
+// over a zero-latency fabric. One frame covers the whole fleet and each
+// shard gets exactly one pooled connection, so every flush is a single
+// ordered publish sequence — the same pinning the single-shard trace
+// determinism test uses.
+func newClusterFixture(t *testing.T, shards, devices, traceCap int) (*Cluster, *vclock.Manual) {
+	t.Helper()
+	clock := vclock.NewManual(clusterEpoch)
+	cl, err := NewCluster(ClusterOptions{
+		Shards: shards,
+		Sim: Options{
+			Clock:      clock,
+			Seed:       7,
+			MobileLink: &netsim.Link{},
+			DeviceMode: DeviceModePooled,
+			Pool: PoolOptions{
+				Connections:    shards,
+				FrameSize:      devices,
+				SampleInterval: time.Minute,
+				UploadBatch:    2,
+			},
+			IngestShards:  1,
+			TraceCapacity: traceCap,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewCluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	if err := cl.AddDevices(devices); err != nil {
+		t.Fatalf("AddDevices: %v", err)
+	}
+	if err := cl.StartPool(); err != nil {
+		t.Fatalf("StartPool: %v", err)
+	}
+	if err := cl.Pool.WaitReady(30 * time.Second); err != nil {
+		t.Fatalf("WaitReady: %v", err)
+	}
+	return cl, clock
+}
+
+// clusterProcessed sums ingest-processed items across live shards.
+func clusterProcessed(cl *Cluster) uint64 {
+	var sum uint64
+	for i, s := range cl.Shards {
+		if cl.Alive(i) {
+			sum += s.Server.Stats().Pipeline.Processed
+		}
+	}
+	return sum
+}
+
+// waitCluster polls cond in real time (the zero-latency fabric settles
+// in-flight messages without virtual-time advances).
+func waitCluster(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// clusterForeign sums the foreign-item skip counter over every shard's own
+// registry (shards keep separate registries, like separate processes).
+func clusterForeign(cl *Cluster) uint64 {
+	var sum uint64
+	for _, s := range cl.Shards {
+		sum += s.Metrics.Counter("sensocial_cluster_foreign_items_total",
+			"Stream items skipped because the receiving shard does not own the user.").Value()
+	}
+	return sum
+}
+
+// clusterForwarded sums bridge-forwarded publishes over every shard.
+func clusterForwarded(cl *Cluster) uint64 {
+	var sum uint64
+	for _, s := range cl.Shards {
+		sum += s.ClusterMetrics.Forwarded.Value()
+	}
+	return sum
+}
+
+// TestClusterShardLocalDelivery checks the scale-out happy path: pooled
+// devices spread over the address ring, every item ingested exactly once,
+// by its ring owner, with zero cross-shard forwarding (no shard has a
+// remote subscriber, so the summary-gated bridges stay silent).
+func TestClusterShardLocalDelivery(t *testing.T) {
+	const devices = 24
+	cl, clock := newClusterFixture(t, 3, devices, 0)
+
+	clock.Advance(2 * time.Minute)
+	want := uint64(devices * 2)
+	waitCluster(t, "all items processed", func() bool { return clusterProcessed(cl) >= want })
+
+	st := cl.Pool.Stats()
+	if st.ItemsPublished != want {
+		t.Fatalf("published %d items, want %d", st.ItemsPublished, want)
+	}
+	if got := clusterProcessed(cl); got != want {
+		t.Fatalf("processed %d items cluster-wide, want exactly %d (no double ingest)", got, want)
+	}
+	for i, n := range st.PublishedByShard {
+		if n == 0 {
+			t.Fatalf("shard %d received no publishes; ring left it empty: %v", i, st.PublishedByShard)
+		}
+	}
+	for i, s := range cl.Shards {
+		if p := s.Server.Stats().Pipeline.Processed; p == 0 {
+			t.Fatalf("shard %d processed nothing", i)
+		} else if p != st.PublishedByShard[i] {
+			t.Fatalf("shard %d processed %d items, want its ring share %d", i, p, st.PublishedByShard[i])
+		}
+	}
+	if f := clusterForeign(cl); f != 0 {
+		t.Fatalf("%v foreign items counted on a shard-local workload", f)
+	}
+	if fwd := clusterForwarded(cl); fwd != 0 {
+		t.Fatalf("%v publishes crossed the bridge with no remote subscriber", fwd)
+	}
+}
+
+// TestClusterCrossShardDelivery subscribes on shard1 to a device owned by
+// shard0: the summary-gated bridge must carry exactly that device's
+// uploads across, the subscriber sees them, and shard1's server skips the
+// bridged copies as foreign instead of double-processing them.
+func TestClusterCrossShardDelivery(t *testing.T) {
+	const devices = 24
+	cl, clock := newClusterFixture(t, 3, devices, 0)
+
+	dev := -1
+	for i, u := range cl.Pool.users {
+		if cl.OwnerIndex(u) == 0 {
+			dev = i
+			break
+		}
+	}
+	if dev < 0 {
+		t.Fatal("no pooled device owned by shard0")
+	}
+	topic := core.StreamDataTopic(cl.Pool.ids[dev])
+
+	conn, err := cl.Fabric.Dial("cross-sub", ShardBrokerAddr(1))
+	if err != nil {
+		t.Fatalf("dial shard1: %v", err)
+	}
+	cli, err := mqtt.Connect(conn, mqtt.ClientOptions{ClientID: "cross-sub", Clock: clock})
+	if err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	var got atomic.Int64
+	if err := cli.Subscribe(topic, 0, func(mqtt.Message) { got.Add(1) }); err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	sc := &cluster.MatchScratch{}
+	waitCluster(t, "summary propagation to shard0", func() bool {
+		return len(cl.Bridges[0].Index().Match(topic, sc)) == 1
+	})
+
+	clock.Advance(2 * time.Minute)
+	waitCluster(t, "cross-shard delivery", func() bool { return got.Load() >= 2 })
+
+	want := uint64(devices * 2)
+	waitCluster(t, "all items processed", func() bool { return clusterProcessed(cl) >= want })
+	if p := clusterProcessed(cl); p != want {
+		t.Fatalf("processed %d cluster-wide, want %d: bridged copies were double-ingested", p, want)
+	}
+	if f := clusterForeign(cl); f < 2 {
+		t.Fatalf("foreign counter %v, want >= 2 (shard1 must skip-and-count bridged copies)", f)
+	}
+}
+
+// TestClusterKillShardSurvivorsServe kills one shard permanently and
+// checks that the survivors keep ingesting their ring share while the dead
+// shard's devices degrade to bounded buffering — and that the pool's item
+// conservation invariant survives the kill.
+func TestClusterKillShardSurvivorsServe(t *testing.T) {
+	const devices = 24
+	cl, clock := newClusterFixture(t, 3, devices, 0)
+
+	clock.Advance(2 * time.Minute)
+	waitCluster(t, "pre-kill processing", func() bool {
+		return clusterProcessed(cl) >= uint64(devices*2)
+	})
+	pre := cl.Pool.Stats()
+
+	if err := cl.KillShard(2); err != nil {
+		t.Fatalf("KillShard: %v", err)
+	}
+	if cl.Alive(2) {
+		t.Fatal("shard2 still alive after kill")
+	}
+	if err := cl.KillShard(2); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if err := cl.KillShard(0); err == nil {
+		t.Fatal("killing shard0 (pool host) accepted")
+	}
+
+	for i := 0; i < 3; i++ {
+		clock.Advance(2 * time.Minute)
+	}
+	waitCluster(t, "survivors settle", func() bool {
+		st := cl.Pool.Stats()
+		return clusterProcessed(cl) >= st.PublishedByShard[0]+st.PublishedByShard[1]
+	})
+
+	st := cl.Pool.Stats()
+	for _, i := range []int{0, 1} {
+		if st.PublishedByShard[i] <= pre.PublishedByShard[i] {
+			t.Fatalf("surviving shard %d stopped receiving publishes after the kill (%d -> %d)",
+				i, pre.PublishedByShard[i], st.PublishedByShard[i])
+		}
+	}
+	if st.PublishedByShard[2] != pre.PublishedByShard[2] {
+		t.Fatalf("dead shard2 kept receiving publishes (%d -> %d)",
+			pre.PublishedByShard[2], st.PublishedByShard[2])
+	}
+	if got := clusterProcessed(cl); got != st.PublishedByShard[0]+st.PublishedByShard[1] {
+		t.Fatalf("survivors processed %d, want %d", got, st.PublishedByShard[0]+st.PublishedByShard[1])
+	}
+	// Items for the dead shard end up buffered or dropped, never lost to
+	// accounting: Samples == Published + AckLost + Dropped + Backlog.
+	if st.Samples != st.ItemsPublished+st.ItemsAckLost+st.ItemsDropped+st.Backlog {
+		t.Fatalf("conservation violated after kill: %+v", st)
+	}
+	if st.ItemsDropped+st.Backlog == 0 {
+		t.Fatal("dead shard's devices show neither backlog nor drops")
+	}
+}
+
+// clusterTraceRun is one deterministic multi-shard run; it returns the
+// concatenated canonical trace dumps of every shard.
+func clusterTraceRun(t *testing.T) string {
+	t.Helper()
+	const devices = 12
+	cl, clock := newClusterFixture(t, 3, devices, 4096)
+
+	const steps = 3
+	for i := 1; i <= steps; i++ {
+		clock.Advance(2 * time.Minute)
+		want := uint64(devices * 2 * i)
+		waitCluster(t, fmt.Sprintf("step %d processed", i), func() bool {
+			return clusterProcessed(cl) >= want
+		})
+	}
+	cl.Close()
+
+	var buf bytes.Buffer
+	for i, s := range cl.Shards {
+		fmt.Fprintf(&buf, "=== shard%d ===\n", i)
+		if err := s.Tracer.WriteText(&buf); err != nil {
+			t.Fatalf("WriteText shard%d: %v", i, err)
+		}
+	}
+	return buf.String()
+}
+
+// TestClusterTraceDeterministicAcrossRuns extends the byte-determinism
+// acceptance check to multi-shard deployments: two same-seed cluster runs
+// must produce identical concatenated /trace dumps. Bridge control chatter
+// ($cluster/... topics) rides real goroutine scheduling and is therefore
+// excluded from tracing by the broker.
+func TestClusterTraceDeterministicAcrossRuns(t *testing.T) {
+	first := clusterTraceRun(t)
+	second := clusterTraceRun(t)
+	if first != second {
+		t.Fatalf("cluster trace dumps differ across same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", first, second)
+	}
+	for _, span := range []string{"mqtt.route", "ingest.enqueue", "ingest.process"} {
+		if !bytes.Contains([]byte(first), []byte(span)) {
+			t.Fatalf("cluster trace missing %s spans:\n%s", span, first)
+		}
+	}
+}

@@ -66,6 +66,15 @@ type PoolOptions struct {
 	// ItemsAckLost and never resent (at-most-once — resending could
 	// double-deliver, because the broker acks before routing).
 	UploadQoS byte
+	// Addrs lists the broker addresses uploads spread across (default: the
+	// simulation's own broker only). With k addresses the Connections
+	// budget is split into k groups of Connections/k slots (min 1 each),
+	// one group per address, and every device publishes only through its
+	// own shard's group — the cluster's address ring.
+	Addrs []string
+	// ShardOf maps a user id to an index into Addrs (the cluster ring's
+	// OwnerIndex). Nil places every device on Addrs[0].
+	ShardOf func(userID string) int
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -130,6 +139,10 @@ type PoolStats struct {
 	ItemsDropped   uint64
 	Backlog        uint64
 	PublishErrors  uint64
+	// PublishedByShard splits ItemsPublished by the address-ring group the
+	// publish went through (one entry per PoolOptions.Addrs entry; a single
+	// entry outside cluster deployments).
+	PublishedByShard []uint64
 }
 
 // DevicePool runs a large fleet of simulated devices as scheduled events
@@ -157,6 +170,14 @@ type DevicePool struct {
 	charger *device.BulkCharger
 	conns   *netsim.ConnPool
 
+	// addrs/perShard form the pool's address ring: slot s dials
+	// addrs[s/perShard], so each address owns a contiguous group of
+	// perShard slots and a device on shard k uses slots
+	// [k*perShard, (k+1)*perShard).
+	addrs    []string
+	perShard int
+	shardOf  func(userID string) int
+
 	frameSize   int
 	interval    time.Duration
 	uploadBatch int
@@ -180,6 +201,7 @@ type DevicePool struct {
 	lat     []float32
 	lon     []float32
 	phase   []uint32
+	shard   []int32
 	backlog []uint16
 	drained []float64
 	cads    []sensing.Cadence
@@ -196,6 +218,7 @@ type DevicePool struct {
 	itemsAckLost   atomic.Uint64
 	itemsDropped   atomic.Uint64
 	publishErrs    atomic.Uint64
+	pubByShard     []atomic.Uint64
 }
 
 // poolFrame is one scheduled span [lo,hi) of the pool's device arrays. The
@@ -207,20 +230,44 @@ type poolFrame struct {
 	pool *DevicePool
 	lo   int
 	hi   int
-	slot int
+	base int // slot offset inside each shard's connection group
 	next time.Time
 	ev   vclock.Event
 
-	sampled  []int32  // device indices that sampled this tick
-	flushIdx []int32  // device indices drained this tick
-	flushCnt []uint16 // backlog depth drained per flushIdx entry
+	sampled  []int32       // device indices that sampled this tick
+	flushIdx []int32       // device indices drained this tick
+	flushCnt []uint16      // backlog depth drained per flushIdx entry
+	byShard  []flushClient // per-shard client resolution, reset each flush
+}
+
+// flushClient caches one shard's client for the duration of a single frame
+// flush: the client is resolved (or reconnected) at most once per flush,
+// and a mid-flush failure poisons only that shard's remaining devices.
+type flushClient struct {
+	cli    *mqtt.Client
+	tried  bool
+	failed bool
+	msgs   int
+	bytes  int
 }
 
 // newDevicePool wires a pool into a simulation's fabric and registries.
 func newDevicePool(s *Simulation, opts PoolOptions) (*DevicePool, error) {
 	opts = opts.withDefaults()
-	conns, err := netsim.NewConnPool(opts.Connections, func() (net.Conn, error) {
-		return s.Fabric.Dial("device-pool", BrokerAddr)
+	addrs := opts.Addrs
+	if len(addrs) == 0 {
+		addrs = []string{s.brokerAddr}
+	}
+	// Split the connection budget evenly across the address ring; with one
+	// address (the non-cluster default) this reduces to the old layout of
+	// Connections slots all dialing the local broker.
+	perShard := opts.Connections / len(addrs)
+	if perShard < 1 {
+		perShard = 1
+	}
+	total := perShard * len(addrs)
+	conns, err := netsim.NewConnPool(total, func(slot int) (net.Conn, error) {
+		return s.Fabric.Dial("device-pool", addrs[slot/perShard])
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: device pool: %w", err)
@@ -230,6 +277,10 @@ func newDevicePool(s *Simulation, opts PoolOptions) (*DevicePool, error) {
 		fabric:  s.Fabric,
 		charger: device.NewBulkCharger(energy.CostModel{}, s.Metrics),
 		conns:   conns,
+
+		addrs:    addrs,
+		perShard: perShard,
+		shardOf:  opts.ShardOf,
 
 		frameSize:   opts.FrameSize,
 		interval:    opts.SampleInterval,
@@ -243,9 +294,11 @@ func newDevicePool(s *Simulation, opts PoolOptions) (*DevicePool, error) {
 		devicesGauge: s.simDevices,
 		tickDur:      s.simTickDur,
 
-		clients:    make([]atomic.Pointer[mqtt.Client], opts.Connections),
-		connecting: make([]atomic.Bool, opts.Connections),
+		clients:    make([]atomic.Pointer[mqtt.Client], total),
+		connecting: make([]atomic.Bool, total),
 		done:       make(chan struct{}),
+
+		pubByShard: make([]atomic.Uint64, len(addrs)),
 	}
 	return p, nil
 }
@@ -275,6 +328,13 @@ func (p *DevicePool) AddDevices(n int) error {
 		p.lat = append(p.lat, float32(46.0+float64(idx%256)*0.01))
 		p.lon = append(p.lon, float32(2.0+float64((idx/256)%256)*0.01))
 		p.phase = append(p.phase, uint32(idx%3))
+		sh := 0
+		if p.shardOf != nil {
+			if o := p.shardOf(user); o >= 0 && o < len(p.addrs) {
+				sh = o
+			}
+		}
+		p.shard = append(p.shard, int32(sh))
 		p.backlog = append(p.backlog, 0)
 		p.drained = append(p.drained, 0)
 		p.cads = append(p.cads, sensing.Cadence{})
@@ -327,11 +387,12 @@ func (p *DevicePool) Start() error {
 		}
 		f := &poolFrame{
 			pool: p, lo: lo, hi: hi,
-			slot:     p.conns.Slot(j),
+			base:     j % p.perShard,
 			next:     anchor.Add(p.interval),
 			sampled:  make([]int32, 0, hi-lo),
 			flushIdx: make([]int32, 0, hi-lo),
 			flushCnt: make([]uint16, 0, hi-lo),
+			byShard:  make([]flushClient, len(p.addrs)),
 		}
 		p.frames = append(p.frames, f)
 	}
@@ -405,7 +466,7 @@ func (p *DevicePool) connectSlot(slot int) {
 // block.
 func (p *DevicePool) reconnectSlot(slot int) *mqtt.Client {
 	if _, ok := p.clock.(vclock.EventScheduler); ok &&
-		!p.fabric.PathDelayFree("device-pool", BrokerAddr) {
+		!p.fabric.PathDelayFree("device-pool", p.addrs[slot/p.perShard]) {
 		return nil
 	}
 	p.connectSlot(slot)
@@ -578,15 +639,6 @@ func (f *poolFrame) flush(now time.Time) {
 		p.mu.Unlock()
 	}
 
-	cli := p.clients[f.slot].Load()
-	if cli == nil {
-		// Lazy reconnect: the first tick after the fabric path heals
-		// redials and then drains the whole accumulated backlog below —
-		// the DTN batch-upload-on-reconnect behaviour.
-		if cli = p.reconnectSlot(f.slot); cli == nil {
-			return
-		}
-	}
 	f.flushIdx = f.flushIdx[:0]
 	f.flushCnt = f.flushCnt[:0]
 	p.mu.Lock()
@@ -602,11 +654,30 @@ func (f *poolFrame) flush(now time.Time) {
 		return
 	}
 
-	msgs, bytes := 0, 0
-	failed := false
+	// Devices in a frame can belong to different shards; each shard's
+	// client is resolved at most once per flush, and a mid-flush failure
+	// poisons only that shard's remaining devices (their backlogs are
+	// restored for a later tick).
+	for k := range f.byShard {
+		f.byShard[k] = flushClient{}
+	}
 	for k, i := range f.flushIdx {
 		depth := int(f.flushCnt[k])
-		if failed {
+		sh := p.shard[i]
+		st := &f.byShard[sh]
+		slot := int(sh)*p.perShard + f.base
+		if !st.tried {
+			st.tried = true
+			st.cli = p.clients[slot].Load()
+			if st.cli == nil {
+				// Lazy reconnect: the first tick after the fabric path
+				// heals redials and then drains the whole accumulated
+				// backlog — the DTN batch-upload-on-reconnect behaviour.
+				st.cli = p.reconnectSlot(slot)
+			}
+			st.failed = st.cli == nil
+		}
+		if st.failed {
 			p.restoreBacklog(int(i), depth)
 			continue
 		}
@@ -631,11 +702,11 @@ func (f *poolFrame) flush(now time.Time) {
 				consumed++
 				continue
 			}
-			err = cli.Publish(core.StreamDataTopic(p.ids[i]), payload, p.uploadQoS, false)
+			err = st.cli.Publish(core.StreamDataTopic(p.ids[i]), payload, p.uploadQoS, false)
 			if err == nil {
 				consumed++
-				msgs++
-				bytes += len(payload)
+				st.msgs++
+				st.bytes += len(payload)
 				continue
 			}
 			// Connection broke mid-flush: retire the client, re-buffer
@@ -649,10 +720,19 @@ func (f *poolFrame) flush(now time.Time) {
 				p.itemsAckLost.Add(1)
 				consumed++
 			}
-			failed = true
-			p.retireClient(f.slot, cli)
+			st.failed = true
+			p.retireClient(slot, st.cli)
 			p.restoreBacklog(int(i), depth-consumed)
 			break
+		}
+	}
+	msgs, bytes := 0, 0
+	for sh := range f.byShard {
+		st := &f.byShard[sh]
+		if st.msgs > 0 {
+			msgs += st.msgs
+			bytes += st.bytes
+			p.pubByShard[sh].Add(uint64(st.msgs))
 		}
 	}
 	if msgs > 0 {
@@ -696,17 +776,22 @@ func (p *DevicePool) Stats() PoolStats {
 		backlog += uint64(b)
 	}
 	p.mu.Unlock()
+	byShard := make([]uint64, len(p.pubByShard))
+	for i := range p.pubByShard {
+		byShard[i] = p.pubByShard[i].Load()
+	}
 	return PoolStats{
-		Devices:        devices,
-		Frames:         frames,
-		Connections:    p.conns.Size(),
-		Ticks:          p.ticks.Load(),
-		Samples:        p.samples.Load(),
-		ItemsPublished: p.itemsPublished.Load(),
-		ItemsAckLost:   p.itemsAckLost.Load(),
-		ItemsDropped:   p.itemsDropped.Load(),
-		Backlog:        backlog,
-		PublishErrors:  p.publishErrs.Load(),
+		Devices:          devices,
+		Frames:           frames,
+		Connections:      p.conns.Size(),
+		Ticks:            p.ticks.Load(),
+		Samples:          p.samples.Load(),
+		ItemsPublished:   p.itemsPublished.Load(),
+		ItemsAckLost:     p.itemsAckLost.Load(),
+		ItemsDropped:     p.itemsDropped.Load(),
+		Backlog:          backlog,
+		PublishErrors:    p.publishErrs.Load(),
+		PublishedByShard: byShard,
 	}
 }
 

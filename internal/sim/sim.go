@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/core/mobile"
 	"repro/internal/core/server"
@@ -36,12 +37,33 @@ const (
 	HTTPAddr   = "server:8080"
 )
 
+// Default device<->server link shaping (the paper's "uncongested WiFi").
+const (
+	defaultMobileLatency = 40 * time.Millisecond
+	defaultMobileJitter  = 10 * time.Millisecond
+)
+
 // Options configures a simulation.
 type Options struct {
 	// Clock drives everything; required.
 	Clock vclock.Clock
 	// Seed makes the whole simulation deterministic.
 	Seed int64
+	// Fabric, when set, runs the simulation over a shared network instead of
+	// creating its own — the multi-shard cluster puts every shard on one
+	// fabric. A provided fabric is used as-is (no default link or metric
+	// instrumentation is applied, the owner already did that) and is NOT
+	// closed by Close.
+	Fabric *netsim.Network
+	// BrokerAddr and HTTPAddr override the fabric addresses this
+	// simulation's broker and HTTP server bind (defaults BrokerAddr /
+	// HTTPAddr package constants). Cluster shards bind "shard<i>:1883" so
+	// they can share one fabric.
+	BrokerAddr string
+	HTTPAddr   string
+	// Owns restricts server-side ingest to users this shard owns (see
+	// server.Options.Owns); nil means single-shard, everything is local.
+	Owns func(userID string) bool
 	// Places is the reverse-geocoding database (default EuropeanCities).
 	Places *geo.PlaceDB
 	// MobileLink shapes device<->server traffic (default: 40 ms ± 10 ms,
@@ -119,10 +141,18 @@ type Simulation struct {
 	// Pool is the struct-of-arrays device pool; non-nil only when the
 	// simulation was built with DeviceModePooled.
 	Pool *DevicePool
+	// ClusterMetrics holds the sensocial_cluster_* families. They are
+	// registered in every mode so the series documented in
+	// docs/OBSERVABILITY.md appear on /metrics even for single-shard runs;
+	// the bridge increments them only in cluster deployments.
+	ClusterMetrics *cluster.Metrics
 
 	classifiers *classify.Registry
 	seed        int64
 	deviceMode  DeviceMode
+	brokerAddr  string
+	httpAddr    string
+	ownFabric   bool
 
 	// simDevices/simTickDur are registered unconditionally so the
 	// sensocial_sim_* families documented in docs/OBSERVABILITY.md appear
@@ -179,7 +209,7 @@ func New(opts Options) (*Simulation, error) {
 	if opts.Places == nil {
 		opts.Places = geo.EuropeanCities()
 	}
-	link := netsim.Link{Latency: 40 * time.Millisecond, Jitter: 10 * time.Millisecond}
+	link := netsim.Link{Latency: defaultMobileLatency, Jitter: defaultMobileJitter}
 	if opts.MobileLink != nil {
 		link = *opts.MobileLink
 	}
@@ -200,9 +230,21 @@ func New(opts Options) (*Simulation, error) {
 		tracer = obs.NewTracer(opts.Clock, opts.TraceCapacity)
 	}
 
-	fabric := netsim.NewNetwork(opts.Clock, opts.Seed)
-	fabric.SetDefaultLink(link)
-	fabric.Instrument(metrics)
+	fabric := opts.Fabric
+	ownFabric := fabric == nil
+	if ownFabric {
+		fabric = netsim.NewNetwork(opts.Clock, opts.Seed)
+		fabric.SetDefaultLink(link)
+		fabric.Instrument(metrics)
+	}
+	brokerAddr := opts.BrokerAddr
+	if brokerAddr == "" {
+		brokerAddr = BrokerAddr
+	}
+	httpAddr := opts.HTTPAddr
+	if httpAddr == "" {
+		httpAddr = HTTPAddr
+	}
 
 	// The wal families are registered even for in-memory runs so the
 	// sensocial_wal_* series documented in docs/OBSERVABILITY.md appear on
@@ -226,7 +268,7 @@ func New(opts Options) (*Simulation, error) {
 	}
 
 	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: opts.Clock, Metrics: metrics, Tracer: tracer, FanoutQueue: opts.BrokerFanoutQueue, State: sessions})
-	brokerL, err := fabric.Listen(BrokerAddr)
+	brokerL, err := fabric.Listen(brokerAddr)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -241,6 +283,7 @@ func New(opts Options) (*Simulation, error) {
 		Seed:             opts.Seed + 1,
 		IngestShards:     opts.IngestShards,
 		IngestQueueDepth: opts.IngestQueueDepth,
+		Owns:             opts.Owns,
 		Metrics:          metrics,
 		Tracer:           tracer,
 	})
@@ -275,9 +318,14 @@ func New(opts Options) (*Simulation, error) {
 		Metrics:  metrics,
 		Tracer:   tracer,
 
+		ClusterMetrics: cluster.NewMetrics(metrics),
+
 		classifiers: classifiers,
 		seed:        opts.Seed,
 		deviceMode:  opts.DeviceMode,
+		brokerAddr:  brokerAddr,
+		httpAddr:    httpAddr,
+		ownFabric:   ownFabric,
 
 		simDevices: metrics.Gauge("sensocial_sim_devices",
 			"Simulated devices currently running (full and pooled modes)."),
@@ -432,8 +480,8 @@ func (s *Simulation) AddUserWithPrivacy(userID string, profile *sensors.Profile,
 		Device:      dev,
 		Classifiers: s.classifiers,
 		Privacy:     privacy,
-		BrokerAddr:  BrokerAddr,
-		HTTPAddr:    HTTPAddr,
+		BrokerAddr:  s.brokerAddr,
+		HTTPAddr:    s.httpAddr,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
@@ -464,7 +512,7 @@ func (s *Simulation) StartHTTP() error {
 	if s.httpSrv != nil {
 		return nil
 	}
-	l, err := s.Fabric.Listen(HTTPAddr)
+	l, err := s.Fabric.Listen(s.httpAddr)
 	if err != nil {
 		return fmt.Errorf("sim: http listen: %w", err)
 	}
@@ -502,7 +550,7 @@ func (s *Simulation) httpDeliver(a osn.Action) {
 		return
 	}
 	client := s.HTTPClient("facebook-cloud")
-	resp, err := client.Post("http://"+HTTPAddr+"/osn/action", "application/json", body)
+	resp, err := client.Post("http://"+s.httpAddr+"/osn/action", "application/json", body)
 	if err != nil {
 		return
 	}
@@ -550,7 +598,7 @@ func (s *Simulation) RestartBroker() error {
 	// gauges at the fresh broker and lets its counters continue the same
 	// series — a restart is invisible on /metrics except for the dip.
 	broker := mqtt.NewBroker(mqtt.BrokerOptions{Clock: s.Clock, Metrics: s.Metrics, Tracer: s.Tracer, FanoutQueue: s.brokerFanoutQueue, State: sessions})
-	l, err := s.Fabric.Listen(BrokerAddr)
+	l, err := s.Fabric.Listen(s.brokerAddr)
 	if err != nil {
 		return fmt.Errorf("sim: restart broker: %w", err)
 	}
@@ -578,6 +626,57 @@ func (s *Simulation) BrokerSessionStore() *mqtt.SessionStore {
 // DurableStore returns the journal-backed document store, or nil for
 // in-memory simulations.
 func (s *Simulation) DurableStore() *docstore.Store { return s.store }
+
+// BrokerAddress returns the fabric address this simulation's broker is
+// bound to ("server:1883" outside cluster deployments).
+func (s *Simulation) BrokerAddress() string { return s.brokerAddr }
+
+// HTTPAddress returns the fabric address StartHTTP binds.
+func (s *Simulation) HTTPAddress() string { return s.httpAddr }
+
+// Kill tears one shard down abruptly, the way a crashed process would
+// disappear from a cluster: listeners close first (new dials are refused,
+// which is what keeps surviving shards' bridge redialers in clean backoff
+// instead of wedged mid-handshake), then the broker drops every session,
+// then the server and plug-ins stop. The shared fabric is left untouched —
+// survivors keep serving. Callers in a cluster must close this shard's own
+// bridge before calling Kill (see Cluster.KillShard).
+func (s *Simulation) Kill() {
+	s.mu.Lock()
+	handles := make([]*Handle, 0, len(s.handles))
+	for _, h := range s.handles {
+		handles = append(handles, h)
+	}
+	closers := append([]func(){}, s.closers...)
+	s.mu.Unlock()
+
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
+	_ = s.Broker.Close()
+	if s.Pool != nil {
+		s.Pool.Close()
+	}
+	for _, h := range handles {
+		_ = h.Mobile.Close()
+	}
+	_ = s.Server.Close()
+	s.FBPlugin.Close()
+	s.TWPlugin.Close()
+	s.serveWG.Wait()
+	s.mu.Lock()
+	sessions := s.sessions
+	s.mu.Unlock()
+	if sessions != nil {
+		_ = sessions.Close()
+	}
+	if s.store != nil {
+		_ = s.store.Close()
+	}
+	if s.ownFabric {
+		_ = s.Fabric.Close()
+	}
+}
 
 // Close tears the simulation down in dependency order.
 func (s *Simulation) Close() {
@@ -619,5 +718,9 @@ func (s *Simulation) Close() {
 	if s.store != nil {
 		_ = s.store.Close()
 	}
-	_ = s.Fabric.Close()
+	// A shared (cluster) fabric outlives any one shard; only a
+	// simulation-owned fabric dies with it.
+	if s.ownFabric {
+		_ = s.Fabric.Close()
+	}
 }
